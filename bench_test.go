@@ -1,0 +1,214 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (§VII) as testing.B benchmarks, at a reduced scale suitable for
+// `go test -bench`. The cmd/graphtrek-bench binary runs the same
+// experiments at configurable scales and prints the paper-style tables;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package graphtrek_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"graphtrek"
+	"graphtrek/internal/gen"
+)
+
+// benchCluster builds a cluster with a small RMAT-1 graph loaded.
+func benchCluster(b *testing.B, servers int, stragglers *graphtrek.StragglerPlan) *graphtrek.Cluster {
+	b.Helper()
+	c, err := graphtrek.NewCluster(graphtrek.Options{
+		Servers:       servers,
+		DiskService:   50 * time.Microsecond,
+		Stragglers:    stragglers,
+		TravelTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	if err := c.Load(func(sink gen.Sink) error {
+		_, err := gen.RMAT(gen.RMAT1(10, 8, 1), sink)
+		return err
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// hopQuery builds v(seed).e(link)^steps.
+func hopQuery(steps int) *graphtrek.Travel {
+	q := graphtrek.V(1)
+	for i := 0; i < steps; i++ {
+		q = q.E("link")
+	}
+	return q
+}
+
+// runHops performs one cold-start traversal.
+func runHops(b *testing.B, c *graphtrek.Cluster, steps int, mode graphtrek.Mode) {
+	b.Helper()
+	c.ResetDisks()
+	if _, err := c.Run(hopQuery(steps), mode); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchSweep is the shared shape of the Table I / Fig 8-10 benchmarks.
+func benchSweep(b *testing.B, steps int, modes []graphtrek.Mode) {
+	for _, servers := range []int{2, 8, 32} {
+		c := benchCluster(b, servers, nil)
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("servers=%d/%s", servers, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runHops(b, c, steps, mode)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I: the 8-step RMAT-1 traversal under
+// Sync-GT, Async-GT and GraphTrek across cluster widths.
+func BenchmarkTable1(b *testing.B) {
+	benchSweep(b, 8, []graphtrek.Mode{
+		graphtrek.ModeSync, graphtrek.ModeAsyncPlain, graphtrek.ModeGraphTrek,
+	})
+}
+
+// BenchmarkFig7 regenerates Figure 7's instrumented GraphTrek run and
+// reports the visit-breakdown counters as benchmark metrics.
+func BenchmarkFig7(b *testing.B) {
+	c := benchCluster(b, 32, nil)
+	before := total(c.ServerMetrics())
+	for i := 0; i < b.N; i++ {
+		runHops(b, c, 8, graphtrek.ModeGraphTrek)
+	}
+	d := total(c.ServerMetrics()).Sub(before)
+	n := float64(b.N)
+	b.ReportMetric(float64(d.RealIO)/n, "realIO/op")
+	b.ReportMetric(float64(d.Combined)/n, "combined/op")
+	b.ReportMetric(float64(d.Redundant)/n, "redundant/op")
+	if !d.Consistent() {
+		b.Fatalf("visit accounting identity violated: %+v", d)
+	}
+}
+
+func total(ms []graphtrek.Metrics) graphtrek.Metrics {
+	var t graphtrek.Metrics
+	for _, m := range ms {
+		t = t.Add(m)
+	}
+	return t
+}
+
+// BenchmarkFig8 regenerates Figure 8 (2-step traversal, Sync vs GraphTrek).
+func BenchmarkFig8(b *testing.B) {
+	benchSweep(b, 2, []graphtrek.Mode{graphtrek.ModeSync, graphtrek.ModeGraphTrek})
+}
+
+// BenchmarkFig9 regenerates Figure 9 (4-step traversal).
+func BenchmarkFig9(b *testing.B) {
+	benchSweep(b, 4, []graphtrek.Mode{graphtrek.ModeSync, graphtrek.ModeGraphTrek})
+}
+
+// BenchmarkFig10 regenerates Figure 10 (8-step traversal).
+func BenchmarkFig10(b *testing.B) {
+	benchSweep(b, 8, []graphtrek.Mode{graphtrek.ModeSync, graphtrek.ModeGraphTrek})
+}
+
+// BenchmarkFig11 regenerates Figure 11: the 8-step traversal under
+// emulated external interference (one straggler per step at steps 1/3/7,
+// round-robin over three servers). The plan is re-armed per iteration
+// because straggler budgets deplete.
+func BenchmarkFig11(b *testing.B) {
+	const servers = 16
+	plan := graphtrek.NewStragglerPlan()
+	c := benchCluster(b, servers, plan)
+	arm := func() {
+		sel := []int{0, servers / 2, servers - 1}
+		for i, step := range []int{1, 3, 7} {
+			plan.AddRule(sel[i%len(sel)], step, 2*time.Millisecond, 50)
+		}
+	}
+	for _, mode := range []graphtrek.Mode{graphtrek.ModeSync, graphtrek.ModeGraphTrek} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				arm()
+				runHops(b, c, 8, mode)
+			}
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates Table III: the 6-step audit query on the
+// synthetic rich-metadata graph under the three engines.
+func BenchmarkTable3(b *testing.B) {
+	c, err := graphtrek.NewCluster(graphtrek.Options{
+		Servers:       16,
+		DiskService:   50 * time.Microsecond,
+		TravelTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	var stats gen.MetaStats
+	if err := c.Load(func(sink gen.Sink) error {
+		var err error
+		stats, err = gen.Metadata(gen.ScaledMeta(10000, 1), sink)
+		return err
+	}); err != nil {
+		b.Fatal(err)
+	}
+	query := func() *graphtrek.Travel {
+		return graphtrek.V(stats.UserID(1)).
+			E("run").Ea("ts", graphtrek.RANGE, 0, 1<<20).
+			E("hasExecutions").
+			E("write").
+			E("readBy").
+			E("write").Rtn()
+	}
+	for _, mode := range []graphtrek.Mode{
+		graphtrek.ModeSync, graphtrek.ModeAsyncPlain, graphtrek.ModeGraphTrek,
+	} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.ResetDisks()
+				if _, err := c.Run(query(), mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOptimizations isolates each GraphTrek optimization —
+// beyond the paper's evaluation — on the 8-step workload.
+func BenchmarkAblationOptimizations(b *testing.B) {
+	c := benchCluster(b, 16, nil)
+	for _, mode := range []graphtrek.Mode{
+		graphtrek.ModeAsyncPlain, graphtrek.ModeAsyncCacheOnly,
+		graphtrek.ModeAsyncSchedOnly, graphtrek.ModeGraphTrek,
+	} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runHops(b, c, 8, mode)
+			}
+		})
+	}
+}
+
+// BenchmarkClientSideBaseline measures the Fig 2a client-driven traversal
+// against the server-side engines, including the modeled client-server
+// round-trip cost it pays per step per owner.
+func BenchmarkClientSideBaseline(b *testing.B) {
+	c := benchCluster(b, 8, nil)
+	for _, mode := range []graphtrek.Mode{graphtrek.ModeClientSide, graphtrek.ModeGraphTrek} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runHops(b, c, 4, mode)
+			}
+		})
+	}
+}

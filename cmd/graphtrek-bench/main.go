@@ -1,0 +1,55 @@
+// Command graphtrek-bench regenerates the paper's evaluation tables and
+// figures on a simulated cluster.
+//
+// Usage:
+//
+//	graphtrek-bench [-exp all|table1|fig7|fig8|fig9|fig10|fig11|table2|table3|ablation]
+//
+// The experiment scale is selected with GRAPHTREK_SCALE
+// (tiny|small|medium|paper; default small). See EXPERIMENTS.md for
+// recorded outputs and the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"graphtrek/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
+	flag.Parse()
+
+	scale := bench.GetScale()
+	fmt.Printf("graphtrek-bench: scale=%s (set GRAPHTREK_SCALE=tiny|small|medium|paper)\n\n", scale.Name)
+
+	switch *exp {
+	case "list":
+		names := make([]string, 0, len(bench.Experiments))
+		for n := range bench.Experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	case "all":
+		if err := bench.RunAll(scale, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "graphtrek-bench:", err)
+			os.Exit(1)
+		}
+	default:
+		run, ok := bench.Experiments[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "graphtrek-bench: unknown experiment %q (try -exp list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := run(scale, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "graphtrek-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

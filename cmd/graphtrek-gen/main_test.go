@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/kv"
+	"graphtrek/internal/model"
+	"graphtrek/internal/partition"
+)
+
+func TestGenerateRMATPartitions(t *testing.T) {
+	dir := t.TempDir()
+	const servers = 3
+	if err := run(dir, servers, "rmat", 7, 4, 0, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	part := partition.NewHash(servers)
+	total := 0
+	for i := 0; i < servers; i++ {
+		s, err := gstore.Open(filepath.Join(dir, partitionName(i)), kv.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		err = s.ScanVertices(func(v model.Vertex) bool {
+			if part.Owner(v.ID) != i {
+				t.Errorf("vertex %v misplaced on partition %d", v.ID, i)
+			}
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		total += count
+	}
+	if total != 1<<7 {
+		t.Errorf("total vertices = %d, want %d", total, 1<<7)
+	}
+}
+
+func TestGenerateMetadataPartitions(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 2, "meta", 0, 0, 500, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		s, err := gstore.Open(filepath.Join(dir, partitionName(i)), kv.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := 0
+		s.ScanVerticesByLabel("User", func(model.VertexID) bool { users++; return true })
+		s.Close()
+		if i == 0 && users == 0 {
+			// Users spread by hash; at least one partition must hold some.
+			s2, _ := gstore.Open(filepath.Join(dir, partitionName(1)), kv.Options{})
+			s2.ScanVerticesByLabel("User", func(model.VertexID) bool { users++; return true })
+			s2.Close()
+			if users == 0 {
+				t.Error("no User vertices in any partition")
+			}
+		}
+	}
+}
+
+func TestGenerateFromTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "sample.trace")
+	if err := os.WriteFile(trace, []byte(
+		"user sam\njob J1 sam 10\nexec E1 J1 m\nread E1 /f1\nwrite E1 /f2 11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "graph")
+	if err := run(out, 2, "trace", 0, 0, 0, 1, trace); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 2; i++ {
+		s, err := gstore.Open(filepath.Join(out, partitionName(i)), kv.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ScanVertices(func(model.Vertex) bool { total++; return true })
+		s.Close()
+	}
+	if total != 5 { // sam, J1, E1, /f1, /f2
+		t.Errorf("imported %d vertices, want 5", total)
+	}
+	// Missing -in errors.
+	if err := run(filepath.Join(dir, "g2"), 1, "trace", 0, 0, 0, 1, ""); err == nil {
+		t.Error("trace without -in should error")
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if err := run(t.TempDir(), 1, "nope", 4, 2, 10, 1, ""); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

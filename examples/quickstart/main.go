@@ -1,0 +1,86 @@
+// Quickstart: build a tiny HPC metadata graph (Fig 1 of the paper), run the
+// data-auditing traversal of §III-A1 under the GraphTrek engine, and print
+// the files it finds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphtrek"
+)
+
+func main() {
+	// A four-server simulated cluster; partitions live in memory.
+	c, err := graphtrek.NewCluster(graphtrek.Options{Servers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// The metadata graph of the paper's Fig 1: users run executions,
+	// executions read and write files.
+	const (
+		sam    = graphtrek.VertexID(1)
+		john   = graphtrek.VertexID(2)
+		job1   = graphtrek.VertexID(10)
+		job2   = graphtrek.VertexID(11)
+		dset   = graphtrek.VertexID(20)
+		app    = graphtrek.VertexID(21)
+		outTxt = graphtrek.VertexID(22)
+	)
+	vertices := []graphtrek.Vertex{
+		{ID: sam, Label: "User", Props: graphtrek.Props{"name": graphtrek.String("sam"), "group": graphtrek.String("cgroup")}},
+		{ID: john, Label: "User", Props: graphtrek.Props{"name": graphtrek.String("john"), "group": graphtrek.String("admin")}},
+		{ID: job1, Label: "Execution", Props: graphtrek.Props{"name": graphtrek.String("job201405"), "params": graphtrek.String("-n 1024")}},
+		{ID: job2, Label: "Execution", Props: graphtrek.Props{"name": graphtrek.String("job201406")}},
+		{ID: dset, Label: "File", Props: graphtrek.Props{"name": graphtrek.String("dset-1"), "type": graphtrek.String("data")}},
+		{ID: app, Label: "File", Props: graphtrek.Props{"name": graphtrek.String("app-01"), "type": graphtrek.String("exe")}},
+		{ID: outTxt, Label: "File", Props: graphtrek.Props{"name": graphtrek.String("results.txt"), "type": graphtrek.String("text")}},
+	}
+	edges := []graphtrek.Edge{
+		{Src: sam, Dst: job1, Label: "run", Props: graphtrek.Props{"start_ts": graphtrek.Int(140)}},
+		{Src: john, Dst: job2, Label: "run", Props: graphtrek.Props{"start_ts": graphtrek.Int(150)}},
+		{Src: job1, Dst: app, Label: "exe"},
+		{Src: job1, Dst: dset, Label: "read"},
+		{Src: job1, Dst: outTxt, Label: "read"},
+		{Src: job2, Dst: outTxt, Label: "write", Props: graphtrek.Props{"writeSize": graphtrek.Int(7 << 20)}},
+	}
+	for _, v := range vertices {
+		if err := c.AddVertex(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, e := range edges {
+		if err := c.AddEdge(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// §III-A1: find all text files read by sam within a time frame —
+	// GTravel.v(sam).e("run").ea("start_ts", RANGE, [100, 200])
+	//         .e("read").va("type", EQ, "text").rtn()
+	q := graphtrek.V(sam).
+		E("run").Ea("start_ts", graphtrek.RANGE, 100, 200).
+		E("read").Va("type", graphtrek.EQ, "text").Rtn()
+
+	files, err := c.Run(q, graphtrek.ModeGraphTrek)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("text files read by sam in [100,200]: %v\n", files)
+	if len(files) != 1 || files[0] != outTxt {
+		log.Fatalf("expected [%v], got %v", outTxt, files)
+	}
+
+	// The same traversal under the synchronous baseline returns the same
+	// set — the engines differ in execution strategy, not semantics.
+	filesSync, err := c.Run(graphtrek.V(sam).
+		E("run").Ea("start_ts", graphtrek.RANGE, 100, 200).
+		E("read").Va("type", graphtrek.EQ, "text").Rtn(),
+		graphtrek.ModeSync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same query, Sync-GT engine:             %v\n", filesSync)
+}

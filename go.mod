@@ -1,0 +1,3 @@
+module graphtrek
+
+go 1.22

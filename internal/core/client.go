@@ -1,0 +1,416 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/partition"
+	"graphtrek/internal/query"
+	"graphtrek/internal/wire"
+)
+
+// Client submits GTravel traversals to the cluster. For the server-side
+// modes it ships the whole plan to one backend (the coordinator) and waits
+// for the results; for ModeClientSide it plays the central controller of
+// Fig 2a itself, pulling every intermediate frontier back over the
+// client-server link. A Client occupies one node id on the transport
+// (>= Part.N(), i.e. outside the backend range).
+type Client struct {
+	tr   transport
+	part partition.Partitioner
+	seq  atomic.Uint64
+	rtt  time.Duration
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingTravel
+	reqs    map[uint64]chan wire.Message
+	reqSeq  atomic.Uint64
+}
+
+type pendingTravel struct {
+	results []model.VertexID
+	done    chan struct{}
+	err     error
+}
+
+// NewClient creates a client; Bind must be called with its transport.
+func NewClient(part partition.Partitioner) *Client {
+	return &Client{
+		part:    part,
+		pending: make(map[uint64]*pendingTravel),
+		reqs:    make(map[uint64]chan wire.Message),
+	}
+}
+
+// Bind attaches the transport; call before submitting.
+func (c *Client) Bind(tr transport) { c.tr = tr }
+
+// SetRTT models the client-server network round-trip cost in simulated
+// deployments. Server-side traversal pays it twice per traversal (submit
+// and results); the client-side mode pays it on every per-step visit
+// request — the asymmetry of Fig 2 that makes client-side traversal slow
+// on a real, busy client-server network.
+func (c *Client) SetRTT(d time.Duration) { c.rtt = d }
+
+// Handle is the client's transport handler.
+func (c *Client) Handle(_ int, msg wire.Message) {
+	switch msg.Kind {
+	case wire.KindResult:
+		c.mu.Lock()
+		if p, ok := c.pending[msg.TravelID]; ok {
+			p.results = append(p.results, msg.Verts...)
+		}
+		c.mu.Unlock()
+	case wire.KindTravelDone:
+		c.mu.Lock()
+		p, ok := c.pending[msg.TravelID]
+		if ok {
+			delete(c.pending, msg.TravelID)
+		}
+		c.mu.Unlock()
+		if ok {
+			if msg.Err != "" {
+				p.err = errors.New(msg.Err)
+			}
+			close(p.done)
+		}
+	case wire.KindVisitResp, wire.KindProgressResp:
+		c.mu.Lock()
+		ch, ok := c.reqs[msg.ReqID]
+		if ok {
+			delete(c.reqs, msg.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// SubmitOptions tunes one traversal submission.
+type SubmitOptions struct {
+	// Mode selects the engine; default ModeGraphTrek.
+	Mode Mode
+	// Coordinator picks the backend that coordinates the traversal;
+	// negative selects one by hashing the traversal id (the paper's
+	// "selected backend server").
+	Coordinator int
+	// Timeout bounds the client-side wait (default 120s).
+	Timeout time.Duration
+	// Retries restarts a failed traversal from scratch up to this many
+	// additional times — the recovery policy of §IV-C ("this failure will
+	// simply cause the traversal to be restarted"). Each retry gets a
+	// fresh traversal id and, when Coordinator is negative, a different
+	// coordinator, so a dead coordinator is routed around.
+	Retries int
+}
+
+// Submit runs a traversal and returns the vertices its rtn()-marked steps
+// (or, without rtn(), its final step) produced, sorted and deduplicated.
+func (c *Client) Submit(t *query.Travel, opts SubmitOptions) ([]model.VertexID, error) {
+	plan, err := t.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitPlan(plan, opts)
+}
+
+// SubmitPlan runs an already compiled traversal plan, restarting it on
+// failure per SubmitOptions.Retries.
+func (c *Client) SubmitPlan(plan *query.Plan, opts SubmitOptions) ([]model.VertexID, error) {
+	var lastErr error
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		res, err := c.submitOnce(plan, opts)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// submitOnce runs a single traversal attempt.
+func (c *Client) submitOnce(plan *query.Plan, opts SubmitOptions) ([]model.VertexID, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 120 * time.Second
+	}
+	if opts.Mode == ModeClientSide {
+		if c.tr == nil {
+			return nil, errors.New("core: client not bound to a transport")
+		}
+		travelID := uint64(c.tr.Self()+1)<<48 | c.seq.Add(1)
+		return c.runClientSide(plan, travelID, opts)
+	}
+	h, err := c.SubmitPlanAsync(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait(opts.Timeout)
+}
+
+// Handle tracks an in-flight server-side traversal submitted with
+// SubmitPlanAsync: the caller can poll Progress while the cluster works and
+// collect the results with Wait.
+type Handle struct {
+	client   *Client
+	travelID uint64
+	coord    int
+	p        *pendingTravel
+}
+
+// SubmitPlanAsync starts a server-side traversal and returns immediately.
+// ModeClientSide is inherently synchronous at the client and is rejected.
+func (c *Client) SubmitPlanAsync(plan *query.Plan, opts SubmitOptions) (*Handle, error) {
+	if c.tr == nil {
+		return nil, errors.New("core: client not bound to a transport")
+	}
+	if opts.Mode == ModeClientSide {
+		return nil, errors.New("core: client-side traversal cannot run asynchronously")
+	}
+	travelID := uint64(c.tr.Self()+1)<<48 | c.seq.Add(1)
+	coord := opts.Coordinator
+	if coord < 0 || coord >= c.part.N() {
+		coord = int(travelID % uint64(c.part.N()))
+	}
+	p := &pendingTravel{done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending[travelID] = p
+	c.mu.Unlock()
+
+	err := c.tr.Send(coord, wire.Message{
+		Kind: wire.KindStartTravel, TravelID: travelID,
+		Mode: uint8(opts.Mode), Coord: int32(c.tr.Self()), Plan: plan.Encode(),
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, travelID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return &Handle{client: c, travelID: travelID, coord: coord, p: p}, nil
+}
+
+// TravelID returns the traversal's cluster-wide id.
+func (h *Handle) TravelID() uint64 { return h.travelID }
+
+// Coordinator returns the backend server coordinating the traversal.
+func (h *Handle) Coordinator() int { return h.coord }
+
+// Wait blocks until the traversal completes and returns its results.
+func (h *Handle) Wait(timeout time.Duration) ([]model.VertexID, error) {
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+	select {
+	case <-h.p.done:
+	case <-time.After(timeout):
+		h.client.mu.Lock()
+		delete(h.client.pending, h.travelID)
+		h.client.mu.Unlock()
+		return nil, fmt.Errorf("core: traversal %d timed out after %v at the client", h.travelID, timeout)
+	}
+	if h.p.err != nil {
+		return nil, h.p.err
+	}
+	return sortedUnique(h.p.results), nil
+}
+
+// Cancel asks the coordinator to abort the traversal. Wait subsequently
+// returns a cancellation error. Cancelling a finished traversal is a
+// harmless no-op.
+func (h *Handle) Cancel() error {
+	return h.client.tr.Send(h.coord, wire.Message{
+		Kind: wire.KindCancel, TravelID: h.travelID,
+	})
+}
+
+// Progress queries the coordinator's ledger for the number of live
+// executions per step (§IV-C): the user-facing remaining-work estimate.
+// A finished traversal reports an empty map.
+func (h *Handle) Progress(timeout time.Duration) (map[int32]int, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c := h.client
+	reqID := c.reqSeq.Add(1)
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	c.reqs[reqID] = ch
+	c.mu.Unlock()
+	err := c.tr.Send(h.coord, wire.Message{
+		Kind: wire.KindProgressReq, TravelID: h.travelID, ReqID: reqID,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		out := make(map[int32]int, len(resp.Created))
+		for _, ref := range resp.Created {
+			out[ref.Step] = int(ref.ID)
+		}
+		if resp.Err != "" && len(out) == 0 {
+			// Finished or unknown: report empty progress, not an error —
+			// completion races with the query by design.
+			return out, nil
+		}
+		return out, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: progress query for traversal %d timed out", h.travelID)
+	}
+}
+
+func sortedUnique(ids []model.VertexID) []model.VertexID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// runClientSide drives the traversal step by step from the client: every
+// frontier is shipped back, aggregated, deduplicated, and redistributed —
+// the client-side traversal of Fig 2a.
+func (c *Client) runClientSide(plan *query.Plan, travelID uint64, opts SubmitOptions) ([]model.VertexID, error) {
+	deadline := time.Now().Add(opts.Timeout)
+	// Register the plan on every backend.
+	for srv := 0; srv < c.part.N(); srv++ {
+		err := c.tr.Send(srv, wire.Message{
+			Kind: wire.KindStartTravel, TravelID: travelID,
+			Mode: uint8(ModeClientSide), Coord: int32(c.tr.Self()), Plan: plan.Encode(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for srv := 0; srv < c.part.N(); srv++ {
+			c.tr.Send(srv, wire.Message{Kind: wire.KindTravelDone, TravelID: travelID})
+		}
+	}()
+
+	type hop struct{ from, to model.VertexID }
+	numSteps := plan.NumSteps()
+	survivors := make([]map[model.VertexID]bool, numSteps)
+	hops := make([][]hop, numSteps)
+
+	// Step 0 candidates: explicit ids, or a per-server scan request.
+	candidates := map[model.VertexID]bool{}
+	if len(plan.Steps[0].SourceIDs) > 0 {
+		for _, id := range plan.Steps[0].SourceIDs {
+			candidates[id] = true
+		}
+	} else {
+		for srv := 0; srv < c.part.N(); srv++ {
+			resp, err := c.visit(srv, travelID, 0, nil, true, deadline)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range resp.Verts {
+				candidates[v] = true
+			}
+		}
+	}
+
+	for step := 0; step < numSteps; step++ {
+		byOwner := make(map[int][]wire.Entry)
+		for v := range candidates {
+			byOwner[c.part.Owner(v)] = append(byOwner[c.part.Owner(v)], wire.Entry{Vertex: v})
+		}
+		survivors[step] = make(map[model.VertexID]bool)
+		next := map[model.VertexID]bool{}
+		for owner, entries := range byOwner {
+			resp, err := c.visit(owner, travelID, int32(step), entries, false, deadline)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range resp.Verts {
+				survivors[step][v] = true
+			}
+			for _, e := range resp.Entries {
+				// Expansion: e.Anc is the surviving source, e.Vertex the
+				// next-step candidate.
+				hops[step+1] = append(hops[step+1], hop{from: e.Anc, to: e.Vertex})
+				next[e.Vertex] = true
+			}
+		}
+		candidates = next
+	}
+
+	// Backward liveness, as in the reference evaluator.
+	alive := make([]map[model.VertexID]bool, numSteps)
+	alive[numSteps-1] = survivors[numSteps-1]
+	for i := numSteps - 1; i > 0; i-- {
+		alive[i-1] = make(map[model.VertexID]bool)
+		for _, h := range hops[i] {
+			if alive[i][h.to] && survivors[i-1][h.from] {
+				alive[i-1][h.from] = true
+			}
+		}
+	}
+	var out []model.VertexID
+	seen := map[model.VertexID]bool{}
+	for i := 0; i < numSteps; i++ {
+		if !plan.Returned(i) {
+			continue
+		}
+		for v := range alive[i] {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return sortedUnique(out), nil
+}
+
+// visit performs one synchronous VisitReq round trip.
+func (c *Client) visit(srv int, travelID uint64, step int32, entries []wire.Entry, scan bool, deadline time.Time) (wire.Message, error) {
+	reqID := c.reqSeq.Add(1)
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	c.reqs[reqID] = ch
+	c.mu.Unlock()
+	msg := wire.Message{
+		Kind: wire.KindVisitReq, TravelID: travelID,
+		Step: step, ReqID: reqID, Entries: entries,
+	}
+	if scan {
+		msg.Mode = 1 // scan request marker
+	}
+	if c.rtt > 0 {
+		time.Sleep(c.rtt)
+	}
+	if err := c.tr.Send(srv, msg); err != nil {
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return wire.Message{}, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return wire.Message{}, errors.New(resp.Err)
+		}
+		return resp, nil
+	case <-time.After(time.Until(deadline)):
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return wire.Message{}, fmt.Errorf("core: visit request to server %d timed out", srv)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"graphtrek/internal/model"
+	"graphtrek/internal/query"
+	"graphtrek/internal/wire"
+)
+
+// handleVisitReq serves one client-side traversal request (Fig 2a): the
+// client asks this server to evaluate one step for the given candidate
+// vertices and ship everything — survivors and expansions — straight back.
+// There is no caching, no merging and no forwarding: every intermediate
+// result crosses the client-server link, which is exactly the design the
+// server-side engines exist to avoid.
+func (s *Server) handleVisitReq(from int, msg wire.Message, ts *travelState) {
+	resp := wire.Message{Kind: wire.KindVisitResp, TravelID: msg.TravelID, ReqID: msg.ReqID}
+	if msg.Mode == 1 {
+		// Seed scan: return the local step-0 candidate ids.
+		s.disk.Access(0, scanBlock)
+		s0 := ts.plan.Steps[0]
+		var err error
+		if s0.SourceLabel != "" {
+			err = s.cfg.Store.ScanVerticesByLabel(s0.SourceLabel, func(id model.VertexID) bool {
+				resp.Verts = append(resp.Verts, id)
+				return true
+			})
+		} else {
+			err = s.cfg.Store.ScanVertices(func(v model.Vertex) bool {
+				resp.Verts = append(resp.Verts, v.ID)
+				return true
+			})
+		}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		s.send(from, resp)
+		return
+	}
+
+	plan := ts.plan
+	last := int32(plan.NumSteps() - 1)
+	step := plan.Steps[msg.Step]
+	for _, e := range msg.Entries {
+		s.met.AddReceived(1)
+		s.met.AddRealIO(1)
+		s.disk.Access(int(msg.Step), uint64(e.Vertex))
+		vtx, found, err := s.cfg.Store.GetVertex(e.Vertex)
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		if !found || !query.VertexMatches(vtx, step.VertexFilters) {
+			continue
+		}
+		resp.Verts = append(resp.Verts, e.Vertex)
+		if msg.Step == last {
+			continue
+		}
+		next := plan.Steps[msg.Step+1]
+		err = s.cfg.Store.ScanEdges(e.Vertex, next.EdgeLabel, func(edge model.Edge) bool {
+			if next.EdgeFilters.MatchAll(edge.Props) {
+				// Anc carries the surviving source so the client can
+				// reconstruct the hop graph for rtn() liveness.
+				resp.Entries = append(resp.Entries, wire.Entry{Vertex: edge.Dst, Anc: e.Vertex})
+			}
+			return true
+		})
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+	}
+	s.send(from, resp)
+}

@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: the GraphTrek
+// server-side traversal engines. One Server runs next to each backend
+// storage partition; a traversal is submitted by a Client to one server,
+// which becomes that traversal's coordinator (§IV-A). Four execution modes
+// share the same storage, language and message plumbing:
+//
+//   - ModeSync (Sync-GT, §VI): level-synchronous BFS with a controller
+//     barrier between steps; data still flows server-to-server.
+//   - ModeAsyncPlain (Async-GT, §VII): plain asynchronous execution —
+//     servers forward the traversal immediately, with no dedup cache, no
+//     priority scheduling, no merging.
+//   - ModeGraphTrek: asynchronous execution plus the two §V optimizations
+//     (traversal-affiliate caching; execution scheduling and merging).
+//   - ModeClientSide (Fig 2a): the client drives each step itself,
+//     aggregating intermediate frontiers — the design the paper argues
+//     against, implemented as a baseline.
+//
+// Correctness machinery shared by the server-side modes:
+//
+//   - status and progress tracing (§IV-C): every traversal execution is
+//     registered (created) at the coordinator before it can be observed
+//     terminating, and a traversal completes exactly when the created and
+//     terminated sets coincide — a quiescence-detection ledger that
+//     tolerates cross-server message reordering;
+//   - traversal return (§IV-D): rtn()-marked vertices redirect downstream
+//     reporting destinations, so a marked vertex is returned iff one of its
+//     descendant paths reaches the end of the chain;
+//   - silent-failure detection: a coordinator watchdog fails the traversal
+//     if the ledger stops making progress (e.g. a server drops requests).
+package core
+
+import (
+	"time"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/metrics"
+	"graphtrek/internal/partition"
+	"graphtrek/internal/rpc"
+	"graphtrek/internal/simio"
+)
+
+// Mode selects the traversal execution strategy. The value travels in
+// StartTravel messages, so the numeric codes are part of the wire format.
+type Mode uint8
+
+const (
+	// ModeSync is the synchronous baseline (Sync-GT).
+	ModeSync Mode = iota
+	// ModeAsyncPlain is asynchronous traversal without optimizations
+	// (Async-GT).
+	ModeAsyncPlain
+	// ModeGraphTrek is asynchronous traversal with traversal-affiliate
+	// caching and execution scheduling/merging — the paper's system.
+	ModeGraphTrek
+	// ModeClientSide is the client-driven baseline of Fig 2a.
+	ModeClientSide
+	// ModeAsyncCacheOnly ablates GraphTrek: cache on, scheduling and
+	// merging off.
+	ModeAsyncCacheOnly
+	// ModeAsyncSchedOnly ablates GraphTrek: scheduling and merging on,
+	// cache off.
+	ModeAsyncSchedOnly
+)
+
+// String names the mode the way the paper's tables do.
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "Sync-GT"
+	case ModeAsyncPlain:
+		return "Async-GT"
+	case ModeGraphTrek:
+		return "GraphTrek"
+	case ModeClientSide:
+		return "Client-GT"
+	case ModeAsyncCacheOnly:
+		return "Async+Cache"
+	case ModeAsyncSchedOnly:
+		return "Async+Sched"
+	default:
+		return "Unknown"
+	}
+}
+
+// tuning is the feature matrix a mode expands to on each server.
+type tuning struct {
+	useCache bool // traversal-affiliate caching (§V-A)
+	priority bool // smallest-step-first scheduling (§V-B)
+	merge    bool // same-vertex execution merging (§V-B)
+	gated    bool // controller barrier between steps (Sync-GT)
+}
+
+func (m Mode) tuning() tuning {
+	switch m {
+	case ModeSync:
+		// Level-synchronous BFS deduplicates its frontier each step; the
+		// cache provides exactly that visited-set behaviour.
+		return tuning{useCache: true, gated: true}
+	case ModeGraphTrek:
+		return tuning{useCache: true, priority: true, merge: true}
+	case ModeAsyncCacheOnly:
+		return tuning{useCache: true}
+	case ModeAsyncSchedOnly:
+		return tuning{priority: true, merge: true}
+	default: // ModeAsyncPlain, ModeClientSide
+		return tuning{}
+	}
+}
+
+// Config configures one backend server.
+type Config struct {
+	// ID is this server's node id on the transport (0..Servers-1).
+	ID int
+	// Store is the local graph partition.
+	Store gstore.Graph
+	// Part maps vertices to owning servers. Node ids 0..Part.N()-1 must be
+	// backend servers; higher transport ids are clients.
+	Part partition.Partitioner
+	// Disk is the simulated storage device; nil means no simulated
+	// latency.
+	Disk *simio.Disk
+	// Workers is the per-traversal worker pool size (default 4).
+	Workers int
+	// CacheCap bounds the traversal-affiliate cache (default 1<<20
+	// entries; negative means unbounded).
+	CacheCap int
+	// BatchSize flushes a dispatch outbox early once it holds this many
+	// entries (default 4096).
+	BatchSize int
+	// FlushLinger delays the quiescence-triggered outbox flush briefly so
+	// batches arriving close together consolidate into one outgoing wave
+	// per step instead of fragmenting. Zero disables the linger (fastest
+	// for latency-free unit tests); simulated-disk deployments use a few
+	// service times.
+	FlushLinger time.Duration
+	// TravelTimeout is the coordinator watchdog deadline for ledger
+	// inactivity (default 30s; zero selects the default, negative
+	// disables).
+	TravelTimeout time.Duration
+	// DropInbound, when set, makes the server silently discard matching
+	// inbound messages — the failure-injection hook used to test the
+	// watchdog and status tracing.
+	DropInbound func(from int, travelID uint64) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 1 << 20
+	}
+	if c.CacheCap < 0 {
+		c.CacheCap = 0 // cache.New treats 0 as unbounded
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4096
+	}
+	if c.TravelTimeout == 0 {
+		c.TravelTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// noopDisk is used when Config.Disk is nil.
+var noopDisk = simio.NewDisk(0, 1)
+
+// Metrics re-exports the per-server counter snapshot type.
+type Metrics = metrics.Snapshot
+
+// transport is the narrowed rpc surface the engine uses.
+type transport = rpc.Transport
+
+// scanBlock is the simulated-disk block id charged for index scans (seed
+// selection); it is outside the vertex-id space.
+const scanBlock = ^uint64(0)

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/wire"
+)
+
+// execAcc tracks one traversal execution being processed on this server: a
+// countdown of its unprocessed frontier entries. Outputs are not owned by
+// the execution — they accumulate in the traversal's per-target outboxes so
+// consecutive executions batch into few messages — but an execution only
+// reports termination after its outputs reached an outbox, and the flusher
+// always sends outbox-derived child registrations in the same ExecEvents
+// message as the terminations, preserving the ledger invariant (§IV-C):
+// every terminated execution's children are registered no later than the
+// termination itself.
+type execAcc struct {
+	id      uint64
+	pending atomic.Int32
+}
+
+// itemDone marks one entry of the execution processed; the caller must have
+// already buffered any outputs. When the last entry completes, the
+// execution joins the traversal's pending-termination list.
+func (s *Server) itemDone(ts *travelState, acc *execAcc) {
+	if acc.pending.Add(-1) == 0 {
+		ts.addEnded(acc.id)
+	}
+	ts.inProcess.Add(-1)
+}
+
+// outKey addresses one dispatch outbox: entries bound for one target
+// server at one traversal step.
+type outKey struct {
+	target int
+	step   int32
+}
+
+// outboxSet accumulates one outbox's entries as a set: a traversal
+// execution produces a *set* of next-step vertices (§IV-B), so each entry
+// is sent to a given target for a given step at most once per traversal —
+// the `seen` set survives flushes. Without set semantics the number of
+// in-flight entries would track the number of distinct *walks* rather than
+// vertices and grow combinatorially with traversal depth; the published
+// Async-GT measurements (within ~1.3x of Sync-GT, Table I) are only
+// consistent with per-step output sets. Residual redundancy — the same
+// vertex arriving from several different sender servers — is exactly what
+// the traversal-affiliate cache then removes at the receiver (§V-A).
+type outboxSet struct {
+	seen map[wire.Entry]struct{}
+	list []wire.Entry
+}
+
+func (o *outboxSet) add(e wire.Entry) bool {
+	if o.seen == nil {
+		o.seen = make(map[wire.Entry]struct{})
+	}
+	if _, dup := o.seen[e]; dup {
+		return false
+	}
+	o.seen[e] = struct{}{}
+	o.list = append(o.list, e)
+	return true
+}
+
+// take drains the pending entries, keeping the seen set so repeats are
+// suppressed for the traversal's lifetime.
+func (o *outboxSet) take() []wire.Entry {
+	list := o.list
+	o.list = nil
+	return list
+}
+
+// bufferDispatch adds a next-step entry to the target server's outbox,
+// flushing that outbox early if it reached the batch threshold.
+func (s *Server) bufferDispatch(ts *travelState, target int, step int32, e wire.Entry) {
+	k := outKey{target, step}
+	var full []wire.Entry
+	ts.flushMu.Lock()
+	box := ts.outbox[k]
+	if box == nil {
+		box = &outboxSet{}
+		ts.outbox[k] = box
+	}
+	if box.add(e) && len(box.list) >= s.cfg.BatchSize {
+		full = box.take()
+	}
+	ts.flushMu.Unlock()
+	if full != nil {
+		s.sendDispatch(ts, target, step, full)
+	}
+}
+
+// bufferSig adds an end-of-chain signal for an rtn()-marked ancestor,
+// deduplicated per batch.
+func (s *Server) bufferSig(ts *travelState, target int, e wire.Entry) {
+	ts.flushMu.Lock()
+	box := ts.sigbox[target]
+	if box == nil {
+		box = &outboxSet{}
+		ts.sigbox[target] = box
+	}
+	box.add(e)
+	ts.flushMu.Unlock()
+}
+
+// bufferResult appends a returned vertex bound for the coordinator.
+func (s *Server) bufferResult(ts *travelState, v model.VertexID) {
+	ts.flushMu.Lock()
+	ts.results = append(ts.results, v)
+	ts.flushMu.Unlock()
+}
+
+// sendDispatch registers a freshly created child execution at the
+// coordinator and ships its entries. Registration and shipping may happen
+// in either order: the ledger tolerates an execution's events arriving
+// before its registration (it only declares completion when the created and
+// terminated sets coincide).
+func (s *Server) sendDispatch(ts *travelState, target int, step int32, entries []wire.Entry) {
+	id := s.newExecID()
+	s.send(int(ts.coord), wire.Message{
+		Kind: wire.KindExecEvents, TravelID: ts.id,
+		Created: []wire.ExecRef{{ID: id, Server: int32(target), Step: step}},
+	})
+	s.send(target, wire.Message{
+		Kind: wire.KindDispatch, TravelID: ts.id,
+		Step: step, ExecID: id, Entries: entries,
+	})
+}
+
+// flushTravel drains the traversal's outboxes, buffered results and
+// pending terminations into messages. Multiple workers may call it
+// concurrently; each call atomically swaps out the buffered state.
+func (s *Server) flushTravel(ts *travelState) {
+	numSteps := int32(ts.plan.NumSteps())
+	var created []wire.ExecRef
+	type outMsg struct {
+		target int
+		msg    wire.Message
+	}
+	var msgs []outMsg
+
+	ts.flushMu.Lock()
+	for k, box := range ts.outbox {
+		entries := box.take()
+		if len(entries) == 0 {
+			continue
+		}
+		id := s.newExecID()
+		created = append(created, wire.ExecRef{ID: id, Server: int32(k.target), Step: k.step})
+		msgs = append(msgs, outMsg{k.target, wire.Message{
+			Kind: wire.KindDispatch, TravelID: ts.id,
+			Step: k.step, ExecID: id, Entries: entries,
+		}})
+	}
+	for target, box := range ts.sigbox {
+		entries := box.take()
+		if len(entries) == 0 {
+			continue
+		}
+		id := s.newExecID()
+		created = append(created, wire.ExecRef{ID: id, Server: int32(target), Step: numSteps})
+		msgs = append(msgs, outMsg{target, wire.Message{
+			Kind: wire.KindReturnSig, TravelID: ts.id,
+			Step: numSteps, ExecID: id, Entries: entries,
+		}})
+	}
+	results := ts.results
+	ended := ts.ended
+	errs := ts.errs
+	ts.results = nil
+	ts.ended = nil
+	ts.errs = nil
+	ts.flushMu.Unlock()
+	if len(msgs) == 0 && len(results) == 0 && len(ended) == 0 && len(errs) == 0 {
+		return
+	}
+	coord := int(ts.coord)
+	if len(results) > 0 {
+		s.send(coord, wire.Message{Kind: wire.KindResult, TravelID: ts.id, Verts: results})
+	}
+	// Register children and report terminations in one atomic ledger
+	// update, then ship the children.
+	if len(created) > 0 || len(ended) > 0 || len(errs) > 0 {
+		s.send(coord, wire.Message{
+			Kind: wire.KindExecEvents, TravelID: ts.id,
+			Created: created, Ended: ended, Err: strings.Join(errs, "; "),
+		})
+	}
+	s.met.AddExecs(int(int64(len(ended))))
+	for _, om := range msgs {
+		s.send(om.target, om.msg)
+	}
+}

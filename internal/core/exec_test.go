@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"graphtrek/internal/query"
+	"graphtrek/internal/wire"
+)
+
+func TestOutboxSetDedupsWithinBatch(t *testing.T) {
+	box := &outboxSet{}
+	e := wire.Entry{Vertex: 7, Anc: 1, AncStep: 0, Dest: 2}
+	if !box.add(e) {
+		t.Fatal("first add should be fresh")
+	}
+	if box.add(e) {
+		t.Fatal("second add of identical entry should be suppressed")
+	}
+	if len(box.list) != 1 {
+		t.Fatalf("list = %d entries", len(box.list))
+	}
+}
+
+func TestOutboxSetDistinguishesProvenance(t *testing.T) {
+	box := &outboxSet{}
+	base := wire.Entry{Vertex: 7, Anc: 1, AncStep: 0, Dest: 2}
+	variants := []wire.Entry{
+		{Vertex: 8, Anc: 1, AncStep: 0, Dest: 2},  // different vertex
+		{Vertex: 7, Anc: 2, AncStep: 0, Dest: 2},  // different ancestor
+		{Vertex: 7, Anc: 1, AncStep: 1, Dest: 2},  // different ancestor step
+		{Vertex: 7, Anc: 1, AncStep: 0, Dest: -1}, // different destination
+	}
+	box.add(base)
+	for i, v := range variants {
+		if !box.add(v) {
+			t.Errorf("variant %d wrongly suppressed: rtn provenance must not collapse", i)
+		}
+	}
+}
+
+func TestOutboxSetSeenSurvivesTake(t *testing.T) {
+	// The send-once-per-traversal property: draining the pending list must
+	// not forget what was already sent.
+	box := &outboxSet{}
+	e1 := wire.Entry{Vertex: 1}
+	e2 := wire.Entry{Vertex: 2}
+	box.add(e1)
+	got := box.take()
+	if len(got) != 1 || got[0] != e1 {
+		t.Fatalf("take = %v", got)
+	}
+	if box.add(e1) {
+		t.Fatal("re-adding a flushed entry must be suppressed")
+	}
+	if !box.add(e2) {
+		t.Fatal("a genuinely new entry must pass after take")
+	}
+	if got := box.take(); len(got) != 1 || got[0] != e2 {
+		t.Fatalf("second take = %v", got)
+	}
+	if got := box.take(); len(got) != 0 {
+		t.Fatalf("empty take = %v", got)
+	}
+}
+
+func TestExecAccCountdown(t *testing.T) {
+	c := newCluster(t, 1, nil)
+	ts := &travelState{
+		id:     1,
+		outbox: make(map[outKey]*outboxSet),
+		sigbox: make(map[int]*outboxSet),
+		rtn:    make(map[rtnKey]*rtnRec),
+	}
+	acc := &execAcc{id: 99}
+	acc.pending.Store(3)
+	s := c.servers[0]
+	s.itemDone(ts, acc)
+	s.itemDone(ts, acc)
+	ts.flushMu.Lock()
+	if len(ts.ended) != 0 {
+		t.Fatal("execution ended early")
+	}
+	ts.flushMu.Unlock()
+	s.itemDone(ts, acc)
+	ts.flushMu.Lock()
+	defer ts.flushMu.Unlock()
+	if len(ts.ended) != 1 || ts.ended[0] != 99 {
+		t.Fatalf("ended = %v", ts.ended)
+	}
+}
+
+func TestNewExecIDsUniqueAcrossServers(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	seen := make(map[uint64]bool)
+	for _, s := range c.servers {
+		for i := 0; i < 1000; i++ {
+			id := s.newExecID()
+			if seen[id] {
+				t.Fatalf("duplicate exec id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestBatchSizeTriggersEarlyFlush(t *testing.T) {
+	// With BatchSize 4, a step producing many entries to one target must
+	// split into multiple dispatch messages — and still return the right
+	// answer.
+	c := newCluster(t, 2, func(cfg *Config) { cfg.BatchSize = 4 })
+	loadAuditGraph(t, c)
+	c.runAllModes(t, mustPlan(t, query.V().E("run").E("read")))
+}

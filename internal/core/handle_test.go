@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"graphtrek/internal/query"
+	"graphtrek/internal/simio"
+)
+
+func TestHandleWaitReturnsResults(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	loadAuditGraph(t, c)
+	plan := mustPlan(t, query.V(1).E("run").E("read"))
+	want, err := query.Reference(c.global, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.client.SubmitPlanAsync(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Coordinator() != 1 {
+		t.Errorf("coordinator = %d", h.Coordinator())
+	}
+	if h.TravelID() == 0 {
+		t.Error("zero travel id")
+	}
+	got, err := h.Wait(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, want.Results) {
+		t.Errorf("got %v want %v", got, want.Results)
+	}
+}
+
+func TestHandleProgressDuringSlowTraversal(t *testing.T) {
+	// A deliberately slow disk keeps the traversal in flight long enough
+	// for a progress poll to observe live executions.
+	c := newCluster(t, 2, func(cfg *Config) {
+		cfg.Disk = simio.NewDisk(20*time.Millisecond, 1)
+		cfg.Workers = 1
+	})
+	loadAuditGraph(t, c)
+	plan := mustPlan(t, query.VLabel("File").Rtn()) // touches every file
+	h, err := c.client.SubmitPlanAsync(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLive := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		prog, err := h.Progress(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prog) > 0 {
+			sawLive = true
+			for step, n := range prog {
+				if n <= 0 {
+					t.Errorf("progress reported non-positive count %d at step %d", n, step)
+				}
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := h.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !sawLive {
+		t.Log("progress poll never caught the traversal in flight (timing-dependent)")
+	}
+	// After completion, progress reports empty.
+	prog, err := h.Progress(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 0 {
+		t.Errorf("finished traversal still reports progress: %v", prog)
+	}
+}
+
+func TestHandleRejectsClientSideMode(t *testing.T) {
+	c := newCluster(t, 2, nil)
+	if _, err := c.client.SubmitPlanAsync(mustPlan(t, query.V(1)), SubmitOptions{Mode: ModeClientSide}); err == nil {
+		t.Fatal("client-side mode should be rejected for async submission")
+	}
+}
+
+func TestHandleCancelAbortsTraversal(t *testing.T) {
+	// A slow disk keeps the traversal alive long enough to cancel it.
+	c := newCluster(t, 2, func(cfg *Config) {
+		cfg.Disk = simio.NewDisk(20*time.Millisecond, 1)
+		cfg.Workers = 1
+	})
+	loadAuditGraph(t, c)
+	h, err := c.client.SubmitPlanAsync(mustPlan(t, query.VLabel("File").E("readBy").E("read")),
+		SubmitOptions{Mode: ModeGraphTrek, Coordinator: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(10 * time.Second); err == nil {
+		t.Fatal("cancelled traversal should report an error")
+	}
+	// Cancelling again (now finished) is a no-op.
+	if err := h.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleWaitTimeout(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		if cfg.ID == 1 {
+			cfg.DropInbound = func(int, uint64) bool { return true }
+		}
+		cfg.TravelTimeout = -1 // watchdog disabled: only the client times out
+	})
+	loadAuditGraph(t, c)
+	h, err := c.client.SubmitPlanAsync(mustPlan(t, query.VLabel("User").E("run")),
+		SubmitOptions{Mode: ModeGraphTrek, Coordinator: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(100 * time.Millisecond); err == nil {
+		t.Fatal("expected client-side timeout")
+	}
+}

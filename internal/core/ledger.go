@@ -1,0 +1,388 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/query"
+	"graphtrek/internal/wire"
+)
+
+// ledger is the coordinator's status-tracing record for one traversal
+// (§IV-C). Every traversal execution in the cluster is logged here as
+// created and, later, terminated. Because creation and termination reports
+// travel on independent links, either may arrive first; the ledger
+// therefore tracks matched pairs and declares the traversal complete
+// exactly when the created and terminated sets coincide. The key soundness
+// property: a terminating execution registers its children in the same
+// (atomically processed) message, so set equality implies cluster-wide
+// quiescence.
+type ledger struct {
+	mu      sync.Mutex
+	travel  uint64
+	mode    Mode
+	client  int
+	plan    *query.Plan
+	servers int
+
+	execs         map[uint64]*execInfo
+	liveByStep    map[int32]int // created-and-not-ended executions per step
+	liveTotal     int
+	unmatchedEnds int
+	rootsSent     bool
+
+	gate     int32 // Sync-GT barrier position
+	results  map[model.VertexID]bool
+	errs     []string
+	done     bool
+	activity time.Time
+	stopWake chan struct{}
+}
+
+type execInfo struct {
+	step    int32
+	created bool
+	ended   bool
+}
+
+// startCoordination turns this server into the coordinator for a traversal
+// submitted by a client: it broadcasts the plan to the other backends,
+// seeds the source step, and arms the watchdog.
+func (s *Server) startCoordination(client int, travelID uint64, ts *travelState) {
+	led := &ledger{
+		travel:     travelID,
+		mode:       ts.mode,
+		client:     client,
+		plan:       ts.plan,
+		servers:    s.cfg.Part.N(),
+		execs:      make(map[uint64]*execInfo),
+		liveByStep: make(map[int32]int),
+		results:    make(map[model.VertexID]bool),
+		activity:   time.Now(),
+		stopWake:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.ledgers[travelID] = led
+	s.mu.Unlock()
+
+	planBytes := ts.plan.Encode()
+	s0 := ts.plan.Steps[0]
+	seedByScan := len(s0.SourceIDs) == 0
+
+	led.mu.Lock()
+	// Broadcast the traversal to every other backend; with scan seeding,
+	// each broadcast carries that server's root execution id.
+	type bcast struct {
+		server int
+		msg    wire.Message
+	}
+	var bcasts []bcast
+	for srv := 0; srv < led.servers; srv++ {
+		if srv == s.cfg.ID {
+			continue
+		}
+		m := wire.Message{
+			Kind: wire.KindStartTravel, TravelID: travelID,
+			Mode: uint8(ts.mode), Coord: int32(s.cfg.ID), Plan: planBytes,
+		}
+		if seedByScan {
+			m.ExecID = s.newExecID()
+			led.registerCreatedLocked(wire.ExecRef{ID: m.ExecID, Server: int32(srv), Step: 0})
+		}
+		bcasts = append(bcasts, bcast{srv, m})
+	}
+	var selfSeed uint64
+	if seedByScan {
+		selfSeed = s.newExecID()
+		led.registerCreatedLocked(wire.ExecRef{ID: selfSeed, Server: int32(s.cfg.ID), Step: 0})
+	}
+	// Explicit-id seeding: one root dispatch per owning server.
+	type rootMsg struct {
+		server int
+		msg    wire.Message
+	}
+	var roots []rootMsg
+	if !seedByScan {
+		byOwner := make(map[int][]wire.Entry)
+		seen := make(map[model.VertexID]bool, len(s0.SourceIDs))
+		for _, id := range s0.SourceIDs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			owner := s.cfg.Part.Owner(id)
+			byOwner[owner] = append(byOwner[owner], wire.Entry{Vertex: id, AncStep: -1, Dest: -1})
+		}
+		for owner, entries := range byOwner {
+			id := s.newExecID()
+			led.registerCreatedLocked(wire.ExecRef{ID: id, Server: int32(owner), Step: 0})
+			roots = append(roots, rootMsg{owner, wire.Message{
+				Kind: wire.KindDispatch, TravelID: travelID,
+				Step: 0, ExecID: id, Entries: entries,
+			}})
+		}
+	}
+	led.rootsSent = true
+	led.mu.Unlock()
+
+	for _, b := range bcasts {
+		s.send(b.server, b.msg)
+	}
+	if seedByScan {
+		s.runSeedExec(ts, selfSeed)
+	}
+	for _, r := range roots {
+		s.send(r.server, r.msg)
+	}
+	// A traversal with zero sources completes immediately.
+	s.checkLedger(led)
+
+	if s.cfg.TravelTimeout > 0 {
+		s.wg.Add(1)
+		go s.watchdog(led)
+	}
+}
+
+// registerCreatedLocked records a newly created execution.
+func (l *ledger) registerCreatedLocked(ref wire.ExecRef) {
+	info, ok := l.execs[ref.ID]
+	if !ok {
+		l.execs[ref.ID] = &execInfo{step: ref.Step, created: true}
+		l.liveByStep[ref.Step]++
+		l.liveTotal++
+		return
+	}
+	if info.created {
+		return // duplicate registration
+	}
+	info.created = true
+	info.step = ref.Step
+	if info.ended {
+		l.unmatchedEnds-- // the early termination is now matched
+	}
+}
+
+// registerEndedLocked records a terminated execution.
+func (l *ledger) registerEndedLocked(id uint64) {
+	info, ok := l.execs[id]
+	if !ok {
+		// Termination raced ahead of registration on another link.
+		l.execs[id] = &execInfo{ended: true}
+		l.unmatchedEnds++
+		return
+	}
+	if info.ended {
+		return
+	}
+	info.ended = true
+	if info.created {
+		l.liveByStep[info.step]--
+		l.liveTotal--
+	} else {
+		l.unmatchedEnds++
+	}
+}
+
+// handleCoordinator processes Result and ExecEvents messages addressed to
+// this server in its coordinator role.
+func (s *Server) handleCoordinator(_ int, msg wire.Message) {
+	s.mu.Lock()
+	led, ok := s.ledgers[msg.TravelID]
+	s.mu.Unlock()
+	if !ok {
+		return // finished or unknown traversal; drop silently
+	}
+	led.mu.Lock()
+	led.activity = time.Now()
+	switch msg.Kind {
+	case wire.KindResult:
+		for _, v := range msg.Verts {
+			led.results[v] = true
+		}
+		led.mu.Unlock()
+		return
+	case wire.KindExecEvents:
+		for _, ref := range msg.Created {
+			led.registerCreatedLocked(ref)
+		}
+		for _, id := range msg.Ended {
+			led.registerEndedLocked(id)
+		}
+		if msg.Err != "" {
+			led.errs = append(led.errs, msg.Err)
+		}
+	}
+	led.mu.Unlock()
+	s.checkLedger(led)
+}
+
+// checkLedger advances the synchronous barrier and detects completion.
+func (s *Server) checkLedger(led *ledger) {
+	led.mu.Lock()
+	if led.done {
+		led.mu.Unlock()
+		return
+	}
+	if len(led.errs) > 0 {
+		s.finishTravelLocked(led)
+		return
+	}
+	if !led.rootsSent || led.unmatchedEnds > 0 {
+		led.mu.Unlock()
+		return
+	}
+	if led.liveTotal == 0 {
+		s.finishTravelLocked(led)
+		return
+	}
+	if led.mode == ModeSync {
+		// Barrier: when nothing at or below the gate is live, release the
+		// next step that has registered executions.
+		minLive := int32(-1)
+		for step, n := range led.liveByStep {
+			if n > 0 && (minLive < 0 || step < minLive) {
+				minLive = step
+			}
+		}
+		if minLive > led.gate {
+			led.gate = minLive
+			travel := led.travel
+			servers := led.servers
+			gate := led.gate
+			led.mu.Unlock()
+			for srv := 0; srv < servers; srv++ {
+				s.send(srv, wire.Message{Kind: wire.KindStepGo, TravelID: travel, Step: gate})
+			}
+			return
+		}
+	}
+	led.mu.Unlock()
+}
+
+// finishTravelLocked completes a traversal: results (or the error) go to
+// the client, every backend is told to release its state, and the ledger
+// is retired. Called with led.mu held; releases it.
+func (s *Server) finishTravelLocked(led *ledger) {
+	led.done = true
+	results := make([]model.VertexID, 0, len(led.results))
+	for v := range led.results {
+		results = append(results, v)
+	}
+	errText := ""
+	if len(led.errs) > 0 {
+		errText = led.errs[0]
+	}
+	client := led.client
+	travel := led.travel
+	servers := led.servers
+	close(led.stopWake)
+	led.mu.Unlock()
+
+	s.mu.Lock()
+	delete(s.ledgers, travel)
+	s.mu.Unlock()
+
+	// Result batches precede the final done marker on the same link.
+	const chunk = 1 << 14
+	for i := 0; i < len(results); i += chunk {
+		end := min(i+chunk, len(results))
+		s.send(client, wire.Message{Kind: wire.KindResult, TravelID: travel, Verts: results[i:end]})
+	}
+	s.send(client, wire.Message{Kind: wire.KindTravelDone, TravelID: travel, Err: errText})
+	for srv := 0; srv < servers; srv++ {
+		s.send(srv, wire.Message{Kind: wire.KindTravelDone, TravelID: travel})
+	}
+}
+
+// watchdog fails the traversal if the ledger stops making progress — the
+// silent-failure detection of §IV-C. Without it, a server that crashed (or
+// a fault-injected one that drops requests) would leave the traversal
+// hanging forever.
+func (s *Server) watchdog(led *ledger) {
+	defer s.wg.Done()
+	tick := s.cfg.TravelTimeout / 4
+	if tick <= 0 {
+		tick = time.Second
+	}
+	timer := time.NewTicker(tick)
+	defer timer.Stop()
+	for {
+		select {
+		case <-led.stopWake:
+			return
+		case <-timer.C:
+		}
+		led.mu.Lock()
+		if led.done {
+			led.mu.Unlock()
+			return
+		}
+		if time.Since(led.activity) > s.cfg.TravelTimeout {
+			led.errs = append(led.errs,
+				"core: traversal made no progress within the failure-detection timeout; "+
+					"an execution was created but never terminated (suspected server failure)")
+			s.finishTravelLocked(led)
+			return
+		}
+		led.mu.Unlock()
+	}
+}
+
+// handleCancel aborts a traversal this server coordinates: the client gets
+// a cancellation error, backends drop their state, and late messages for
+// the traversal are discarded through the done-travel history. Cancelling
+// an unknown or finished traversal is a no-op.
+func (s *Server) handleCancel(msg wire.Message) {
+	s.mu.Lock()
+	led, ok := s.ledgers[msg.TravelID]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	led.mu.Lock()
+	if led.done {
+		led.mu.Unlock()
+		return
+	}
+	led.errs = append(led.errs, "core: traversal cancelled by client")
+	s.finishTravelLocked(led)
+}
+
+// handleProgressReq answers a client's progress query from the ledger
+// (§IV-C): one (step, live-execution-count) pair per active step, packed
+// into ExecRefs. A finished or unknown traversal answers with an empty
+// report and an explanatory Err.
+func (s *Server) handleProgressReq(from int, msg wire.Message) {
+	resp := wire.Message{Kind: wire.KindProgressResp, TravelID: msg.TravelID, ReqID: msg.ReqID}
+	live, ok := s.Progress(msg.TravelID)
+	if !ok {
+		resp.Err = "core: traversal not coordinated here (finished or unknown)"
+	}
+	for step, n := range live {
+		resp.Created = append(resp.Created, wire.ExecRef{Step: step, ID: uint64(n)})
+	}
+	s.send(from, resp)
+}
+
+// Progress reports, for a traversal this server coordinates, the number of
+// live (created but unterminated) executions per step — the progress-
+// estimation signal of §IV-C. The second result is false when this server
+// does not coordinate the traversal.
+func (s *Server) Progress(travelID uint64) (map[int32]int, bool) {
+	s.mu.Lock()
+	led, ok := s.ledgers[travelID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	led.mu.Lock()
+	defer led.mu.Unlock()
+	out := make(map[int32]int, len(led.liveByStep))
+	for step, n := range led.liveByStep {
+		if n > 0 {
+			out[step] = n
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/query"
+	"graphtrek/internal/simio"
+	"graphtrek/internal/wire"
+)
+
+func newTestLedger() *ledger {
+	return &ledger{
+		execs:      make(map[uint64]*execInfo),
+		liveByStep: make(map[int32]int),
+		results:    make(map[model.VertexID]bool),
+		stopWake:   make(chan struct{}),
+	}
+}
+
+func (l *ledger) quiescentLocked() bool {
+	return l.rootsSent && l.unmatchedEnds == 0 && l.liveTotal == 0
+}
+
+func TestLedgerCreateThenEnd(t *testing.T) {
+	l := newTestLedger()
+	l.rootsSent = true
+	l.registerCreatedLocked(wire.ExecRef{ID: 1, Server: 0, Step: 0})
+	if l.quiescentLocked() {
+		t.Fatal("live execution should block completion")
+	}
+	if l.liveByStep[0] != 1 || l.liveTotal != 1 {
+		t.Fatalf("live accounting: %v total %d", l.liveByStep, l.liveTotal)
+	}
+	l.registerEndedLocked(1)
+	if !l.quiescentLocked() {
+		t.Fatal("matched create+end should complete")
+	}
+	if l.liveByStep[0] != 0 || l.liveTotal != 0 {
+		t.Fatalf("live accounting after end: %v total %d", l.liveByStep, l.liveTotal)
+	}
+}
+
+func TestLedgerEndBeforeCreate(t *testing.T) {
+	// The termination report can overtake the registration on another
+	// link (§IV-C); the ledger must not declare completion in between.
+	l := newTestLedger()
+	l.rootsSent = true
+	l.registerCreatedLocked(wire.ExecRef{ID: 1, Server: 0, Step: 0})
+
+	// Exec 2's end arrives before its creation.
+	l.registerEndedLocked(2)
+	if l.unmatchedEnds != 1 {
+		t.Fatalf("unmatchedEnds = %d", l.unmatchedEnds)
+	}
+	l.registerEndedLocked(1)
+	if l.quiescentLocked() {
+		t.Fatal("unmatched end must block completion")
+	}
+	l.registerCreatedLocked(wire.ExecRef{ID: 2, Server: 1, Step: 1})
+	if !l.quiescentLocked() {
+		t.Fatal("matching the early end should complete the traversal")
+	}
+	if l.liveTotal != 0 || l.unmatchedEnds != 0 {
+		t.Fatalf("final accounting: live %d unmatched %d", l.liveTotal, l.unmatchedEnds)
+	}
+}
+
+func TestLedgerDuplicateEventsIdempotent(t *testing.T) {
+	l := newTestLedger()
+	l.rootsSent = true
+	ref := wire.ExecRef{ID: 7, Server: 0, Step: 2}
+	l.registerCreatedLocked(ref)
+	l.registerCreatedLocked(ref)
+	if l.liveTotal != 1 {
+		t.Fatalf("duplicate create counted: %d", l.liveTotal)
+	}
+	l.registerEndedLocked(7)
+	l.registerEndedLocked(7)
+	if l.liveTotal != 0 || l.unmatchedEnds != 0 {
+		t.Fatalf("duplicate end mis-counted: live %d unmatched %d", l.liveTotal, l.unmatchedEnds)
+	}
+	if !l.quiescentLocked() {
+		t.Fatal("should be quiescent")
+	}
+}
+
+func TestLedgerRootsGateCompletion(t *testing.T) {
+	l := newTestLedger()
+	if l.quiescentLocked() {
+		t.Fatal("completion before roots registered must be impossible")
+	}
+}
+
+func TestLedgerPerStepAccounting(t *testing.T) {
+	l := newTestLedger()
+	l.rootsSent = true
+	for i := uint64(1); i <= 3; i++ {
+		l.registerCreatedLocked(wire.ExecRef{ID: i, Server: int32(i), Step: 0})
+	}
+	l.registerCreatedLocked(wire.ExecRef{ID: 10, Server: 0, Step: 1})
+	if l.liveByStep[0] != 3 || l.liveByStep[1] != 1 {
+		t.Fatalf("liveByStep = %v", l.liveByStep)
+	}
+	l.registerEndedLocked(1)
+	l.registerEndedLocked(2)
+	if l.liveByStep[0] != 1 {
+		t.Fatalf("liveByStep[0] = %d", l.liveByStep[0])
+	}
+}
+
+// TestSyncModeStepOrdering verifies the barrier property end to end: with
+// the synchronous engine, no step-k+1 vertex access may start before every
+// step-k access finished. A disk tracer timestamps each simulated access
+// with the step it serves.
+func TestSyncModeStepOrdering(t *testing.T) {
+	rec := &stepRecorder{}
+	c := newCluster(t, 3, func(cfg *Config) {
+		d := simio.NewDisk(0, 1)
+		d.AttachTracer(func(_, step int, _ uint64) {
+			rec.mu.Lock()
+			rec.steps = append(rec.steps, int32(step))
+			rec.mu.Unlock()
+		})
+		cfg.Disk = d
+	})
+	loadAuditGraph(t, c)
+	plan := mustPlan(t, query.VLabel("User").E("run").E("read"))
+	if _, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeSync, Coordinator: 0, Timeout: 20 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	// In sync mode the recorded access steps must be non-decreasing:
+	// 0...0 1...1 2...2.
+	maxSeen := int32(-1)
+	for i, step := range rec.steps {
+		if step < maxSeen {
+			t.Fatalf("access %d at step %d after step %d began: barrier violated (%v)",
+				i, step, maxSeen, rec.steps)
+		}
+		if step > maxSeen {
+			maxSeen = step
+		}
+	}
+	if maxSeen != 2 {
+		t.Fatalf("expected steps through 2, saw %v", rec.steps)
+	}
+}
+
+// TestAsyncModeOverlapsSteps is the converse: with a slowed disk and the
+// asynchronous engine, step processing should interleave — at least one
+// access of a lower step lands after a higher step began.
+func TestAsyncModeOverlapsSteps(t *testing.T) {
+	rec := &stepRecorder{}
+	c := newCluster(t, 4, func(cfg *Config) {
+		d := simio.NewDisk(500*time.Microsecond, 1)
+		d.AttachTracer(func(_, step int, _ uint64) {
+			rec.mu.Lock()
+			rec.steps = append(rec.steps, int32(step))
+			rec.mu.Unlock()
+		})
+		cfg.Disk = d
+	})
+	// A wider random graph so servers progress unevenly.
+	r := rand.New(rand.NewSource(3))
+	randomGraph(t, c, r, 80, 400)
+	plan := mustPlan(t, query.V(0, 1, 2, 3).E("run").E("read").E("write").E("run"))
+	if _, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: 0, Timeout: 30 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	overlapped := false
+	maxSeen := int32(-1)
+	for _, step := range rec.steps {
+		if step < maxSeen {
+			overlapped = true
+			break
+		}
+		if step > maxSeen {
+			maxSeen = step
+		}
+	}
+	if !overlapped {
+		t.Log("no overlap observed; asynchronous interleaving is timing-dependent")
+	}
+}
+
+// stepRecorder logs the traversal step of every simulated disk access.
+type stepRecorder struct {
+	mu    sync.Mutex
+	steps []int32
+}

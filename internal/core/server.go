@@ -1,0 +1,389 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphtrek/internal/cache"
+	"graphtrek/internal/metrics"
+	"graphtrek/internal/model"
+	"graphtrek/internal/query"
+	"graphtrek/internal/sched"
+	"graphtrek/internal/simio"
+	"graphtrek/internal/wire"
+)
+
+// Server is one backend traversal-engine instance, colocated with one
+// storage partition. Wire it to a transport by passing Server.Handle as the
+// transport's handler and calling Bind.
+type Server struct {
+	cfg   Config
+	tr    transport
+	disk  *simio.Disk
+	met   metrics.Server
+	cache *cache.Cache
+
+	mu      sync.Mutex
+	travels map[uint64]*travelState
+	ledgers map[uint64]*ledger
+	// pendingMsgs buffers messages that raced ahead of their StartTravel
+	// broadcast (possible across independent links).
+	pendingMsgs map[uint64][]pendingMsg
+	// doneTravels remembers recently finished traversals so late messages
+	// are dropped instead of buffered forever.
+	doneTravels map[uint64]bool
+	doneOrder   []uint64
+	closed      bool
+
+	execSeq atomic.Uint64
+	wg      sync.WaitGroup
+}
+
+type pendingMsg struct {
+	from int
+	msg  wire.Message
+}
+
+const maxPendingMsgs = 1 << 16
+const doneHistory = 4096
+
+// NewServer creates a server. Bind must be called with the transport before
+// any message can be sent or received.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	disk := cfg.Disk
+	if disk == nil {
+		disk = noopDisk
+	}
+	return &Server{
+		cfg:         cfg,
+		disk:        disk,
+		cache:       cache.New(cfg.CacheCap),
+		travels:     make(map[uint64]*travelState),
+		ledgers:     make(map[uint64]*ledger),
+		pendingMsgs: make(map[uint64][]pendingMsg),
+		doneTravels: make(map[uint64]bool),
+	}
+}
+
+// Bind attaches the transport. It must be called exactly once, before the
+// transport starts delivering messages.
+func (s *Server) Bind(tr transport) { s.tr = tr }
+
+// ID returns the server's node id.
+func (s *Server) ID() int { return s.cfg.ID }
+
+// Metrics returns a snapshot of this server's engine counters.
+func (s *Server) Metrics() Metrics { return s.met.Snapshot() }
+
+// Close stops every in-flight traversal's workers and releases state. The
+// transport is owned by the caller and closed separately.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for id := range s.travels {
+		s.dropTravelLocked(id)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// travelState is the per-traversal state a backend server keeps.
+type travelState struct {
+	id    uint64
+	plan  *query.Plan
+	mode  Mode
+	tun   tuning
+	coord int32
+	queue *sched.Queue
+
+	// flushMu guards the outboxes, buffered results and ended executions.
+	flushMu sync.Mutex
+	outbox  map[outKey]*outboxSet // dispatch entry sets per (target, step)
+	sigbox  map[int]*outboxSet    // rtn() end-of-chain signals per target
+	results []model.VertexID
+	errs    []string
+	ended   []uint64
+
+	// rtnMu guards the rtn() pending table (§IV-D).
+	rtnMu sync.Mutex
+	rtn   map[rtnKey]*rtnRec
+
+	// inProcess counts items popped from the queue but not yet finished.
+	// Outboxes are flushed only at local quiescence — eligible queue empty
+	// AND nothing in process — so each server's step output consolidates
+	// into approximately one batch per target. Flushing on every transient
+	// queue drain would fragment the output into many small batches whose
+	// re-processing compounds step over step; consolidation keeps the
+	// plain-async engine's redundant-visit amplification at the moderate
+	// levels the paper's Fig 7 and Table I report.
+	inProcess atomic.Int64
+}
+
+type rtnKey struct {
+	vertex model.VertexID
+	step   int32
+}
+
+// rtnRec tracks one rtn()-marked vertex awaiting an end-of-chain signal.
+type rtnRec struct {
+	returned bool
+	ups      []upRef
+}
+
+type upRef struct {
+	anc     model.VertexID
+	ancStep int32
+	dest    int32
+}
+
+// newExecID mints a traversal-execution id unique across the cluster:
+// high bits identify the creating server.
+func (s *Server) newExecID() uint64 {
+	return uint64(s.cfg.ID+1)<<48 | s.execSeq.Add(1)
+}
+
+// Handle is the transport handler. It is safe for concurrent invocation.
+func (s *Server) Handle(from int, msg wire.Message) {
+	if s.cfg.DropInbound != nil && s.cfg.DropInbound(from, msg.TravelID) {
+		return
+	}
+	switch msg.Kind {
+	case wire.KindStartTravel:
+		s.handleStartTravel(from, msg)
+	case wire.KindDispatch:
+		s.withTravel(from, msg, s.handleDispatch)
+	case wire.KindReturnSig:
+		s.withTravel(from, msg, s.handleReturnSig)
+	case wire.KindStepGo:
+		s.withTravel(from, msg, func(_ int, m wire.Message, ts *travelState) {
+			ts.queue.Release(m.Step)
+		})
+	case wire.KindTravelDone:
+		s.handleTravelDone(msg)
+	case wire.KindVisitReq:
+		s.withTravel(from, msg, s.handleVisitReq)
+	case wire.KindProgressReq:
+		s.handleProgressReq(from, msg)
+	case wire.KindCancel:
+		s.handleCancel(msg)
+	case wire.KindResult, wire.KindExecEvents:
+		s.handleCoordinator(from, msg)
+	}
+}
+
+// withTravel resolves the traversal state for a message, buffering the
+// message if its StartTravel has not arrived yet and dropping it if the
+// traversal already finished.
+func (s *Server) withTravel(from int, msg wire.Message, fn func(int, wire.Message, *travelState)) {
+	s.mu.Lock()
+	ts, ok := s.travels[msg.TravelID]
+	if !ok {
+		if !s.doneTravels[msg.TravelID] && !s.closed {
+			if len(s.pendingMsgs[msg.TravelID]) < maxPendingMsgs {
+				s.pendingMsgs[msg.TravelID] = append(s.pendingMsgs[msg.TravelID], pendingMsg{from, msg})
+			}
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	fn(from, msg, ts)
+}
+
+// handleStartTravel registers a traversal on this server. If the message
+// came from a client node (id >= Part.N()), this server becomes the
+// traversal's coordinator.
+func (s *Server) handleStartTravel(from int, msg wire.Message) {
+	plan, err := query.DecodePlan(msg.Plan)
+	if err != nil {
+		// A malformed plan from a client gets an immediate error reply.
+		if from >= s.cfg.Part.N() {
+			s.send(from, wire.Message{Kind: wire.KindTravelDone, TravelID: msg.TravelID, Err: err.Error()})
+		}
+		return
+	}
+	mode := Mode(msg.Mode)
+	isCoordinatorRequest := from >= s.cfg.Part.N() && mode != ModeClientSide
+
+	ts := &travelState{
+		id:     msg.TravelID,
+		plan:   plan,
+		mode:   mode,
+		tun:    mode.tuning(),
+		coord:  msg.Coord,
+		outbox: make(map[outKey]*outboxSet),
+		sigbox: make(map[int]*outboxSet),
+		rtn:    make(map[rtnKey]*rtnRec),
+	}
+	if isCoordinatorRequest {
+		ts.coord = int32(s.cfg.ID)
+	}
+	ts.queue = sched.New(sched.Options{
+		Priority: ts.tun.priority,
+		Merge:    ts.tun.merge,
+		Gated:    ts.tun.gated,
+	})
+
+	s.mu.Lock()
+	if s.closed || s.travels[msg.TravelID] != nil || s.doneTravels[msg.TravelID] {
+		s.mu.Unlock()
+		return
+	}
+	s.travels[msg.TravelID] = ts
+	replay := s.pendingMsgs[msg.TravelID]
+	delete(s.pendingMsgs, msg.TravelID)
+	s.mu.Unlock()
+
+	// Start the worker pool that drains this traversal's request queue.
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				g, ok := ts.queue.Pop()
+				if !ok {
+					return
+				}
+				ts.inProcess.Add(int64(len(g.Items)))
+				s.processGroup(ts, g)
+				if ts.queue.EligibleLen() == 0 && ts.inProcess.Load() == 0 {
+					// Local quiescence. Linger briefly so a wave of
+					// batches in flight from peers joins this flush
+					// instead of triggering its own.
+					if s.cfg.FlushLinger > 0 {
+						time.Sleep(s.cfg.FlushLinger)
+						if ts.queue.EligibleLen() != 0 || ts.inProcess.Load() != 0 {
+							continue
+						}
+					}
+					s.flushTravel(ts)
+				}
+			}
+		}()
+	}
+
+	if isCoordinatorRequest {
+		s.startCoordination(from, msg.TravelID, ts)
+	} else if msg.ExecID != 0 {
+		// The broadcast carried a seed execution: select local sources.
+		s.runSeedExec(ts, msg.ExecID)
+	}
+
+	for _, pm := range replay {
+		s.Handle(pm.from, pm.msg)
+	}
+}
+
+// runSeedExec performs the local source scan for label / full-scan seeded
+// traversals: every matching local vertex becomes a step-0 request.
+func (s *Server) runSeedExec(ts *travelState, execID uint64) {
+	s0 := ts.plan.Steps[0]
+	s.disk.Access(0, scanBlock) // one sequential index scan
+	var ids []model.VertexID
+	var err error
+	if s0.SourceLabel != "" {
+		err = s.cfg.Store.ScanVerticesByLabel(s0.SourceLabel, func(id model.VertexID) bool {
+			ids = append(ids, id)
+			return true
+		})
+	} else {
+		err = s.cfg.Store.ScanVertices(func(v model.Vertex) bool {
+			ids = append(ids, v.ID)
+			return true
+		})
+	}
+	acc := &execAcc{id: execID}
+	if err != nil {
+		ts.addErr(err.Error())
+	}
+	if len(ids) == 0 || err != nil {
+		ts.addEnded(execID)
+		s.flushTravel(ts)
+		return
+	}
+	s.met.AddReceived(len(ids))
+	acc.pending.Store(int32(len(ids)))
+	items := make([]sched.Item, len(ids))
+	for i, id := range ids {
+		items[i] = sched.Item{
+			Travel: ts.id, Step: 0, Vertex: id,
+			Anc: 0, AncStep: -1, Dest: -1, Exec: acc,
+		}
+	}
+	ts.queue.Push(items)
+}
+
+// handleDispatch enqueues a frontier batch as one traversal execution.
+func (s *Server) handleDispatch(_ int, msg wire.Message, ts *travelState) {
+	if len(msg.Entries) == 0 {
+		ts.addEnded(msg.ExecID)
+		s.flushTravel(ts)
+		return
+	}
+	s.met.AddReceived(len(msg.Entries))
+	acc := &execAcc{id: msg.ExecID}
+	acc.pending.Store(int32(len(msg.Entries)))
+	items := make([]sched.Item, len(msg.Entries))
+	for i, e := range msg.Entries {
+		items[i] = sched.Item{
+			Travel: ts.id, Step: msg.Step, Vertex: e.Vertex,
+			Anc: e.Anc, AncStep: e.AncStep, Dest: e.Dest, Exec: acc,
+		}
+	}
+	ts.queue.Push(items)
+}
+
+// handleTravelDone releases a finished traversal's state.
+func (s *Server) handleTravelDone(msg wire.Message) {
+	s.mu.Lock()
+	s.dropTravelLocked(msg.TravelID)
+	s.mu.Unlock()
+}
+
+func (s *Server) dropTravelLocked(id uint64) {
+	ts, ok := s.travels[id]
+	if ok {
+		ts.queue.Close()
+		delete(s.travels, id)
+	}
+	delete(s.pendingMsgs, id)
+	s.cache.DropTravel(id)
+	if !s.doneTravels[id] {
+		s.doneTravels[id] = true
+		s.doneOrder = append(s.doneOrder, id)
+		if len(s.doneOrder) > doneHistory {
+			old := s.doneOrder[0]
+			s.doneOrder = s.doneOrder[1:]
+			delete(s.doneTravels, old)
+		}
+	}
+}
+
+// send transmits one engine message, tracking the outbound-message counter.
+func (s *Server) send(to int, msg wire.Message) {
+	s.met.AddMsgsSent(1)
+	// Delivery failures surface as ledger inactivity at the coordinator
+	// (watchdog), matching the paper's silent-failure story; there is no
+	// per-message retry.
+	_ = s.tr.Send(to, msg)
+}
+
+// addErr records a traversal-level error for the next flush.
+func (ts *travelState) addErr(e string) {
+	ts.flushMu.Lock()
+	defer ts.flushMu.Unlock()
+	ts.errs = append(ts.errs, e)
+}
+
+// addEnded records a completed execution for the next flush.
+func (ts *travelState) addEnded(id uint64) {
+	ts.flushMu.Lock()
+	defer ts.flushMu.Unlock()
+	ts.ended = append(ts.ended, id)
+}

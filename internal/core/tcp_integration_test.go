@@ -1,0 +1,184 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/partition"
+	"graphtrek/internal/property"
+	"graphtrek/internal/query"
+	"graphtrek/internal/rpc"
+)
+
+// newTCPCluster assembles a real-TCP cluster on loopback: n backend
+// servers plus one client, each with its own transport — the deployment
+// cmd/graphtrek-server runs, exercised in-process.
+func newTCPCluster(t *testing.T, n int) (*cluster, func()) {
+	t.Helper()
+	c := &cluster{part: partition.NewHash(n), global: gstore.NewMemStore()}
+	addrs := make([]string, n+1)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	transports := make([]*rpc.TCP, 0, n+1)
+	// Bind sequentially, patching the address list as ports resolve.
+	for i := 0; i < n; i++ {
+		store := gstore.NewMemStore()
+		c.stores = append(c.stores, store)
+		srv := NewServer(Config{ID: i, Store: store, Part: c.part, TravelTimeout: 15 * time.Second})
+		tr, err := rpc.NewTCP(i, addrs, srv.Handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = tr.Addr()
+		srv.Bind(tr)
+		transports = append(transports, tr)
+		c.servers = append(c.servers, srv)
+	}
+	c.client = NewClient(c.part)
+	ctr, err := rpc.NewTCP(n, addrs, c.client.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs[n] = ctr.Addr()
+	c.client.Bind(ctr)
+	transports = append(transports, ctr)
+	// Every node needs the final address list; TCP transports dial lazily,
+	// so updating the slice before first use is sufficient. The slice is
+	// shared per-transport; patch each one.
+	for _, tr := range transports {
+		tr.PatchAddrs(addrs)
+	}
+	cleanup := func() {
+		for _, s := range c.servers {
+			s.Close()
+		}
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}
+	return c, cleanup
+}
+
+func TestTCPClusterEndToEnd(t *testing.T) {
+	c, cleanup := newTCPCluster(t, 3)
+	defer cleanup()
+	loadAuditGraph(t, c)
+	plan := mustPlan(t, query.V(1).
+		E("run").Ea("ts", property.RANGE, 0, 10).
+		E("read"))
+	want, err := query.Reference(c.global, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeSync, ModeAsyncPlain, ModeGraphTrek, ModeClientSide} {
+		got, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: mode, Coordinator: -1, Timeout: 20 * time.Second})
+		if err != nil {
+			t.Fatalf("%v over TCP: %v", mode, err)
+		}
+		if !reflect.DeepEqual(got, want.Results) {
+			t.Errorf("%v over TCP: got %v want %v", mode, got, want.Results)
+		}
+	}
+}
+
+func TestTCPClusterRtnQuery(t *testing.T) {
+	c, cleanup := newTCPCluster(t, 2)
+	defer cleanup()
+	loadAuditGraph(t, c)
+	plan := mustPlan(t, query.VLabel("Execution").Rtn().E("read").Va("type", property.EQ, "text"))
+	want, err := query.Reference(c.global, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: 0, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Results) {
+		t.Errorf("got %v want %v", got, want.Results)
+	}
+}
+
+func TestRetryRoutesAroundDeadCoordinator(t *testing.T) {
+	// Server 0 drops everything (a crashed coordinator). With retries and
+	// hash-picked coordinators, the traversal must eventually land on a
+	// live coordinator and succeed — the §IV-C restart policy.
+	var attempts atomic.Int32
+	c := newCluster(t, 3, func(cfg *Config) {
+		if cfg.ID == 0 {
+			cfg.DropInbound = func(int, uint64) bool {
+				attempts.Add(1)
+				return true
+			}
+		}
+		cfg.TravelTimeout = 300 * time.Millisecond
+	})
+	loadAuditGraph(t, c)
+	plan := mustPlan(t, query.V(1).E("run"))
+	want, _ := query.Reference(c.global, plan)
+
+	// Force first attempt onto the dead server by trying until a travel id
+	// hashes there; with Coordinator: -1 and several retries the client
+	// will rotate coordinators.
+	got, err := c.client.SubmitPlan(plan, SubmitOptions{
+		Mode: ModeGraphTrek, Coordinator: -1,
+		Timeout: 5 * time.Second, Retries: 5,
+	})
+	if err != nil {
+		t.Fatalf("retries exhausted: %v", err)
+	}
+	if !sameIDs(got, want.Results) {
+		t.Errorf("got %v want %v", got, want.Results)
+	}
+}
+
+func TestRetryRecoversFromTransientDrop(t *testing.T) {
+	// Server 1 drops messages for the first traversal it sees, then
+	// behaves. One retry must recover.
+	var dropped atomic.Uint64
+	c := newCluster(t, 3, func(cfg *Config) {
+		if cfg.ID == 1 {
+			cfg.DropInbound = func(_ int, travel uint64) bool {
+				first := dropped.CompareAndSwap(0, travel)
+				return first || dropped.Load() == travel
+			}
+		}
+		cfg.TravelTimeout = 300 * time.Millisecond
+	})
+	loadAuditGraph(t, c)
+	plan := mustPlan(t, query.VLabel("User").E("run"))
+	want, _ := query.Reference(c.global, plan)
+	got, err := c.client.SubmitPlan(plan, SubmitOptions{
+		Mode: ModeSync, Coordinator: 0,
+		Timeout: 5 * time.Second, Retries: 2,
+	})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if !sameIDs(got, want.Results) {
+		t.Errorf("got %v want %v", got, want.Results)
+	}
+}
+
+func TestNoRetryFailsFast(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		if cfg.ID == 1 {
+			cfg.DropInbound = func(int, uint64) bool { return true }
+		}
+		cfg.TravelTimeout = 200 * time.Millisecond
+	})
+	loadAuditGraph(t, c)
+	_, err := c.client.SubmitPlan(mustPlan(t, query.VLabel("User").E("run")),
+		SubmitOptions{Mode: ModeGraphTrek, Coordinator: 0, Timeout: 5 * time.Second})
+	if err == nil {
+		t.Fatal("expected failure without retries")
+	}
+	if !strings.Contains(err.Error(), "timeout") && !strings.Contains(err.Error(), "failure") {
+		t.Errorf("error = %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"graphtrek/internal/cache"
+	"graphtrek/internal/model"
+	"graphtrek/internal/query"
+	"graphtrek/internal/sched"
+	"graphtrek/internal/wire"
+)
+
+// processGroup serves one scheduler group: every pending request for one
+// vertex of one traversal. This is the server's unit of work from §IV-B —
+// fetch the vertex, apply the step's vertex filters, iterate the next
+// step's typed edges, and buffer dispatches to the owners of the new
+// frontier — extended with the §V optimizations:
+//
+//   - traversal-affiliate caching: a request whose {travel, step, vertex,
+//     ancestor} was already served is dropped as redundant;
+//   - execution merging: all surviving requests in the group share one
+//     disk access.
+func (s *Server) processGroup(ts *travelState, g sched.Group) {
+	live := g.Items[:0:0]
+	for _, it := range g.Items {
+		if ts.tun.useCache {
+			k := cache.Key{
+				Travel: ts.id, Step: it.Step, Vertex: it.Vertex,
+				Anc: it.Anc, AncStep: it.AncStep,
+			}
+			if s.cache.CheckAndInsert(k) {
+				s.met.AddRedundant(1)
+				s.itemDone(ts, it.Exec.(*execAcc))
+				continue
+			}
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.met.AddRealIO(1)
+	s.met.AddCombined(len(live) - 1)
+
+	// One (simulated) disk access serves the whole merged group: the
+	// storage layout keeps a vertex's attributes and typed edge lists
+	// contiguous, so this is a single sequential read.
+	s.disk.Access(int(live[0].Step), uint64(g.Vertex))
+	vtx, found, err := s.cfg.Store.GetVertex(g.Vertex)
+	if err != nil {
+		ts.addErr(err.Error())
+		for _, it := range live {
+			s.itemDone(ts, it.Exec.(*execAcc))
+		}
+		return
+	}
+	for _, it := range live {
+		s.processItem(ts, vtx, found, it)
+		s.itemDone(ts, it.Exec.(*execAcc))
+	}
+}
+
+// processItem evaluates one request against the (already fetched) vertex.
+func (s *Server) processItem(ts *travelState, vtx model.Vertex, found bool, it sched.Item) {
+	plan := ts.plan
+	step := plan.Steps[it.Step]
+	last := int32(plan.NumSteps() - 1)
+	if !found || !query.VertexMatches(vtx, step.VertexFilters) {
+		return // the path dies here
+	}
+
+	anc, ancStep, dest := it.Anc, it.AncStep, it.Dest
+	if plan.Returned(int(it.Step)) {
+		if it.Step == last {
+			// Final step marked (explicitly, or implicitly when the plan
+			// has no rtn()): the vertex itself is a result, and its own
+			// ancestor — if any — just saw a path reach the end.
+			s.bufferResult(ts, it.Vertex)
+		} else {
+			// Intermediate rtn(): this server becomes the reporting
+			// destination for everything downstream of this vertex
+			// (Fig 4), and remembers how to propagate success upstream.
+			s.recordRtn(ts, it.Vertex, it.Step, anc, ancStep, dest)
+			anc, ancStep, dest = it.Vertex, it.Step, int32(s.cfg.ID)
+		}
+	}
+	if it.Step == last {
+		if it.Dest >= 0 {
+			// Signal the previous rtn level that a path survived.
+			s.bufferSig(ts, int(it.Dest), wire.Entry{Vertex: it.Anc, AncStep: it.AncStep})
+		}
+		return
+	}
+
+	// Expand the next step's typed edges; destinations go to their owners.
+	next := plan.Steps[it.Step+1]
+	err := s.cfg.Store.ScanEdges(it.Vertex, next.EdgeLabel, func(e model.Edge) bool {
+		if !next.EdgeFilters.MatchAll(e.Props) {
+			return true
+		}
+		owner := s.cfg.Part.Owner(e.Dst)
+		s.bufferDispatch(ts, owner, it.Step+1, wire.Entry{
+			Vertex: e.Dst, Anc: anc, AncStep: ancStep, Dest: dest,
+		})
+		return true
+	})
+	if err != nil {
+		ts.addErr(err.Error())
+	}
+}
+
+// recordRtn notes that vertex (marked at step) is awaiting an end-of-chain
+// signal, remembering the upstream reference to notify when it arrives. If
+// the vertex already received its signal via an earlier path, the new
+// upstream learns of the success immediately.
+func (s *Server) recordRtn(ts *travelState, v model.VertexID, step int32, anc model.VertexID, ancStep, dest int32) {
+	up := upRef{anc: anc, ancStep: ancStep, dest: dest}
+	ts.rtnMu.Lock()
+	rec, ok := ts.rtn[rtnKey{v, step}]
+	if !ok {
+		rec = &rtnRec{}
+		ts.rtn[rtnKey{v, step}] = rec
+	}
+	if rec.returned {
+		ts.rtnMu.Unlock()
+		s.notifyUp(ts, up)
+		return
+	}
+	for _, u := range rec.ups {
+		if u == up {
+			ts.rtnMu.Unlock()
+			return
+		}
+	}
+	rec.ups = append(rec.ups, up)
+	ts.rtnMu.Unlock()
+}
+
+// notifyUp propagates an end-of-chain success one rtn level upstream.
+func (s *Server) notifyUp(ts *travelState, up upRef) {
+	if up.dest >= 0 {
+		s.bufferSig(ts, int(up.dest), wire.Entry{Vertex: up.anc, AncStep: up.ancStep})
+	}
+}
+
+// handleReturnSig processes an end-of-chain signal batch (§IV-D): each
+// signalled vertex is returned to the coordinator exactly once, and the
+// success continues to ripple upstream through earlier rtn levels. Signals
+// are lightweight bookkeeping — no disk access — so they run inline on the
+// transport's dispatch goroutine as their own traversal execution.
+func (s *Server) handleReturnSig(_ int, msg wire.Message, ts *travelState) {
+	for _, e := range msg.Entries {
+		ts.rtnMu.Lock()
+		rec, ok := ts.rtn[rtnKey{e.Vertex, e.AncStep}]
+		if !ok || rec.returned {
+			ts.rtnMu.Unlock()
+			continue
+		}
+		rec.returned = true
+		ups := rec.ups
+		rec.ups = nil
+		ts.rtnMu.Unlock()
+		s.bufferResult(ts, e.Vertex)
+		for _, up := range ups {
+			s.notifyUp(ts, up)
+		}
+	}
+	ts.addEnded(msg.ExecID)
+	s.flushTravel(ts)
+}

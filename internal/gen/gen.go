@@ -1,0 +1,157 @@
+// Package gen synthesizes the evaluation graphs of §VII:
+//
+//   - RMAT: the recursive-matrix scale-free generator (Chakrabarti et al.)
+//     with the paper's RMAT-1 parameters — a=0.45 b=0.15 c=0.15 d=0.25,
+//     2^20 vertices, average out-degree 16, 128-byte random attributes —
+//     plus configurable scaled-down variants for laptop runs;
+//   - Metadata: a heterogeneous HPC rich-metadata property graph with the
+//     schema of the Darshan/Intrepid graph in Table II (users → run → jobs
+//     → hasExecutions → executions → read/write → files, with readBy
+//     reverse edges), preserving the paper's entity ratios and the
+//     power-law file-popularity skew at any scale.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+// Sink receives generated graph elements. The benchmark harness routes
+// vertices and edges to their owning server's store (and a mirror copy to
+// the oracle store in tests).
+type Sink interface {
+	AddVertex(model.Vertex) error
+	AddEdge(model.Edge) error
+}
+
+// Funcs adapts two closures into a Sink.
+type Funcs struct {
+	Vertex func(model.Vertex) error
+	Edge   func(model.Edge) error
+}
+
+// AddVertex implements Sink.
+func (f Funcs) AddVertex(v model.Vertex) error { return f.Vertex(v) }
+
+// AddEdge implements Sink.
+func (f Funcs) AddEdge(e model.Edge) error { return f.Edge(e) }
+
+// randAttr builds the paper's fixed-size random attribute payload.
+func randAttr(r *rand.Rand, n int) property.Value {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return property.String(string(b))
+}
+
+// RMATConfig parameterizes the recursive-matrix generator.
+type RMATConfig struct {
+	// Scale gives 2^Scale vertices.
+	Scale int
+	// AvgDegree gives AvgDegree * 2^Scale generated edges (before the
+	// store deduplicates repeated (src,dst) pairs, as RMAT allows).
+	AvgDegree int
+	// A, B, C, D are the quadrant probabilities; they must sum to ~1.
+	A, B, C, D float64
+	// AttrBytes is the random attribute size per vertex and edge
+	// (default 128, the paper's setting; negative disables attributes).
+	AttrBytes int
+	// EdgeLabel labels every edge (default "link"; the paper's synthetic
+	// graphs are homogeneous).
+	EdgeLabel string
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// RMAT1 returns the paper's RMAT-1 configuration at a given scale and
+// degree (the paper used Scale=20, AvgDegree=16).
+func RMAT1(scale, avgDegree int, seed int64) RMATConfig {
+	return RMATConfig{
+		Scale: scale, AvgDegree: avgDegree,
+		A: 0.45, B: 0.15, C: 0.15, D: 0.25,
+		AttrBytes: 128, EdgeLabel: "link", Seed: seed,
+	}
+}
+
+// RMATStats reports what a generation run produced.
+type RMATStats struct {
+	Vertices  int
+	EdgesDraw int // edges drawn (duplicates included)
+}
+
+// RMAT generates a scale-free directed property graph into the sink.
+func RMAT(cfg RMATConfig, sink Sink) (RMATStats, error) {
+	if cfg.Scale < 1 || cfg.Scale > 30 {
+		return RMATStats{}, fmt.Errorf("gen: RMAT scale %d out of range", cfg.Scale)
+	}
+	if cfg.AvgDegree < 1 {
+		return RMATStats{}, fmt.Errorf("gen: RMAT average degree %d out of range", cfg.AvgDegree)
+	}
+	sum := cfg.A + cfg.B + cfg.C + cfg.D
+	if sum < 0.999 || sum > 1.001 {
+		return RMATStats{}, fmt.Errorf("gen: RMAT probabilities sum to %g, want 1", sum)
+	}
+	if cfg.AttrBytes == 0 {
+		cfg.AttrBytes = 128
+	}
+	if cfg.EdgeLabel == "" {
+		cfg.EdgeLabel = "link"
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := 1 << cfg.Scale
+	for i := 0; i < n; i++ {
+		v := model.Vertex{ID: model.VertexID(i), Label: "V"}
+		if cfg.AttrBytes > 0 {
+			v.Props = property.Map{
+				"attr": randAttr(r, cfg.AttrBytes),
+				"ts":   property.Int(int64(r.Intn(1 << 20))),
+			}
+		}
+		if err := sink.AddVertex(v); err != nil {
+			return RMATStats{}, err
+		}
+	}
+	edges := n * cfg.AvgDegree
+	for i := 0; i < edges; i++ {
+		src, dst := rmatPick(r, cfg)
+		e := model.Edge{
+			Src:   model.VertexID(src),
+			Dst:   model.VertexID(dst),
+			Label: cfg.EdgeLabel,
+		}
+		if cfg.AttrBytes > 0 {
+			e.Props = property.Map{
+				"attr": randAttr(r, cfg.AttrBytes),
+				"w":    property.Int(int64(r.Intn(100))),
+			}
+		}
+		if err := sink.AddEdge(e); err != nil {
+			return RMATStats{}, err
+		}
+	}
+	return RMATStats{Vertices: n, EdgesDraw: edges}, nil
+}
+
+// rmatPick draws one (src, dst) pair by recursive quadrant descent.
+func rmatPick(r *rand.Rand, cfg RMATConfig) (int, int) {
+	src, dst := 0, 0
+	for level := cfg.Scale - 1; level >= 0; level-- {
+		p := r.Float64()
+		switch {
+		case p < cfg.A:
+			// top-left: no bits set
+		case p < cfg.A+cfg.B:
+			dst |= 1 << level
+		case p < cfg.A+cfg.B+cfg.C:
+			src |= 1 << level
+		default:
+			src |= 1 << level
+			dst |= 1 << level
+		}
+	}
+	return src, dst
+}

@@ -1,0 +1,270 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+)
+
+// memSink routes generated elements into a MemStore.
+type memSink struct{ g *gstore.MemStore }
+
+func (m memSink) AddVertex(v model.Vertex) error { return m.g.PutVertex(v) }
+func (m memSink) AddEdge(e model.Edge) error     { return m.g.PutEdge(e) }
+
+func TestRMATBasicShape(t *testing.T) {
+	g := gstore.NewMemStore()
+	cfg := RMAT1(10, 8, 42) // 1024 vertices, ~8192 edge draws
+	stats, err := RMAT(cfg, memSink{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Vertices != 1024 || stats.EdgesDraw != 8192 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if g.NumVertices() != 1024 {
+		t.Errorf("store has %d vertices", g.NumVertices())
+	}
+	// Duplicates collapse, so stored edges <= draws but should be most.
+	if e := g.NumEdges(); e < 4000 || e > 8192 {
+		t.Errorf("stored edges = %d", e)
+	}
+}
+
+func TestRMATDeterministicBySeed(t *testing.T) {
+	g1, g2, g3 := gstore.NewMemStore(), gstore.NewMemStore(), gstore.NewMemStore()
+	RMAT(RMAT1(8, 4, 7), memSink{g1})
+	RMAT(RMAT1(8, 4, 7), memSink{g2})
+	RMAT(RMAT1(8, 4, 8), memSink{g3})
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Error("same seed should give identical graphs")
+	}
+	if g1.NumEdges() == g3.NumEdges() {
+		// Edge counts could coincide, but degree sequences should not.
+		d1, d3 := degreeSeq(g1, 1<<8), degreeSeq(g3, 1<<8)
+		same := true
+		for i := range d1 {
+			if d1[i] != d3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func degreeSeq(g *gstore.MemStore, n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		cnt := 0
+		g.ScanAllEdges(model.VertexID(i), func(model.Edge) bool { cnt++; return true })
+		out[i] = cnt
+	}
+	return out
+}
+
+func TestRMATPowerLawSkew(t *testing.T) {
+	// With a=0.45 the out-degree distribution must be heavily skewed: the
+	// top 10% of vertices should own a disproportionate share of edges.
+	g := gstore.NewMemStore()
+	if _, err := RMAT(RMAT1(12, 8, 1), memSink{g}); err != nil {
+		t.Fatal(err)
+	}
+	deg := degreeSeq(g, 1<<12)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	total, top := 0, 0
+	for i, d := range deg {
+		total += d
+		if i < len(deg)/10 {
+			top += d
+		}
+	}
+	if share := float64(top) / float64(total); share < 0.25 {
+		t.Errorf("top-10%% degree share = %.2f, want skewed (> 0.25)", share)
+	}
+	// And a uniform graph (a=b=c=d=0.25) should be much flatter.
+	gu := gstore.NewMemStore()
+	cfg := RMAT1(12, 8, 1)
+	cfg.A, cfg.B, cfg.C, cfg.D = 0.25, 0.25, 0.25, 0.25
+	if _, err := RMAT(cfg, memSink{gu}); err != nil {
+		t.Fatal(err)
+	}
+	degU := degreeSeq(gu, 1<<12)
+	sort.Sort(sort.Reverse(sort.IntSlice(degU)))
+	totalU, topU := 0, 0
+	for i, d := range degU {
+		totalU += d
+		if i < len(degU)/10 {
+			topU += d
+		}
+	}
+	skewed := float64(top) / float64(total)
+	uniform := float64(topU) / float64(totalU)
+	if skewed <= uniform {
+		t.Errorf("RMAT-1 skew %.2f should exceed uniform skew %.2f", skewed, uniform)
+	}
+}
+
+func TestRMATAttributeSize(t *testing.T) {
+	g := gstore.NewMemStore()
+	if _, err := RMAT(RMAT1(6, 2, 3), memSink{g}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := g.GetVertex(0)
+	if !ok {
+		t.Fatal("vertex 0 missing")
+	}
+	if got := len(v.Props["attr"].Str()); got != 128 {
+		t.Errorf("attr size = %d, want 128", got)
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: 0, AvgDegree: 2, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 40, AvgDegree: 2, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, AvgDegree: 0, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, AvgDegree: 2, A: 0.9, B: 0.9, C: 0.1, D: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := RMAT(cfg, memSink{gstore.NewMemStore()}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMetadataCountsAndSchema(t *testing.T) {
+	g := gstore.NewMemStore()
+	cfg := MetaConfig{Users: 5, Jobs: 20, Executions: 200, Files: 50, Seed: 11}
+	stats, err := Metadata(cfg, memSink{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerts := 5 + 20 + 200 + 50
+	if g.NumVertices() != wantVerts {
+		t.Errorf("vertices = %d, want %d", g.NumVertices(), wantVerts)
+	}
+	// Every entity range carries the right label.
+	checkLabel := func(id model.VertexID, want string) {
+		t.Helper()
+		v, ok, _ := g.GetVertex(id)
+		if !ok || v.Label != want {
+			t.Errorf("vertex %d label = %q ok=%v, want %q", id, v.Label, ok, want)
+		}
+	}
+	checkLabel(stats.FirstUser, "User")
+	checkLabel(stats.FirstJob, "Job")
+	checkLabel(stats.FirstExecution, "Execution")
+	checkLabel(stats.FirstFile, "File")
+	// Every job has exactly one owning user (run in-edge).
+	runEdges := 0
+	for u := 0; u < cfg.Users; u++ {
+		g.ScanEdges(stats.UserID(u), "run", func(model.Edge) bool { runEdges++; return true })
+	}
+	if runEdges != cfg.Jobs {
+		t.Errorf("run edges = %d, want %d", runEdges, cfg.Jobs)
+	}
+	// readBy edges mirror read edges.
+	reads, readBys := 0, 0
+	for i := 0; i < cfg.Executions; i++ {
+		g.ScanEdges(stats.FirstExecution+model.VertexID(i), "read", func(model.Edge) bool { reads++; return true })
+	}
+	for i := 0; i < cfg.Files; i++ {
+		g.ScanEdges(stats.FirstFile+model.VertexID(i), "readBy", func(model.Edge) bool { readBys++; return true })
+	}
+	if reads == 0 || readBys == 0 {
+		t.Error("expected read and readBy edges")
+	}
+	// Duplicate (exec,file) pairs collapse identically on both directions,
+	// but counts should at least be close.
+	if math.Abs(float64(reads-readBys)) > float64(reads)/2 {
+		t.Errorf("reads %d vs readBys %d wildly different", reads, readBys)
+	}
+}
+
+func TestMetadataFilePopularitySkew(t *testing.T) {
+	g := gstore.NewMemStore()
+	cfg := MetaConfig{Users: 4, Jobs: 16, Executions: 2000, Files: 500, Seed: 3}
+	stats, err := Metadata(cfg, memSink{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int, cfg.Files)
+	for i := 0; i < cfg.Files; i++ {
+		g.ScanEdges(stats.FirstFile+model.VertexID(i), "readBy", func(model.Edge) bool {
+			in[i]++
+			return true
+		})
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(in)))
+	total, top := 0, 0
+	for i, d := range in {
+		total += d
+		if i < len(in)/20 { // top 5%
+			top += d
+		}
+	}
+	if total == 0 {
+		t.Fatal("no readBy edges")
+	}
+	if share := float64(top) / float64(total); share < 0.4 {
+		t.Errorf("top-5%% file popularity = %.2f, want Zipf-skewed (> 0.4)", share)
+	}
+}
+
+func TestScaledMetaPreservesRatios(t *testing.T) {
+	cfg := ScaledMeta(100_000, 1)
+	total := cfg.Users + cfg.Jobs + cfg.Executions + cfg.Files
+	if total < 80_000 || total > 130_000 {
+		t.Errorf("total = %d, want ≈100k", total)
+	}
+	// Executions dominate (paper: ~78%).
+	if frac := float64(cfg.Executions) / float64(total); frac < 0.6 || frac > 0.9 {
+		t.Errorf("execution fraction = %.2f", frac)
+	}
+	// Files ≈ 28% of executions in the paper.
+	ratio := float64(cfg.Files) / float64(cfg.Executions)
+	if ratio < 0.2 || ratio > 0.4 {
+		t.Errorf("files/executions = %.2f, want ≈0.28", ratio)
+	}
+	// Tiny scales still produce a usable graph.
+	small := ScaledMeta(100, 1)
+	if small.Users < 1 || small.Jobs < 1 || small.Executions < 1 || small.Files < 1 {
+		t.Errorf("tiny config degenerate: %+v", small)
+	}
+}
+
+func TestMetadataValidation(t *testing.T) {
+	if _, err := Metadata(MetaConfig{}, memSink{gstore.NewMemStore()}); err == nil {
+		t.Error("zero config should error")
+	}
+}
+
+func TestMetadataDeterministicBySeed(t *testing.T) {
+	g1, g2 := gstore.NewMemStore(), gstore.NewMemStore()
+	cfg := MetaConfig{Users: 4, Jobs: 8, Executions: 100, Files: 30, Seed: 9}
+	s1, _ := Metadata(cfg, memSink{g1})
+	s2, _ := Metadata(cfg, memSink{g2})
+	if s1.Edges != s2.Edges || g1.NumEdges() != g2.NumEdges() {
+		t.Error("same seed should reproduce the same graph")
+	}
+}
+
+func TestFuncsSink(t *testing.T) {
+	var verts, edges int
+	sink := Funcs{
+		Vertex: func(model.Vertex) error { verts++; return nil },
+		Edge:   func(model.Edge) error { edges++; return nil },
+	}
+	if _, err := RMAT(RMAT1(4, 2, 0), sink); err != nil {
+		t.Fatal(err)
+	}
+	if verts != 16 || edges != 32 {
+		t.Errorf("verts=%d edges=%d", verts, edges)
+	}
+}

@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+// Paper ratios from Table II: 177 users, 47,600 jobs, 123.4M executions,
+// 34.6M files, 239.8M edges (one year of Darshan logs from Intrepid).
+const (
+	paperUsers      = 177
+	paperJobs       = 47600
+	paperExecutions = 123_400_000
+	paperFiles      = 34_600_000
+	paperEdges      = 239_800_000
+)
+
+// MetaConfig sizes a synthetic HPC rich-metadata graph.
+type MetaConfig struct {
+	Users      int
+	Jobs       int
+	Executions int
+	Files      int
+	// ReadFrac is the probability an execution reads a (power-law
+	// popular) file; WriteFrac the probability it writes one. The
+	// defaults (0.30 / 0.33) reproduce the paper's edges/vertices ratio
+	// of ≈1.5 (each read also stores the reverse readBy edge).
+	ReadFrac  float64
+	WriteFrac float64
+	// AttrBytes sizes the random attribute payload (default 64).
+	AttrBytes int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// ScaledMeta derives a MetaConfig with the paper's Table II entity ratios
+// scaled so the graph holds roughly totalVertices vertices.
+func ScaledMeta(totalVertices int, seed int64) MetaConfig {
+	const paperVerts = paperUsers + paperJobs + paperExecutions + paperFiles
+	f := float64(totalVertices) / float64(paperVerts)
+	atLeast := func(v, lo int) int {
+		if v < lo {
+			return lo
+		}
+		return v
+	}
+	return MetaConfig{
+		Users:      atLeast(int(paperUsers*f), 4),
+		Jobs:       atLeast(int(paperJobs*f), 16),
+		Executions: atLeast(int(paperExecutions*f), 64),
+		Files:      atLeast(int(paperFiles*f), 32),
+		ReadFrac:   0.30,
+		WriteFrac:  0.33,
+		AttrBytes:  64,
+		Seed:       seed,
+	}
+}
+
+// MetaStats describes a generated metadata graph: entity id ranges (handy
+// for seeding queries) and counts, printable next to the paper's Table II.
+type MetaStats struct {
+	Users, Jobs, Executions, Files int
+	Edges                          int
+	// FirstUser..: inclusive id range starts; each section is contiguous.
+	FirstUser, FirstJob, FirstExecution, FirstFile model.VertexID
+}
+
+// UserID returns the i-th user's vertex id.
+func (s MetaStats) UserID(i int) model.VertexID {
+	return s.FirstUser + model.VertexID(i%s.Users)
+}
+
+// String renders the stats in Table II's shape.
+func (s MetaStats) String() string {
+	return fmt.Sprintf("users=%d jobs=%d executions=%d files=%d edges=%d",
+		s.Users, s.Jobs, s.Executions, s.Files, s.Edges)
+}
+
+// Metadata generates a heterogeneous user/job/execution/file property
+// graph. Schema (matching the Table III audit query):
+//
+//	User -run-> Job -hasExecutions-> Execution -read/write-> File
+//	File -readBy-> Execution        (reverse edge for file→reader hops)
+//
+// Jobs are assigned to users with a Zipf skew (a few users own most jobs),
+// executions spread over jobs uniformly, and file popularity follows a
+// Zipf distribution — the small-world, power-law structure the paper
+// reports for the real Darshan graph.
+func Metadata(cfg MetaConfig, sink Sink) (MetaStats, error) {
+	if cfg.Users < 1 || cfg.Jobs < 1 || cfg.Executions < 1 || cfg.Files < 1 {
+		return MetaStats{}, fmt.Errorf("gen: metadata config needs at least one of each entity: %+v", cfg)
+	}
+	if cfg.ReadFrac == 0 && cfg.WriteFrac == 0 {
+		cfg.ReadFrac, cfg.WriteFrac = 0.30, 0.33
+	}
+	if cfg.AttrBytes == 0 {
+		cfg.AttrBytes = 64
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	stats := MetaStats{
+		Users: cfg.Users, Jobs: cfg.Jobs, Executions: cfg.Executions, Files: cfg.Files,
+	}
+	stats.FirstUser = 0
+	stats.FirstJob = model.VertexID(cfg.Users)
+	stats.FirstExecution = stats.FirstJob + model.VertexID(cfg.Jobs)
+	stats.FirstFile = stats.FirstExecution + model.VertexID(cfg.Executions)
+
+	addV := func(id model.VertexID, label string, props property.Map) error {
+		if cfg.AttrBytes > 0 {
+			props["attr"] = randAttr(r, cfg.AttrBytes)
+		}
+		return sink.AddVertex(model.Vertex{ID: id, Label: label, Props: props})
+	}
+	addE := func(src, dst model.VertexID, label string, props property.Map) error {
+		stats.Edges++
+		return sink.AddEdge(model.Edge{Src: src, Dst: dst, Label: label, Props: props})
+	}
+
+	for i := 0; i < cfg.Users; i++ {
+		err := addV(stats.FirstUser+model.VertexID(i), "User",
+			property.Map{"name": property.String(fmt.Sprintf("user-%04d", i))})
+		if err != nil {
+			return stats, err
+		}
+	}
+	// Zipf job ownership: a handful of heavy users.
+	userZipf := newZipf(r, cfg.Users)
+	for i := 0; i < cfg.Jobs; i++ {
+		job := stats.FirstJob + model.VertexID(i)
+		err := addV(job, "Job", property.Map{"queue": property.String([]string{"prod", "debug", "backfill"}[r.Intn(3)])})
+		if err != nil {
+			return stats, err
+		}
+		owner := stats.UserID(int(userZipf.Uint64()))
+		err = addE(owner, job, "run", property.Map{"ts": property.Int(int64(r.Intn(1 << 20)))})
+		if err != nil {
+			return stats, err
+		}
+	}
+	fileZipf := newZipf(r, cfg.Files)
+	models := []string{"A", "B", "C", "D"}
+	for i := 0; i < cfg.Executions; i++ {
+		exec := stats.FirstExecution + model.VertexID(i)
+		err := addV(exec, "Execution", property.Map{"model": property.String(models[r.Intn(len(models))])})
+		if err != nil {
+			return stats, err
+		}
+		job := stats.FirstJob + model.VertexID(r.Intn(cfg.Jobs))
+		if err := addE(job, exec, "hasExecutions", nil); err != nil {
+			return stats, err
+		}
+		if r.Float64() < cfg.ReadFrac {
+			file := stats.FirstFile + model.VertexID(fileZipf.Uint64())
+			if err := addE(exec, file, "read", nil); err != nil {
+				return stats, err
+			}
+			if err := addE(file, exec, "readBy", nil); err != nil {
+				return stats, err
+			}
+		}
+		if r.Float64() < cfg.WriteFrac {
+			file := stats.FirstFile + model.VertexID(fileZipf.Uint64())
+			ts := property.Map{"ts": property.Int(int64(r.Intn(1 << 20)))}
+			if err := addE(exec, file, "write", ts); err != nil {
+				return stats, err
+			}
+		}
+	}
+	for i := 0; i < cfg.Files; i++ {
+		file := stats.FirstFile + model.VertexID(i)
+		err := addV(file, "File", property.Map{
+			"name": property.String(fmt.Sprintf("/data/set-%06d.h5", i)),
+			"size": property.Int(int64(r.Intn(1 << 30))),
+		})
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// newZipf builds a Zipf sampler over [0, n) with the skew used for both
+// job ownership and file popularity.
+func newZipf(r *rand.Rand, n int) *rand.Zipf {
+	return rand.NewZipf(r, 1.3, 1.0, uint64(n-1))
+}

@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+)
+
+const sampleTrace = `
+# one year of synthetic I/O activity
+user sam
+user john
+
+job J100 sam 140050
+job J101 john 140200
+
+exec E1 J100 modelA
+exec E2 J100 modelB
+exec E3 J101 modelA
+
+read E1 /data/input.h5
+read E2 /data/input.h5
+write E1 /data/out-1.nc 140060
+write E3 /data/out-1.nc 140250
+read E3 /apps/solver.exe
+`
+
+func importSample(t *testing.T) (*gstore.MemStore, ImportStats) {
+	t.Helper()
+	g := gstore.NewMemStore()
+	stats, err := ImportTrace(strings.NewReader(sampleTrace), memSink{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, stats
+}
+
+func TestImportTraceCounts(t *testing.T) {
+	_, stats := importSample(t)
+	want := ImportStats{Users: 2, Jobs: 2, Executions: 3, Files: 3,
+		Edges: 2 + 3 + 3*2 + 2, Lines: 12}
+	if stats != want {
+		t.Errorf("stats = %+v, want %+v", stats, want)
+	}
+	if !strings.Contains(stats.String(), "users=2") {
+		t.Errorf("String() = %q", stats.String())
+	}
+}
+
+func TestImportTraceSchema(t *testing.T) {
+	g, _ := importSample(t)
+	// sam (declared first) must own J100 whose E1 wrote /data/out-1.nc.
+	var sam model.VertexID = ^model.VertexID(0)
+	g.ScanVerticesByLabel("User", func(id model.VertexID) bool {
+		v, _, _ := g.GetVertex(id)
+		if v.Props["name"].Str() == "sam" {
+			sam = id
+		}
+		return true
+	})
+	if sam == ^model.VertexID(0) {
+		t.Fatal("sam not found")
+	}
+	jobs := 0
+	g.ScanEdges(sam, "run", func(e model.Edge) bool {
+		jobs++
+		if e.Props["ts"].I64() != 140050 {
+			t.Errorf("run ts = %v", e.Props["ts"])
+		}
+		return true
+	})
+	if jobs != 1 {
+		t.Errorf("sam owns %d jobs", jobs)
+	}
+	// The shared input file must have two readBy edges.
+	var input model.VertexID = ^model.VertexID(0)
+	g.ScanVerticesByLabel("File", func(id model.VertexID) bool {
+		v, _, _ := g.GetVertex(id)
+		if v.Props["name"].Str() == "/data/input.h5" {
+			input = id
+		}
+		return true
+	})
+	readers := 0
+	g.ScanEdges(input, "readBy", func(model.Edge) bool { readers++; return true })
+	if readers != 2 {
+		t.Errorf("input.h5 has %d readers, want 2", readers)
+	}
+}
+
+func TestImportTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":   "frobnicate x",
+		"user arity":     "user a b",
+		"job arity":      "job J1 sam",
+		"job bad user":   "job J1 ghost 1",
+		"job bad ts":     "user sam\njob J1 sam xyz",
+		"dup job":        "user sam\njob J1 sam 1\njob J1 sam 2",
+		"exec arity":     "exec E1 J1",
+		"exec bad job":   "exec E1 ghost m",
+		"dup exec":       "user s\njob J1 s 1\nexec E1 J1 m\nexec E1 J1 m",
+		"read arity":     "read E1",
+		"read bad exec":  "read E1 /f",
+		"write bad exec": "write E1 /f 5",
+		"write bad ts":   "user s\njob J1 s 1\nexec E1 J1 m\nwrite E1 /f xs",
+	}
+	for name, trace := range cases {
+		if _, err := ImportTrace(strings.NewReader(trace), memSink{gstore.NewMemStore()}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestImportTraceIdempotentUserRedeclaration(t *testing.T) {
+	g := gstore.NewMemStore()
+	stats, err := ImportTrace(strings.NewReader("user sam\nuser sam\n"), memSink{g})
+	if err != nil || stats.Users != 1 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g1, stats1 := importSample(t)
+	var buf bytes.Buffer
+	if err := ExportTrace(g1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := gstore.NewMemStore()
+	stats2, err := ImportTrace(&buf, memSink{g2})
+	if err != nil {
+		t.Fatalf("re-import: %v\ntrace:\n%s", err, buf.String())
+	}
+	if stats1.Users != stats2.Users || stats1.Jobs != stats2.Jobs ||
+		stats1.Executions != stats2.Executions || stats1.Files != stats2.Files ||
+		stats1.Edges != stats2.Edges {
+		t.Errorf("round trip changed counts: %+v vs %+v", stats1, stats2)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Errorf("round trip changed graph size: %d/%d vs %d/%d",
+			g1.NumVertices(), g1.NumEdges(), g2.NumVertices(), g2.NumEdges())
+	}
+}
+
+func TestExportGeneratedGraph(t *testing.T) {
+	// A generator-produced graph must export and re-import cleanly too.
+	g := gstore.NewMemStore()
+	if _, err := Metadata(MetaConfig{Users: 3, Jobs: 6, Executions: 40, Files: 15, Seed: 2}, memSink{g}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportTrace(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := gstore.NewMemStore()
+	stats, err := ImportTrace(&buf, memSink{gstore.NewMemStore()})
+	_ = g2
+	if err != nil {
+		t.Fatalf("re-import of generated graph: %v", err)
+	}
+	if stats.Users != 3 || stats.Jobs != 6 || stats.Executions != 40 {
+		t.Errorf("re-import stats = %+v", stats)
+	}
+}

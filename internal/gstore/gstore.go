@@ -1,0 +1,298 @@
+// Package gstore implements the property-graph storage layer each backend
+// server runs, mapping vertices and edges onto an ordered key-value store
+// the way the paper's storage system does (§VI):
+//
+//   - a vertex's attributes and its connected edges become key-value pairs
+//     that sort contiguously, so scanning them is sequential I/O;
+//   - edges of the same type (label) are stored together, making the typed
+//     edge iteration of a traversal step one prefix scan;
+//   - vertex types live in separate namespaces via a by-label index.
+//
+// Two implementations share the Graph interface: Store persists through the
+// kv LSM store (the RocksDB stand-in), and MemStore keeps everything in
+// process memory for tests and large simulated clusters.
+package gstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"graphtrek/internal/kv"
+	"graphtrek/internal/model"
+)
+
+// Graph is the storage contract the traversal engines consume. All methods
+// are safe for concurrent use. Scan callbacks return false to stop early.
+type Graph interface {
+	// PutVertex inserts or replaces a vertex and its by-label index entry.
+	PutVertex(v model.Vertex) error
+	// GetVertex fetches one vertex by id.
+	GetVertex(id model.VertexID) (model.Vertex, bool, error)
+	// DeleteVertex removes a vertex, its index entry and its out-edges.
+	DeleteVertex(id model.VertexID) error
+	// PutEdge inserts or replaces one directed edge.
+	PutEdge(e model.Edge) error
+	// DeleteEdge removes one directed edge.
+	DeleteEdge(src model.VertexID, label string, dst model.VertexID) error
+	// ScanEdges visits the out-edges of src with the given label in
+	// destination order — the sequential typed-edge scan of §IV-B.
+	ScanEdges(src model.VertexID, label string, fn func(model.Edge) bool) error
+	// ScanAllEdges visits every out-edge of src grouped by label.
+	ScanAllEdges(src model.VertexID, fn func(model.Edge) bool) error
+	// ScanVerticesByLabel visits the ids of all vertices with a label.
+	ScanVerticesByLabel(label string, fn func(model.VertexID) bool) error
+	// ScanVertices visits every vertex in id order.
+	ScanVertices(fn func(model.Vertex) bool) error
+	// Close releases the store.
+	Close() error
+}
+
+// Key layout. IDs are big-endian so byte order equals numeric order, and
+// labels are length-prefixed so one label can never be a key-prefix of
+// another ("read" vs "readBy").
+//
+//	'V' <id:8>                      -> vertex label + props
+//	'L' <len(label):uvarint> <label> <id:8> -> nil   (by-label index)
+//	'E' <src:8> <len(label):uvarint> <label> <dst:8> -> edge props
+const (
+	tagVertex = 'V'
+	tagLabel  = 'L'
+	tagEdge   = 'E'
+)
+
+func vertexKey(id model.VertexID) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, tagVertex)
+	return binary.BigEndian.AppendUint64(b, uint64(id))
+}
+
+func labelKey(label string, id model.VertexID) []byte {
+	b := make([]byte, 0, 2+len(label)+9)
+	b = append(b, tagLabel)
+	b = binary.AppendUvarint(b, uint64(len(label)))
+	b = append(b, label...)
+	return binary.BigEndian.AppendUint64(b, uint64(id))
+}
+
+func labelPrefix(label string) []byte {
+	b := make([]byte, 0, 2+len(label))
+	b = append(b, tagLabel)
+	b = binary.AppendUvarint(b, uint64(len(label)))
+	return append(b, label...)
+}
+
+func edgeKey(src model.VertexID, label string, dst model.VertexID) []byte {
+	b := make([]byte, 0, 1+8+2+len(label)+8)
+	b = append(b, tagEdge)
+	b = binary.BigEndian.AppendUint64(b, uint64(src))
+	b = binary.AppendUvarint(b, uint64(len(label)))
+	b = append(b, label...)
+	return binary.BigEndian.AppendUint64(b, uint64(dst))
+}
+
+func edgeLabelPrefix(src model.VertexID, label string) []byte {
+	b := make([]byte, 0, 1+8+2+len(label))
+	b = append(b, tagEdge)
+	b = binary.BigEndian.AppendUint64(b, uint64(src))
+	b = binary.AppendUvarint(b, uint64(len(label)))
+	return append(b, label...)
+}
+
+func edgePrefix(src model.VertexID) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, tagEdge)
+	return binary.BigEndian.AppendUint64(b, uint64(src))
+}
+
+// parseEdgeKey recovers (src, label, dst) from an edge key.
+func parseEdgeKey(key []byte) (src model.VertexID, label string, dst model.VertexID, err error) {
+	if len(key) < 1+8+1+8 || key[0] != tagEdge {
+		return 0, "", 0, fmt.Errorf("gstore: malformed edge key (%d bytes)", len(key))
+	}
+	src = model.VertexID(binary.BigEndian.Uint64(key[1:9]))
+	rest := key[9:]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || uint64(len(rest)-sz-8) < n {
+		return 0, "", 0, fmt.Errorf("gstore: malformed edge key label")
+	}
+	label = string(rest[sz : sz+int(n)])
+	dst = model.VertexID(binary.BigEndian.Uint64(rest[sz+int(n):]))
+	return src, label, dst, nil
+}
+
+// Store is the persistent Graph backed by the kv LSM store.
+type Store struct {
+	db *kv.DB
+
+	// idxMu guards the set of property keys with secondary indexes.
+	idxMu   sync.RWMutex
+	indexed map[string]bool
+}
+
+var _ Graph = (*Store)(nil)
+
+// Open opens (creating if needed) a persistent graph store in dir.
+func Open(dir string, opts kv.Options) (*Store, error) {
+	db, err := kv.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: db}, nil
+}
+
+// DB exposes the underlying kv store for stats and maintenance.
+func (s *Store) DB() *kv.DB { return s.db }
+
+// Close flushes and closes the store.
+func (s *Store) Close() error { return s.db.Close() }
+
+// Flush persists buffered writes to an SSTable.
+func (s *Store) Flush() error { return s.db.Flush() }
+
+// PutVertex implements Graph.
+func (s *Store) PutVertex(v model.Vertex) error {
+	// Replacing a vertex whose label changed must drop the stale index row.
+	old, hadOld, err := s.GetVertex(v.ID)
+	if err != nil {
+		return err
+	}
+	if hadOld && old.Label != v.Label {
+		if err := s.db.Delete(labelKey(old.Label, v.ID)); err != nil {
+			return err
+		}
+	}
+	if err := s.db.Put(vertexKey(v.ID), model.AppendVertexValue(nil, v)); err != nil {
+		return err
+	}
+	if err := s.db.Put(labelKey(v.Label, v.ID), nil); err != nil {
+		return err
+	}
+	return s.updatePropIndexes(old, hadOld, v)
+}
+
+// GetVertex implements Graph.
+func (s *Store) GetVertex(id model.VertexID) (model.Vertex, bool, error) {
+	val, ok, err := s.db.Get(vertexKey(id))
+	if err != nil || !ok {
+		return model.Vertex{}, false, err
+	}
+	v, err := model.DecodeVertexValue(id, val)
+	if err != nil {
+		return model.Vertex{}, false, err
+	}
+	return v, true, nil
+}
+
+// DeleteVertex implements Graph.
+func (s *Store) DeleteVertex(id model.VertexID) error {
+	v, ok, err := s.GetVertex(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	// Collect out-edge keys first: writing during iteration is not allowed.
+	var edgeKeys [][]byte
+	err = s.db.Scan(edgePrefix(id), func(k, _ []byte) bool {
+		edgeKeys = append(edgeKeys, append([]byte(nil), k...))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range edgeKeys {
+		if err := s.db.Delete(k); err != nil {
+			return err
+		}
+	}
+	if err := s.db.Delete(labelKey(v.Label, id)); err != nil {
+		return err
+	}
+	if err := s.db.Delete(vertexKey(id)); err != nil {
+		return err
+	}
+	return s.dropPropIndexes(v)
+}
+
+// PutEdge implements Graph.
+func (s *Store) PutEdge(e model.Edge) error {
+	return s.db.Put(edgeKey(e.Src, e.Label, e.Dst), model.AppendEdgeValue(nil, e))
+}
+
+// DeleteEdge implements Graph.
+func (s *Store) DeleteEdge(src model.VertexID, label string, dst model.VertexID) error {
+	return s.db.Delete(edgeKey(src, label, dst))
+}
+
+// ScanEdges implements Graph.
+func (s *Store) ScanEdges(src model.VertexID, label string, fn func(model.Edge) bool) error {
+	var scanErr error
+	err := s.db.Scan(edgeLabelPrefix(src, label), func(k, v []byte) bool {
+		ksrc, klabel, kdst, err := parseEdgeKey(k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		e, err := model.DecodeEdgeValue(ksrc, kdst, klabel, v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(e)
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}
+
+// ScanAllEdges implements Graph.
+func (s *Store) ScanAllEdges(src model.VertexID, fn func(model.Edge) bool) error {
+	var scanErr error
+	err := s.db.Scan(edgePrefix(src), func(k, v []byte) bool {
+		ksrc, klabel, kdst, err := parseEdgeKey(k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		e, err := model.DecodeEdgeValue(ksrc, kdst, klabel, v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(e)
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}
+
+// ScanVerticesByLabel implements Graph.
+func (s *Store) ScanVerticesByLabel(label string, fn func(model.VertexID) bool) error {
+	prefix := labelPrefix(label)
+	return s.db.Scan(prefix, func(k, _ []byte) bool {
+		id := model.VertexID(binary.BigEndian.Uint64(k[len(k)-8:]))
+		return fn(id)
+	})
+}
+
+// ScanVertices implements Graph.
+func (s *Store) ScanVertices(fn func(model.Vertex) bool) error {
+	var scanErr error
+	err := s.db.Scan([]byte{tagVertex}, func(k, v []byte) bool {
+		id := model.VertexID(binary.BigEndian.Uint64(k[1:9]))
+		vx, err := model.DecodeVertexValue(id, v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(vx)
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}

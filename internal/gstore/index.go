@@ -1,0 +1,246 @@
+package gstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+// PropertyIndex is the optional secondary-index capability of a Graph: the
+// "searching or indexing mechanisms provided by the underlying graph
+// storage" that §III says GTravel entry points are retrieved with. An
+// enabled index maps one property key's exact values to vertex ids, so
+// v() seeds like "the user named sam" resolve without a scan.
+type PropertyIndex interface {
+	// EnableIndex starts indexing the property key, backfilling existing
+	// vertices. Enabling twice is a no-op.
+	EnableIndex(key string) error
+	// LookupVertices returns the ids of vertices whose property `key`
+	// equals v, in ascending order. Looking up a key that was never
+	// enabled is an error.
+	LookupVertices(key string, v property.Value) ([]model.VertexID, error)
+}
+
+var (
+	_ PropertyIndex = (*Store)(nil)
+	_ PropertyIndex = (*MemStore)(nil)
+)
+
+// Persistent store implementation. Index rows live under their own tag:
+//
+//	'P' <len(key):uvarint> <key> <value encoding> <id:8> -> nil
+//
+// The value encoding is property.AppendValue, which is deterministic, so
+// exact-match lookups are one prefix scan.
+func propIndexKey(key string, v property.Value, id model.VertexID) []byte {
+	b := propIndexPrefix(key, v)
+	return binary.BigEndian.AppendUint64(b, uint64(id))
+}
+
+func propIndexPrefix(key string, v property.Value) []byte {
+	b := make([]byte, 0, 2+len(key)+16)
+	b = append(b, 'P')
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	return property.AppendValue(b, v)
+}
+
+// indexedKeys returns the Store's enabled index keys (guarded by idxMu).
+func (s *Store) indexEnabled(key string) bool {
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	return s.indexed[key]
+}
+
+// EnableIndex implements PropertyIndex.
+func (s *Store) EnableIndex(key string) error {
+	if key == "" {
+		return fmt.Errorf("gstore: cannot index empty property key")
+	}
+	s.idxMu.Lock()
+	if s.indexed == nil {
+		s.indexed = make(map[string]bool)
+	}
+	if s.indexed[key] {
+		s.idxMu.Unlock()
+		return nil
+	}
+	s.indexed[key] = true
+	s.idxMu.Unlock()
+	// Backfill: one pass over existing vertices. Collect first — writing
+	// during iteration is not allowed.
+	type row struct {
+		v  property.Value
+		id model.VertexID
+	}
+	var rows []row
+	err := s.ScanVertices(func(v model.Vertex) bool {
+		if val, ok := v.Props[key]; ok {
+			rows = append(rows, row{val, v.ID})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := s.db.Put(propIndexKey(key, r.v, r.id), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupVertices implements PropertyIndex.
+func (s *Store) LookupVertices(key string, v property.Value) ([]model.VertexID, error) {
+	if !s.indexEnabled(key) {
+		return nil, fmt.Errorf("gstore: property %q is not indexed", key)
+	}
+	var ids []model.VertexID
+	err := s.db.Scan(propIndexPrefix(key, v), func(k, _ []byte) bool {
+		ids = append(ids, model.VertexID(binary.BigEndian.Uint64(k[len(k)-8:])))
+		return true
+	})
+	return ids, err
+}
+
+// updatePropIndexes maintains index rows across a vertex write. old holds
+// the previous version when one existed.
+func (s *Store) updatePropIndexes(old model.Vertex, hadOld bool, v model.Vertex) error {
+	s.idxMu.RLock()
+	keys := make([]string, 0, len(s.indexed))
+	for k := range s.indexed {
+		keys = append(keys, k)
+	}
+	s.idxMu.RUnlock()
+	for _, key := range keys {
+		newVal, hasNew := v.Props[key]
+		if hadOld {
+			if oldVal, hasOldVal := old.Props[key]; hasOldVal && (!hasNew || !oldVal.Equal(newVal)) {
+				if err := s.db.Delete(propIndexKey(key, oldVal, v.ID)); err != nil {
+					return err
+				}
+			}
+		}
+		if hasNew {
+			if err := s.db.Put(propIndexKey(key, newVal, v.ID), nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropPropIndexes removes a deleted vertex's index rows.
+func (s *Store) dropPropIndexes(v model.Vertex) error {
+	s.idxMu.RLock()
+	keys := make([]string, 0, len(s.indexed))
+	for k := range s.indexed {
+		keys = append(keys, k)
+	}
+	s.idxMu.RUnlock()
+	for _, key := range keys {
+		if val, ok := v.Props[key]; ok {
+			if err := s.db.Delete(propIndexKey(key, val, v.ID)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// In-memory implementation.
+
+type memIndex struct {
+	mu      sync.RWMutex
+	byKey   map[string]map[string][]model.VertexID // key -> encoded value -> sorted ids
+	enabled map[string]bool
+}
+
+func valueToken(v property.Value) string {
+	return string(property.AppendValue(nil, v))
+}
+
+// EnableIndex implements PropertyIndex.
+func (m *MemStore) EnableIndex(key string) error {
+	if key == "" {
+		return fmt.Errorf("gstore: cannot index empty property key")
+	}
+	m.idx.mu.Lock()
+	if m.idx.enabled == nil {
+		m.idx.enabled = make(map[string]bool)
+		m.idx.byKey = make(map[string]map[string][]model.VertexID)
+	}
+	if m.idx.enabled[key] {
+		m.idx.mu.Unlock()
+		return nil
+	}
+	m.idx.enabled[key] = true
+	m.idx.byKey[key] = make(map[string][]model.VertexID)
+	m.idx.mu.Unlock()
+	return m.ScanVertices(func(v model.Vertex) bool {
+		if val, ok := v.Props[key]; ok {
+			m.idx.insert(key, val, v.ID)
+		}
+		return true
+	})
+}
+
+// LookupVertices implements PropertyIndex.
+func (m *MemStore) LookupVertices(key string, v property.Value) ([]model.VertexID, error) {
+	m.idx.mu.RLock()
+	defer m.idx.mu.RUnlock()
+	if !m.idx.enabled[key] {
+		return nil, fmt.Errorf("gstore: property %q is not indexed", key)
+	}
+	ids := m.idx.byKey[key][valueToken(v)]
+	return append([]model.VertexID(nil), ids...), nil
+}
+
+func (ix *memIndex) insert(key string, v property.Value, id model.VertexID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	tok := valueToken(v)
+	ix.byKey[key][tok] = insertID(ix.byKey[key][tok], id)
+}
+
+func (ix *memIndex) remove(key string, v property.Value, id model.VertexID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	tok := valueToken(v)
+	ix.byKey[key][tok] = removeID(ix.byKey[key][tok], id)
+}
+
+// update maintains the in-memory index across a vertex write or delete.
+func (ix *memIndex) update(old model.Vertex, hadOld bool, v model.Vertex, hasNew bool) {
+	ix.mu.RLock()
+	keys := make([]string, 0, len(ix.enabled))
+	for k := range ix.enabled {
+		keys = append(keys, k)
+	}
+	ix.mu.RUnlock()
+	for _, key := range keys {
+		var oldVal, newVal property.Value
+		hasOldVal, hasNewVal := false, false
+		if hadOld {
+			oldVal, hasOldVal = old.Props[key]
+		}
+		if hasNew {
+			newVal, hasNewVal = v.Props[key]
+		}
+		switch {
+		case hasOldVal && hasNewVal && oldVal.Equal(newVal):
+			// unchanged
+		default:
+			if hasOldVal {
+				ix.remove(key, oldVal, old.ID)
+			}
+			if hasNewVal {
+				ix.insert(key, newVal, v.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBatchApply(t *testing.T) {
+	db := openTemp(t, Options{})
+	var b Batch
+	for i := 0; i < 10; i++ {
+		b.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	b.Delete([]byte("k05"))
+	if b.Len() != 11 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok, _ := db.Get([]byte(fmt.Sprintf("k%02d", i)))
+		if i == 5 {
+			if ok {
+				t.Error("k05 should be deleted by the batch")
+			}
+			continue
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Errorf("k%02d = %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestBatchRejectsBadKeyUpFront(t *testing.T) {
+	db := openTemp(t, Options{})
+	var b Batch
+	b.Put([]byte("good"), []byte("1"))
+	b.Put(nil, []byte("2")) // invalid
+	if err := db.Apply(&b); err != ErrEmptyKey {
+		t.Fatalf("Apply = %v, want ErrEmptyKey", err)
+	}
+	// Nothing from the rejected batch may be visible.
+	if _, ok, _ := db.Get([]byte("good")); ok {
+		t.Error("rejected batch leaked a write")
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	var b Batch
+	b.Put([]byte("a"), nil)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d", b.Len())
+	}
+}
+
+func TestBatchOnClosedDB(t *testing.T) {
+	db := openTemp(t, Options{})
+	db.Close()
+	var b Batch
+	b.Put([]byte("a"), nil)
+	if err := db.Apply(&b); err != ErrClosed {
+		t.Errorf("Apply on closed = %v", err)
+	}
+}
+
+func TestBatchSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	for i := 0; i < 20; i++ {
+		b.Put([]byte(fmt.Sprintf("b%02d", i)), []byte("x"))
+	}
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	db.Sync()
+	db.Close()
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 20; i++ {
+		if _, ok, _ := db2.Get([]byte(fmt.Sprintf("b%02d", i))); !ok {
+			t.Errorf("b%02d lost after recovery", i)
+		}
+	}
+}
+
+func TestBatchTriggersFlush(t *testing.T) {
+	db := openTemp(t, Options{MemtableBytes: 1 << 10})
+	var b Batch
+	for i := 0; i < 50; i++ {
+		b.Put([]byte(fmt.Sprintf("k%03d", i)), make([]byte, 100))
+	}
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Flushes == 0 {
+		t.Error("large batch should trigger a flush")
+	}
+}
+
+func BenchmarkBatchApply(b *testing.B) {
+	db, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var batch Batch
+		for j := 0; j < 100; j++ {
+			batch.Put([]byte(fmt.Sprintf("key-%09d", i*100+j)), val)
+		}
+		if err := db.Apply(&batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestBloomNoFalseNegativesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(500)
+		bf := newBloomFilter(n)
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%d-%d", seed, r.Int63()))
+			bf.add(keys[i])
+		}
+		for _, k := range keys {
+			if !bf.mayContain(k) {
+				return false // a false negative is a correctness bug
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	bf := newBloomFilter(n)
+	for i := 0; i < n; i++ {
+		bf.add([]byte(fmt.Sprintf("present-%06d", i)))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if bf.mayContain([]byte(fmt.Sprintf("absent-%06d", i))) {
+			fp++
+		}
+	}
+	// 10 bits/key, 6 probes → theoretical ~0.8%; allow up to 3%.
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Errorf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestBloomEncodeDecodeRoundTrip(t *testing.T) {
+	bf := newBloomFilter(100)
+	for i := 0; i < 100; i++ {
+		bf.add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	dec := decodeBloomFilter(bf.encode())
+	for i := 0; i < 100; i++ {
+		if !dec.mayContain([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("decoded filter lost key k%d", i)
+		}
+	}
+	if dec.k != bf.k || len(dec.bits) != len(bf.bits) {
+		t.Errorf("decoded shape mismatch: k=%d bits=%d", dec.k, len(dec.bits))
+	}
+}
+
+func TestBloomDegenerateInputs(t *testing.T) {
+	// Zero-size filter passes everything (no false negatives even when
+	// misconfigured).
+	if !(&bloomFilter{}).mayContain([]byte("x")) {
+		t.Error("empty filter must pass keys through")
+	}
+	if !decodeBloomFilter(nil).mayContain([]byte("x")) {
+		t.Error("decoded nil filter must pass keys through")
+	}
+	bf := newBloomFilter(0) // clamped
+	bf.add([]byte("a"))
+	if !bf.mayContain([]byte("a")) {
+		t.Error("clamped filter lost its key")
+	}
+}
+
+func TestSSTableBloomSkipsAbsentKeys(t *testing.T) {
+	dir := t.TempDir()
+	var ents []entry
+	for i := 0; i < 1000; i++ {
+		ents = append(ents, entry{
+			key:   []byte(fmt.Sprintf("key-%06d", i*2)), // even keys only
+			value: []byte("v"),
+		})
+	}
+	tbl, err := buildSSTable(filepath.Join(dir, "t.sst"), 1, ents, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.close()
+	// Every present key must be found.
+	for i := 0; i < 1000; i += 37 {
+		if _, ok, err := tbl.get([]byte(fmt.Sprintf("key-%06d", i*2))); err != nil || !ok {
+			t.Fatalf("present key %d not found (err %v)", i*2, err)
+		}
+	}
+	// Absent (odd, in-range) keys must not be found — and mostly should
+	// be rejected by the filter without touching the data section.
+	for i := 0; i < 1000; i += 37 {
+		if _, ok, _ := tbl.get([]byte(fmt.Sprintf("key-%06d", i*2+1))); ok {
+			t.Fatalf("absent key %d reported found", i*2+1)
+		}
+	}
+	if tbl.filter == nil {
+		t.Error("table should carry a filter")
+	}
+}
+
+func BenchmarkGetAbsentKey(b *testing.B) {
+	// The Bloom filter's payoff: absent-key lookups against a flushed
+	// table.
+	dir := b.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 10000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%09d", i*2)), []byte("v"))
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Get([]byte(fmt.Sprintf("key-%09d", (i%10000)*2+1)))
+	}
+}

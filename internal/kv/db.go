@@ -1,0 +1,357 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DB is an embedded ordered key-value store. It is safe for concurrent use;
+// point operations take a short lock and iterators hold a read lock for
+// their lifetime (see NewIterator).
+type DB struct {
+	dir  string
+	opts Options
+
+	mu      sync.RWMutex
+	mem     *memtable
+	log     *wal
+	tables  []*sstable // newest first
+	nextNum uint64
+	closed  bool
+
+	// stats counts write-side operations; guarded by mu. Gets is counted
+	// separately with an atomic because reads only hold the read lock.
+	stats Stats
+	gets  atomic.Int64
+}
+
+// Stats reports operation counters for a DB.
+type Stats struct {
+	Puts       int64
+	Deletes    int64
+	Gets       int64
+	Flushes    int64
+	Compacts   int64
+	NumTables  int
+	TableBytes int64
+}
+
+const (
+	walName      = "wal.log"
+	manifestName = "MANIFEST"
+)
+
+// Open opens (creating if necessary) a database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kv: mkdir: %w", err)
+	}
+	db := &DB{dir: dir, opts: opts, mem: newMemtable(), nextNum: 1}
+
+	// Load the manifest: the ordered list of live SSTables.
+	names, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		num, err := tableFileNum(name)
+		if err != nil {
+			return nil, err
+		}
+		t, err := openSSTable(filepath.Join(dir, name), num)
+		if err != nil {
+			return nil, err
+		}
+		db.tables = append(db.tables, t)
+		if num >= db.nextNum {
+			db.nextNum = num + 1
+		}
+	}
+	// Newest first.
+	sort.Slice(db.tables, func(i, j int) bool { return db.tables[i].fileNum > db.tables[j].fileNum })
+
+	// Replay the WAL into the memtable, then continue appending to it.
+	walPath := filepath.Join(dir, walName)
+	if err := replayWAL(walPath, func(e entry) { db.mem.set(e) }); err != nil {
+		db.closeTables()
+		return nil, err
+	}
+	db.log, err = openWAL(walPath, opts.SyncWAL)
+	if err != nil {
+		db.closeTables()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) closeTables() {
+	for _, t := range db.tables {
+		t.close()
+	}
+}
+
+// Close flushes and releases the database. Further use returns ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	err := db.log.close()
+	db.closeTables()
+	return err
+}
+
+// Put stores value under key, replacing any existing value.
+func (db *DB) Put(key, value []byte) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	return db.write(entry{key: bytes.Clone(key), value: bytes.Clone(value)})
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (db *DB) Delete(key []byte) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	return db.write(entry{key: bytes.Clone(key), tombstone: true})
+}
+
+func (db *DB) write(e entry) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.log.append(e); err != nil {
+		return err
+	}
+	db.mem.set(e)
+	if e.tombstone {
+		db.stats.Deletes++
+	} else {
+		db.stats.Puts++
+	}
+	if db.mem.bytes >= db.opts.MemtableBytes {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	if err := validateKey(key); err != nil {
+		return nil, false, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	db.gets.Add(1)
+	if e, ok := db.mem.get(key); ok {
+		if e.tombstone {
+			return nil, false, nil
+		}
+		return bytes.Clone(e.value), true, nil
+	}
+	for _, t := range db.tables {
+		e, ok, err := t.get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e.tombstone {
+				return nil, false, nil
+			}
+			return e.value, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Flush persists the memtable to a new SSTable and truncates the WAL.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if db.mem.count == 0 {
+		return nil
+	}
+	ents := make([]entry, 0, db.mem.count)
+	for it := db.mem.iterate(nil); it.valid(); it.next() {
+		ents = append(ents, it.entry())
+	}
+	num := db.nextNum
+	db.nextNum++
+	name := tableFileName(num)
+	t, err := buildSSTable(filepath.Join(db.dir, name), num, ents, db.opts.IndexInterval)
+	if err != nil {
+		return err
+	}
+	db.tables = append([]*sstable{t}, db.tables...)
+	if err := db.writeManifestLocked(); err != nil {
+		return err
+	}
+	// The memtable contents are durable in the SSTable; start a fresh WAL.
+	if err := db.log.close(); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(db.dir, walName)); err != nil {
+		return err
+	}
+	db.log, err = openWAL(filepath.Join(db.dir, walName), db.opts.SyncWAL)
+	if err != nil {
+		return err
+	}
+	db.mem = newMemtable()
+	db.stats.Flushes++
+	if len(db.tables) >= db.opts.CompactAt {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all SSTables into one, dropping shadowed values and
+// tombstones.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	if len(db.tables) <= 1 {
+		return nil
+	}
+	srcs := make([]source, len(db.tables))
+	for i, t := range db.tables {
+		srcs[i] = t.iterate(nil)
+	}
+	var ents []entry
+	for it := newMergeIterator(srcs); it.valid(); it.next() {
+		e := it.entry()
+		if e.tombstone {
+			continue // full compaction: nothing older can exist
+		}
+		ents = append(ents, e)
+	}
+	for _, s := range srcs {
+		if si, ok := s.(*sstIterator); ok && si.err != nil {
+			return si.err
+		}
+	}
+	num := db.nextNum
+	db.nextNum++
+	t, err := buildSSTable(filepath.Join(db.dir, tableFileName(num)), num, ents, db.opts.IndexInterval)
+	if err != nil {
+		return err
+	}
+	old := db.tables
+	db.tables = []*sstable{t}
+	if err := db.writeManifestLocked(); err != nil {
+		return err
+	}
+	for _, o := range old {
+		o.close()
+		os.Remove(o.path)
+	}
+	db.stats.Compacts++
+	return nil
+}
+
+// Sync forces the WAL to stable storage.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.log.sync()
+}
+
+// Stats returns a snapshot of the operation counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.stats
+	s.Gets = db.gets.Load()
+	s.NumTables = len(db.tables)
+	for _, t := range db.tables {
+		s.TableBytes += t.numBytes
+	}
+	return s
+}
+
+// CheckIntegrity verifies the checksums of every live SSTable.
+func (db *DB) CheckIntegrity() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for _, t := range db.tables {
+		if err := t.verifyChecksum(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func tableFileName(num uint64) string { return fmt.Sprintf("%08d.sst", num) }
+
+func tableFileNum(name string) (uint64, error) {
+	var num uint64
+	if _, err := fmt.Sscanf(name, "%08d.sst", &num); err != nil {
+		return 0, fmt.Errorf("kv: bad table file name %q: %w", name, err)
+	}
+	return num, nil
+}
+
+// writeManifestLocked atomically records the live table set.
+func (db *DB) writeManifestLocked() error {
+	var b strings.Builder
+	for _, t := range db.tables {
+		fmt.Fprintln(&b, filepath.Base(t.path))
+	}
+	tmp := filepath.Join(db.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, manifestName))
+}
+
+func readManifest(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}

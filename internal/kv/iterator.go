@@ -1,0 +1,108 @@
+package kv
+
+import "bytes"
+
+// Iterator walks live keys in ascending order. It holds the database's read
+// lock from creation until Close, so the view is consistent; the calling
+// goroutine must not write to the DB while an iterator is open.
+type Iterator struct {
+	db    *DB
+	merge *mergeIterator
+	end   []byte // exclusive bound, nil = none
+	ok    bool
+	key   []byte
+	value []byte
+	done  bool
+}
+
+// IterOptions bounds an iteration. Prefix is a convenience that sets
+// [Start, End) to cover exactly the keys sharing the prefix; explicit
+// Start/End override it when non-nil.
+type IterOptions struct {
+	Prefix []byte
+	Start  []byte // inclusive
+	End    []byte // exclusive
+}
+
+// NewIterator opens an iterator over the current contents of the database.
+// Close must be called to release the read lock.
+func (db *DB) NewIterator(opts IterOptions) (*Iterator, error) {
+	start, end := opts.Start, opts.End
+	if opts.Prefix != nil {
+		if start == nil {
+			start = opts.Prefix
+		}
+		if end == nil {
+			end = prefixEnd(opts.Prefix)
+		}
+	}
+	db.mu.RLock()
+	if db.closed {
+		db.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	srcs := make([]source, 0, len(db.tables)+1)
+	srcs = append(srcs, db.mem.iterate(start))
+	for _, t := range db.tables {
+		srcs = append(srcs, t.iterate(start))
+	}
+	it := &Iterator{db: db, merge: newMergeIterator(srcs), end: end}
+	it.advance()
+	return it, nil
+}
+
+// advance steps to the next live (non-tombstone) entry within bounds.
+func (it *Iterator) advance() {
+	it.ok = false
+	for it.merge.valid() {
+		e := it.merge.entry()
+		if it.end != nil && bytes.Compare(e.key, it.end) >= 0 {
+			return
+		}
+		it.merge.next()
+		if e.tombstone {
+			continue
+		}
+		it.key, it.value = e.key, e.value
+		it.ok = true
+		return
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.ok }
+
+// Key returns the current key. The slice is only valid until Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value. The slice is only valid until Next.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.advance() }
+
+// Close releases the iterator's read lock. It is safe to call twice.
+func (it *Iterator) Close() {
+	if !it.done {
+		it.done = true
+		it.db.mu.RUnlock()
+	}
+}
+
+// Scan invokes fn for every live key with the given prefix, in key order,
+// stopping early if fn returns false. It is the common fast path for typed
+// edge scans.
+func (db *DB) Scan(prefix []byte, fn func(key, value []byte) bool) error {
+	it, err := db.NewIterator(IterOptions{Prefix: prefix})
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for it.Valid() {
+		if !fn(it.Key(), it.Value()) {
+			return nil
+		}
+		it.Next()
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package kv
+
+// source is the common shape of memtable and sstable iterators.
+type source interface {
+	valid() bool
+	entry() entry
+	next()
+}
+
+// mergeIterator merges several key-ordered sources into one key-ordered
+// stream with newest-wins semantics: sources earlier in the slice shadow
+// later ones on equal keys. Tombstones are surfaced (not suppressed) so the
+// caller decides whether they are visible (reads) or retained (compaction).
+type mergeIterator struct {
+	srcs []source
+	cur  entry
+	ok   bool
+}
+
+func newMergeIterator(srcs []source) *mergeIterator {
+	m := &mergeIterator{srcs: srcs}
+	m.advance()
+	return m
+}
+
+// advance selects the smallest current key; among sources tied on that key
+// the lowest index (newest) wins and the rest are stepped past.
+func (m *mergeIterator) advance() {
+	m.ok = false
+	best := -1
+	for i, s := range m.srcs {
+		if !s.valid() {
+			continue
+		}
+		if best < 0 || compareKeys(s.entry().key, m.srcs[best].entry().key) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	m.cur = m.srcs[best].entry()
+	m.ok = true
+	key := m.cur.key
+	for _, s := range m.srcs {
+		for s.valid() && compareKeys(s.entry().key, key) == 0 {
+			s.next()
+		}
+	}
+}
+
+func (m *mergeIterator) valid() bool  { return m.ok }
+func (m *mergeIterator) entry() entry { return m.cur }
+func (m *mergeIterator) next()        { m.advance() }

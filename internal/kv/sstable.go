@@ -1,0 +1,350 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// SSTable file format:
+//
+//	data section:   repeated records
+//	                  [op: 1 byte][klen uvarint][key][vlen uvarint][value]
+//	index section:  repeated samples (every IndexInterval-th record)
+//	                  [klen uvarint][key][offset uvarint]
+//	filter section: Bloom filter over all keys ([k: 4][bits])
+//	footer (33 B):  [data len: 8][index count: 8][filter len: 8]
+//	                [data crc: 4][magic: 5]
+//
+// The sparse index and Bloom filter are loaded into memory at open; a point
+// lookup consults the filter, then binary searches the index and scans at
+// most IndexInterval records forward. Iterators seek the same way and then
+// read sequentially — the access pattern typed edge scans produce.
+
+var sstMagic = [5]byte{'g', 't', 's', 's', '2'}
+
+const footerSize = 8 + 8 + 8 + 4 + 5
+
+// sstable is an open, immutable sorted table.
+type sstable struct {
+	path     string
+	f        *os.File
+	fileNum  uint64 // larger = newer
+	dataLen  int64
+	index    []indexEntry
+	filter   *bloomFilter
+	minKey   []byte
+	maxKey   []byte
+	numBytes int64
+}
+
+type indexEntry struct {
+	key    []byte
+	offset int64
+}
+
+// buildSSTable writes entries (which must be sorted by key, no duplicates)
+// into a new table file at path. Tombstones are retained: a newer table's
+// tombstone must shadow older tables until a full compaction drops it.
+func buildSSTable(path string, fileNum uint64, ents []entry, indexInterval int) (*sstable, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kv: create sstable: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 256<<10)
+	filter := newBloomFilter(len(ents))
+	var (
+		off   int64
+		index []indexEntry
+		buf   []byte
+	)
+	for i, e := range ents {
+		filter.add(e.key)
+		buf = buf[:0]
+		if e.tombstone {
+			buf = append(buf, walOpDelete)
+		} else {
+			buf = append(buf, walOpPut)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.value)))
+		buf = append(buf, e.value...)
+		if i%indexInterval == 0 {
+			index = append(index, indexEntry{key: append([]byte(nil), e.key...), offset: off})
+		}
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return nil, err
+		}
+		off += int64(len(buf))
+	}
+	dataLen := off
+	dataCRC := uint32(0)
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	dataCRC = crc.Sum32()
+	// index section
+	iw := bufio.NewWriter(f)
+	for _, ie := range index {
+		var b []byte
+		b = binary.AppendUvarint(b, uint64(len(ie.key)))
+		b = append(b, ie.key...)
+		b = binary.AppendUvarint(b, uint64(ie.offset))
+		if _, err := iw.Write(b); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	filterBytes := filter.encode()
+	if _, err := iw.Write(filterBytes); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(dataLen))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(len(index)))
+	binary.LittleEndian.PutUint64(footer[16:24], uint64(len(filterBytes)))
+	binary.LittleEndian.PutUint32(footer[24:28], dataCRC)
+	copy(footer[28:], sstMagic[:])
+	if _, err := iw.Write(footer[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := iw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return openSSTable(path, fileNum)
+}
+
+// openSSTable opens an existing table and loads its sparse index.
+func openSSTable(path string, fileNum uint64) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kv: open sstable: %w", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize {
+		f.Close()
+		return nil, fmt.Errorf("kv: sstable %s too small", path)
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if [5]byte(footer[28:33]) != sstMagic {
+		f.Close()
+		return nil, fmt.Errorf("kv: sstable %s bad magic", path)
+	}
+	dataLen := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	count := binary.LittleEndian.Uint64(footer[8:16])
+	filterLen := int64(binary.LittleEndian.Uint64(footer[16:24]))
+	indexLen := st.Size() - footerSize - dataLen - filterLen
+	if dataLen < 0 || indexLen < 0 || filterLen < 0 {
+		f.Close()
+		return nil, fmt.Errorf("kv: sstable %s corrupt footer", path)
+	}
+	raw := make([]byte, indexLen)
+	if _, err := f.ReadAt(raw, dataLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	filterRaw := make([]byte, filterLen)
+	if _, err := f.ReadAt(filterRaw, dataLen+indexLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	t := &sstable{
+		path: path, f: f, fileNum: fileNum, dataLen: dataLen,
+		filter: decodeBloomFilter(filterRaw), numBytes: st.Size(),
+	}
+	t.index = make([]indexEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		kn, sz := binary.Uvarint(raw)
+		if sz <= 0 || uint64(len(raw)-sz) < kn {
+			f.Close()
+			return nil, fmt.Errorf("kv: sstable %s corrupt index", path)
+		}
+		key := append([]byte(nil), raw[sz:sz+int(kn)]...)
+		raw = raw[sz+int(kn):]
+		off, sz := binary.Uvarint(raw)
+		if sz <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("kv: sstable %s corrupt index offset", path)
+		}
+		raw = raw[sz:]
+		t.index = append(t.index, indexEntry{key: key, offset: int64(off)})
+	}
+	if len(t.index) > 0 {
+		t.minKey = t.index[0].key
+		// The true max key requires a scan of the last block; do it once.
+		it := t.iterate(t.index[len(t.index)-1].key)
+		for it.valid() {
+			t.maxKey = append(t.maxKey[:0], it.entry().key...)
+			it.next()
+		}
+		if err := it.err; err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (t *sstable) close() error { return t.f.Close() }
+
+// verifyChecksum re-reads the data section and compares its CRC against the
+// footer. Used by DB.CheckIntegrity.
+func (t *sstable) verifyChecksum() error {
+	var footer [footerSize]byte
+	st, err := t.f.Stat()
+	if err != nil {
+		return err
+	}
+	if _, err := t.f.ReadAt(footer[:], st.Size()-footerSize); err != nil {
+		return err
+	}
+	want := binary.LittleEndian.Uint32(footer[24:28])
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, io.NewSectionReader(t.f, 0, t.dataLen)); err != nil {
+		return err
+	}
+	if crc.Sum32() != want {
+		return fmt.Errorf("kv: sstable %s data checksum mismatch", t.path)
+	}
+	return nil
+}
+
+// seekOffset returns the data offset at which a scan for key should start.
+func (t *sstable) seekOffset(key []byte) int64 {
+	// First index sample with key > target, then step back one.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return compareKeys(t.index[i].key, key) > 0
+	})
+	if i == 0 {
+		return 0
+	}
+	return t.index[i-1].offset
+}
+
+// get performs a point lookup, consulting the Bloom filter first.
+func (t *sstable) get(key []byte) (entry, bool, error) {
+	if len(t.index) == 0 {
+		return entry{}, false, nil
+	}
+	if compareKeys(key, t.minKey) < 0 || compareKeys(key, t.maxKey) > 0 {
+		return entry{}, false, nil
+	}
+	if t.filter != nil && !t.filter.mayContain(key) {
+		return entry{}, false, nil
+	}
+	it := t.iterate(key)
+	if it.err != nil {
+		return entry{}, false, it.err
+	}
+	if it.valid() && compareKeys(it.entry().key, key) == 0 {
+		return it.entry(), true, nil
+	}
+	return entry{}, false, it.err
+}
+
+// sstIterator reads records sequentially from a seek position.
+type sstIterator struct {
+	t   *sstable
+	r   *bufio.Reader
+	off int64
+	cur entry
+	ok  bool
+	err error
+}
+
+// iterate returns an iterator positioned at the first key >= start.
+func (t *sstable) iterate(start []byte) *sstIterator {
+	off := int64(0)
+	if start != nil {
+		off = t.seekOffset(start)
+	}
+	it := &sstIterator{
+		t:   t,
+		r:   bufio.NewReaderSize(io.NewSectionReader(t.f, off, t.dataLen-off), 32<<10),
+		off: off,
+	}
+	it.advance()
+	if start != nil {
+		for it.ok && compareKeys(it.cur.key, start) < 0 {
+			it.advance()
+		}
+	}
+	return it
+}
+
+func (it *sstIterator) advance() {
+	it.ok = false
+	if it.err != nil || it.off >= it.t.dataLen {
+		return
+	}
+	op, err := it.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			it.err = err
+		}
+		return
+	}
+	kn, err := binary.ReadUvarint(it.r)
+	if err != nil {
+		it.err = fmt.Errorf("kv: sstable %s corrupt record: %w", it.t.path, err)
+		return
+	}
+	key := make([]byte, kn)
+	if _, err := io.ReadFull(it.r, key); err != nil {
+		it.err = err
+		return
+	}
+	vn, err := binary.ReadUvarint(it.r)
+	if err != nil {
+		it.err = err
+		return
+	}
+	val := make([]byte, vn)
+	if _, err := io.ReadFull(it.r, val); err != nil {
+		it.err = err
+		return
+	}
+	rec := 1 + uvarintLen(kn) + int64(kn) + uvarintLen(vn) + int64(vn)
+	it.off += rec
+	it.cur = entry{key: key, value: val, tombstone: op == walOpDelete}
+	it.ok = true
+}
+
+func uvarintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func (it *sstIterator) valid() bool  { return it.ok }
+func (it *sstIterator) entry() entry { return it.cur }
+func (it *sstIterator) next()        { it.advance() }

@@ -1,0 +1,99 @@
+// Package metrics collects the per-server counters the paper instruments
+// the GraphTrek engine with (§VII-A): for every backend server, how many
+// vertex requests arrived, how many were eliminated as redundant by the
+// traversal-affiliate cache, how many were combined by execution merging,
+// and how many turned into real I/O visits against the storage system.
+// The invariant the paper states — redundant + combined + real = received —
+// is asserted by tests and checked by the benchmark harness.
+package metrics
+
+import "sync/atomic"
+
+// Server holds one backend server's counters. All methods are safe for
+// concurrent use. The zero value is ready.
+type Server struct {
+	received  atomic.Int64
+	redundant atomic.Int64
+	combined  atomic.Int64
+	realIO    atomic.Int64
+	msgsSent  atomic.Int64
+	execs     atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	// Received counts vertex requests (frontier entries) accepted.
+	Received int64
+	// Redundant counts requests dropped by the traversal-affiliate cache.
+	Redundant int64
+	// Combined counts requests served by an execution-merged disk access
+	// (every request in a merged group beyond the first).
+	Combined int64
+	// RealIO counts actual vertex accesses against the storage system.
+	RealIO int64
+	// MsgsSent counts engine messages sent to peers.
+	MsgsSent int64
+	// Execs counts traversal executions processed.
+	Execs int64
+}
+
+// AddReceived records n accepted vertex requests.
+func (s *Server) AddReceived(n int) { s.received.Add(int64(n)) }
+
+// AddRedundant records n cache-eliminated requests.
+func (s *Server) AddRedundant(n int) { s.redundant.Add(int64(n)) }
+
+// AddCombined records n merge-eliminated requests.
+func (s *Server) AddCombined(n int) { s.combined.Add(int64(n)) }
+
+// AddRealIO records n real storage accesses.
+func (s *Server) AddRealIO(n int) { s.realIO.Add(int64(n)) }
+
+// AddMsgsSent records n outbound messages.
+func (s *Server) AddMsgsSent(n int) { s.msgsSent.Add(int64(n)) }
+
+// AddExecs records n processed executions.
+func (s *Server) AddExecs(n int) { s.execs.Add(int64(n)) }
+
+// Snapshot returns a copy of the current counters.
+func (s *Server) Snapshot() Snapshot {
+	return Snapshot{
+		Received:  s.received.Load(),
+		Redundant: s.redundant.Load(),
+		Combined:  s.combined.Load(),
+		RealIO:    s.realIO.Load(),
+		MsgsSent:  s.msgsSent.Load(),
+		Execs:     s.execs.Load(),
+	}
+}
+
+// Sub returns the counter deltas from an earlier snapshot — how the
+// benchmark harness isolates one traversal's statistics.
+func (a Snapshot) Sub(b Snapshot) Snapshot {
+	return Snapshot{
+		Received:  a.Received - b.Received,
+		Redundant: a.Redundant - b.Redundant,
+		Combined:  a.Combined - b.Combined,
+		RealIO:    a.RealIO - b.RealIO,
+		MsgsSent:  a.MsgsSent - b.MsgsSent,
+		Execs:     a.Execs - b.Execs,
+	}
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (a Snapshot) Add(b Snapshot) Snapshot {
+	return Snapshot{
+		Received:  a.Received + b.Received,
+		Redundant: a.Redundant + b.Redundant,
+		Combined:  a.Combined + b.Combined,
+		RealIO:    a.RealIO + b.RealIO,
+		MsgsSent:  a.MsgsSent + b.MsgsSent,
+		Execs:     a.Execs + b.Execs,
+	}
+}
+
+// Consistent reports whether redundant + combined + real == received, the
+// accounting identity of §VII-A.
+func (a Snapshot) Consistent() bool {
+	return a.Redundant+a.Combined+a.RealIO == a.Received
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	var s Server
+	s.AddReceived(10)
+	s.AddRedundant(3)
+	s.AddCombined(2)
+	s.AddRealIO(5)
+	s.AddMsgsSent(7)
+	s.AddExecs(4)
+	snap := s.Snapshot()
+	want := Snapshot{Received: 10, Redundant: 3, Combined: 2, RealIO: 5, MsgsSent: 7, Execs: 4}
+	if snap != want {
+		t.Errorf("snapshot = %+v, want %+v", snap, want)
+	}
+	if !snap.Consistent() {
+		t.Error("3+2+5 == 10 should be consistent")
+	}
+}
+
+func TestInconsistentSnapshot(t *testing.T) {
+	s := Snapshot{Received: 10, Redundant: 1, Combined: 1, RealIO: 1}
+	if s.Consistent() {
+		t.Error("3 != 10 should be inconsistent")
+	}
+}
+
+func TestSubAndAdd(t *testing.T) {
+	a := Snapshot{Received: 10, Redundant: 4, Combined: 3, RealIO: 3, MsgsSent: 8, Execs: 2}
+	b := Snapshot{Received: 6, Redundant: 2, Combined: 2, RealIO: 2, MsgsSent: 5, Execs: 1}
+	diff := a.Sub(b)
+	if diff != (Snapshot{Received: 4, Redundant: 2, Combined: 1, RealIO: 1, MsgsSent: 3, Execs: 1}) {
+		t.Errorf("Sub = %+v", diff)
+	}
+	if got := diff.Add(b); got != a {
+		t.Errorf("Add(Sub) = %+v, want %+v", got, a)
+	}
+}
+
+func TestSubAddInverseQuick(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 int16) bool {
+		a := Snapshot{Received: int64(a1), Redundant: int64(a2), RealIO: int64(a3)}
+		b := Snapshot{Received: int64(b1), Combined: int64(b2), MsgsSent: int64(b3)}
+		return a.Add(b).Sub(b) == a && a.Sub(b).Add(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	var s Server
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.AddReceived(1)
+				s.AddRealIO(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Received != 8000 || snap.RealIO != 8000 {
+		t.Errorf("lost updates: %+v", snap)
+	}
+}

@@ -1,0 +1,80 @@
+// Package model defines the property-graph data model shared by every
+// GraphTrek component: vertices and directed, labeled edges, each carrying a
+// map of typed properties. It matches the metadata graph of the paper's
+// Fig. 1 — users, executions and files as vertices; run/exe/read/write
+// relationships as edges.
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graphtrek/internal/property"
+)
+
+// VertexID identifies a vertex globally across the cluster. IDs are dense
+// unsigned integers assigned by the loader / generator; the partitioner
+// maps them to owner servers.
+type VertexID uint64
+
+// String renders the id for logs and CLI output.
+func (id VertexID) String() string { return fmt.Sprintf("v%d", uint64(id)) }
+
+// Vertex is one entity in the metadata graph.
+type Vertex struct {
+	ID    VertexID
+	Label string // entity type: "User", "Execution", "File", ...
+	Props property.Map
+}
+
+// Edge is one directed, labeled relationship.
+type Edge struct {
+	Src   VertexID
+	Dst   VertexID
+	Label string // relationship type: "run", "read", "write", ...
+	Props property.Map
+}
+
+// AppendVertexValue appends the storage encoding of a vertex's label and
+// properties (the ID lives in the key) to b.
+func AppendVertexValue(b []byte, v Vertex) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v.Label)))
+	b = append(b, v.Label...)
+	return property.AppendMap(b, v.Props)
+}
+
+// DecodeVertexValue decodes a vertex payload produced by AppendVertexValue.
+func DecodeVertexValue(id VertexID, b []byte) (Vertex, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return Vertex{}, fmt.Errorf("model: truncated vertex label")
+	}
+	v := Vertex{ID: id, Label: string(b[sz : sz+int(n)])}
+	props, rest, err := property.ConsumeMap(b[sz+int(n):])
+	if err != nil {
+		return Vertex{}, fmt.Errorf("model: vertex %v: %w", id, err)
+	}
+	if len(rest) != 0 {
+		return Vertex{}, fmt.Errorf("model: vertex %v: %d trailing bytes", id, len(rest))
+	}
+	v.Props = props
+	return v, nil
+}
+
+// AppendEdgeValue appends the storage encoding of an edge's properties
+// (src, label and dst live in the key) to b.
+func AppendEdgeValue(b []byte, e Edge) []byte {
+	return property.AppendMap(b, e.Props)
+}
+
+// DecodeEdgeValue decodes an edge payload produced by AppendEdgeValue.
+func DecodeEdgeValue(src, dst VertexID, label string, b []byte) (Edge, error) {
+	props, rest, err := property.ConsumeMap(b)
+	if err != nil {
+		return Edge{}, fmt.Errorf("model: edge %v-%s->%v: %w", src, label, dst, err)
+	}
+	if len(rest) != 0 {
+		return Edge{}, fmt.Errorf("model: edge %v-%s->%v: trailing bytes", src, label, dst)
+	}
+	return Edge{Src: src, Dst: dst, Label: label, Props: props}, nil
+}

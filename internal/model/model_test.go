@@ -1,0 +1,112 @@
+package model
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"graphtrek/internal/property"
+)
+
+func TestVertexValueRoundTrip(t *testing.T) {
+	v := Vertex{
+		ID:    42,
+		Label: "Execution",
+		Props: property.Map{
+			"model":  property.String("A"),
+			"params": property.String("-n 1024"),
+			"ts":     property.Int(20140501),
+		},
+	}
+	got, err := DecodeVertexValue(42, AppendVertexValue(nil, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != v.ID || got.Label != v.Label || len(got.Props) != len(v.Props) {
+		t.Fatalf("got %+v", got)
+	}
+	for k, val := range v.Props {
+		if !got.Props[k].Equal(val) {
+			t.Errorf("prop %q: %v != %v", k, got.Props[k], val)
+		}
+	}
+}
+
+func TestVertexValueEmptyProps(t *testing.T) {
+	v := Vertex{ID: 1, Label: "User"}
+	got, err := DecodeVertexValue(1, AppendVertexValue(nil, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "User" || len(got.Props) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestVertexValueErrors(t *testing.T) {
+	if _, err := DecodeVertexValue(1, nil); err == nil {
+		t.Error("empty payload should error")
+	}
+	enc := AppendVertexValue(nil, Vertex{ID: 1, Label: "User", Props: property.Map{"a": property.Int(1)}})
+	if _, err := DecodeVertexValue(1, enc[:len(enc)-1]); err == nil {
+		t.Error("truncated payload should error")
+	}
+	if _, err := DecodeVertexValue(1, append(enc, 0xff)); err == nil {
+		t.Error("trailing bytes should error")
+	}
+}
+
+func TestEdgeValueRoundTrip(t *testing.T) {
+	e := Edge{Src: 1, Dst: 2, Label: "write", Props: property.Map{"writeSize": property.Int(7 << 20)}}
+	got, err := DecodeEdgeValue(1, 2, "write", AppendEdgeValue(nil, e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != 1 || got.Dst != 2 || got.Label != "write" || !got.Props["writeSize"].Equal(property.Int(7<<20)) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestEdgeValueErrors(t *testing.T) {
+	if _, err := DecodeEdgeValue(1, 2, "x", nil); err == nil {
+		t.Error("empty payload should error")
+	}
+	enc := AppendEdgeValue(nil, Edge{Props: property.Map{"k": property.String("v")}})
+	if _, err := DecodeEdgeValue(1, 2, "x", append(enc, 1)); err == nil {
+		t.Error("trailing bytes should error")
+	}
+}
+
+func TestVertexIDString(t *testing.T) {
+	if got := VertexID(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestVertexValueRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		props := make(property.Map)
+		for i := 0; i < r.Intn(6); i++ {
+			props[string(rune('a'+i))] = property.Int(r.Int63())
+		}
+		v := Vertex{ID: VertexID(r.Uint64()), Label: string(rune('A' + r.Intn(26)))}
+		if len(props) > 0 {
+			v.Props = props
+		}
+		got, err := DecodeVertexValue(v.ID, AppendVertexValue(nil, v))
+		if err != nil || got.Label != v.Label || len(got.Props) != len(v.Props) {
+			return false
+		}
+		for k, val := range v.Props {
+			if !got.Props[k].Equal(val) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

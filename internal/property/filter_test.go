@@ -1,0 +1,180 @@
+package property
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustFilter(t *testing.T, key string, op Op, args ...Value) Filter {
+	t.Helper()
+	f, err := NewFilter(key, op, args...)
+	if err != nil {
+		t.Fatalf("NewFilter(%q, %v): %v", key, op, err)
+	}
+	return f
+}
+
+func TestFilterEQ(t *testing.T) {
+	f := mustFilter(t, "type", EQ, String("text"))
+	if !f.Match(Map{"type": String("text")}) {
+		t.Error("EQ should match equal value")
+	}
+	if f.Match(Map{"type": String("bin")}) {
+		t.Error("EQ should not match different value")
+	}
+	if f.Match(Map{"other": String("text")}) {
+		t.Error("EQ should not match missing key")
+	}
+	if f.Match(nil) {
+		t.Error("EQ should not match nil map")
+	}
+}
+
+func TestFilterIN(t *testing.T) {
+	f := mustFilter(t, "group", IN, String("admin"), String("cgroup"))
+	if !f.Match(Map{"group": String("admin")}) || !f.Match(Map{"group": String("cgroup")}) {
+		t.Error("IN should match members")
+	}
+	if f.Match(Map{"group": String("guest")}) {
+		t.Error("IN should reject non-members")
+	}
+}
+
+func TestFilterRANGE(t *testing.T) {
+	f := mustFilter(t, "ts", RANGE, Int(10), Int(20))
+	for ts, want := range map[int64]bool{9: false, 10: true, 15: true, 20: true, 21: false} {
+		if got := f.Match(Map{"ts": Int(ts)}); got != want {
+			t.Errorf("RANGE match ts=%d: got %v want %v", ts, got, want)
+		}
+	}
+	// RANGE against a value of a different kind must not match.
+	if f.Match(Map{"ts": String("15")}) {
+		t.Error("RANGE should not match mismatched kind")
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	bad := []Filter{
+		{Key: "", Op: EQ, Args: []Value{Int(1)}},
+		{Key: "k", Op: EQ, Args: nil},
+		{Key: "k", Op: EQ, Args: []Value{Int(1), Int(2)}},
+		{Key: "k", Op: IN, Args: nil},
+		{Key: "k", Op: RANGE, Args: []Value{Int(1)}},
+		{Key: "k", Op: RANGE, Args: []Value{Int(2), Int(1)}},
+		{Key: "k", Op: RANGE, Args: []Value{Int(1), String("x")}},
+		{Key: "k", Op: Op(99), Args: []Value{Int(1)}},
+		{Key: "k", Op: EQ, Args: []Value{{}}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d (%v): expected validation error", i, f)
+		}
+	}
+}
+
+func TestFiltersMatchAllANDSemantics(t *testing.T) {
+	fs := Filters{
+		mustFilter(t, "type", EQ, String("Execution")),
+		mustFilter(t, "ts", RANGE, Int(0), Int(100)),
+	}
+	if !fs.MatchAll(Map{"type": String("Execution"), "ts": Int(50)}) {
+		t.Error("both filters satisfied should match")
+	}
+	if fs.MatchAll(Map{"type": String("Execution"), "ts": Int(200)}) {
+		t.Error("one failing filter should reject")
+	}
+	if !(Filters{}).MatchAll(nil) {
+		t.Error("empty filter list should match everything")
+	}
+}
+
+func TestFiltersValidate(t *testing.T) {
+	fs := Filters{{Key: "k", Op: EQ, Args: nil}}
+	if err := fs.Validate(); err == nil {
+		t.Error("expected error from invalid member")
+	}
+	ok := Filters{mustFilter(t, "a", EQ, Int(1))}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	f := mustFilter(t, "start_ts", RANGE, Int(1), Int(2))
+	s := f.String()
+	for _, want := range []string{"start_ts", "RANGE", "1", "2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if got := Op(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func randomFilter(r *rand.Rand) Filter {
+	key := string(rune('a' + r.Intn(26)))
+	switch r.Intn(3) {
+	case 0:
+		return Filter{Key: key, Op: EQ, Args: []Value{randomValue(r)}}
+	case 1:
+		n := 1 + r.Intn(4)
+		args := make([]Value, n)
+		for i := range args {
+			args[i] = randomValue(r)
+		}
+		return Filter{Key: key, Op: IN, Args: args}
+	default:
+		lo, hi := Int(r.Int63n(100)), Int(r.Int63n(100)+100)
+		return Filter{Key: key, Op: RANGE, Args: []Value{lo, hi}}
+	}
+}
+
+func TestFilterEncodeRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := make(Filters, r.Intn(5))
+		for i := range fs {
+			fs[i] = randomFilter(r)
+		}
+		enc := AppendFilters(nil, fs)
+		got, rest, err := ConsumeFilters(enc)
+		if err != nil || len(rest) != 0 || len(got) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if got[i].Key != fs[i].Key || got[i].Op != fs[i].Op || len(got[i].Args) != len(fs[i].Args) {
+				return false
+			}
+			for j := range fs[i].Args {
+				a, b := got[i].Args[j], fs[i].Args[j]
+				if a.Kind() != b.Kind() || (b.Kind() == KindString && a.Str() != b.Str()) {
+					return false
+				}
+				if b.Kind() != KindString && a.num != b.num {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsumeFilterErrors(t *testing.T) {
+	if _, _, err := ConsumeFilters(nil); err == nil {
+		t.Error("empty filter list input should error")
+	}
+	if _, _, err := ConsumeFilter([]byte{1, 'k'}); err == nil {
+		t.Error("truncated filter should error")
+	}
+	// Filter whose arg list is cut off.
+	enc := AppendFilter(nil, Filter{Key: "k", Op: EQ, Args: []Value{Int(1)}})
+	if _, _, err := ConsumeFilter(enc[:len(enc)-4]); err == nil {
+		t.Error("truncated filter args should error")
+	}
+}

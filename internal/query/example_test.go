@@ -1,0 +1,43 @@
+package query_test
+
+import (
+	"fmt"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+	"graphtrek/internal/query"
+)
+
+// Example reproduces the paper's §III-A1 data-auditing command and
+// evaluates it with the single-threaded reference engine.
+func Example() {
+	g := gstore.NewMemStore()
+	g.PutVertex(model.Vertex{ID: 1, Label: "User",
+		Props: property.Map{"name": property.String("userA")}})
+	g.PutVertex(model.Vertex{ID: 2, Label: "Execution"})
+	g.PutVertex(model.Vertex{ID: 3, Label: "File",
+		Props: property.Map{"type": property.String("text")}})
+	g.PutEdge(model.Edge{Src: 1, Dst: 2, Label: "run",
+		Props: property.Map{"start_ts": property.Int(150)}})
+	g.PutEdge(model.Edge{Src: 2, Dst: 3, Label: "read"})
+
+	// GTravel.v(userA).e('run').ea('start_ts', RANGE, [t_s, t_e])
+	//        .e('read').va('type', EQ, 'text').rtn()
+	plan, err := query.V(1).
+		E("run").Ea("start_ts", property.RANGE, 100, 200).
+		E("read").Va("type", property.EQ, "text").Rtn().
+		Compile()
+	if err != nil {
+		panic(err)
+	}
+	res, err := query.Reference(g, plan)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan)
+	fmt.Println(res.Results)
+	// Output:
+	// GTravel.v(1 ids).e("run").ea("start_ts", RANGE, [100, 200]).e("read").va("type", EQ, ["text"]).rtn()
+	// [v3]
+}

@@ -1,0 +1,31 @@
+package query
+
+import (
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+// LabelKey is the reserved filter key that matches a vertex's type label
+// rather than a stored property. The paper's provenance query filters
+// va('type', EQ, 'Execution'); with our explicit vertex labels that is
+// written Va(query.LabelKey, property.EQ, "Execution").
+const LabelKey = "label"
+
+// VertexMatches applies a step's vertex filters to a vertex, resolving the
+// reserved LabelKey against the vertex label. Every engine and the
+// reference evaluator share this single definition so their semantics
+// cannot drift.
+func VertexMatches(v model.Vertex, fs property.Filters) bool {
+	for _, f := range fs {
+		if f.Key == LabelKey {
+			if !f.Match(property.Map{LabelKey: property.String(v.Label)}) {
+				return false
+			}
+			continue
+		}
+		if !f.Match(v.Props) {
+			return false
+		}
+	}
+	return true
+}

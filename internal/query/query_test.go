@@ -1,0 +1,317 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+func TestBuilderAuditQuery(t *testing.T) {
+	// The paper's §III-A1 data-auditing query.
+	p, err := V(1).
+		E("run").Ea("start_ts", property.RANGE, 100, 200).
+		E("read").Va("type", property.EQ, "text").Rtn().
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSteps() != 3 {
+		t.Fatalf("steps = %d", p.NumSteps())
+	}
+	if p.Steps[1].EdgeLabel != "run" || len(p.Steps[1].EdgeFilters) != 1 {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+	if p.Steps[2].EdgeLabel != "read" || len(p.Steps[2].VertexFilters) != 1 || !p.Steps[2].Rtn {
+		t.Errorf("step 2 = %+v", p.Steps[2])
+	}
+}
+
+func TestBuilderProvenanceQuery(t *testing.T) {
+	// §III-A2: return source executions whose inputs carry annotation B.
+	p, err := V().Va(LabelKey, property.EQ, "Execution").Rtn().
+		Va("model", property.EQ, "A").
+		E("read").
+		Va("annotation", property.EQ, "B").
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Steps[0].Rtn || p.Steps[1].Rtn {
+		t.Error("rtn should mark step 0 only")
+	}
+	if len(p.Steps[0].VertexFilters) != 2 {
+		t.Errorf("step 0 filters = %d, want 2", len(p.Steps[0].VertexFilters))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]*Travel{
+		"empty edge label": V(1).E(""),
+		"ea before e":      V(1).Ea("k", property.EQ, 1),
+		"bad filter arity": V(1).E("run").Ea("k", property.RANGE, 1),
+		"empty vlabel":     VLabel(""),
+		"bad filter value": V(1).Va("k", property.EQ, struct{}{}),
+	}
+	for name, tr := range cases {
+		if _, err := tr.Compile(); err == nil {
+			t.Errorf("%s: expected compile error", name)
+		}
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	tr := V(1).E("") // error here
+	tr.E("run").Va("k", property.EQ, 1).Rtn()
+	if _, err := tr.Compile(); err == nil || !strings.Contains(err.Error(), "empty edge label") {
+		t.Errorf("first error should stick, got %v", err)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []*Plan{
+		{},
+		{Steps: []Step{{EdgeLabel: "run"}}},
+		{Steps: []Step{{SourceIDs: []model.VertexID{1}, SourceLabel: "User"}}},
+		{Steps: []Step{{}, {}}},
+		{Steps: []Step{{}, {EdgeLabel: "run", SourceIDs: []model.VertexID{1}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestReturnedImplicitAndExplicit(t *testing.T) {
+	imp, _ := V(1).E("a").E("b").Compile()
+	if imp.Returned(0) || imp.Returned(1) || !imp.Returned(2) {
+		t.Error("implicit rtn should mark only the final step")
+	}
+	exp, _ := V(1).Rtn().E("a").E("b").Compile()
+	if !exp.Returned(0) || exp.Returned(2) {
+		t.Error("explicit rtn should mark only marked steps")
+	}
+}
+
+func TestPlanEncodeDecodeRoundTrip(t *testing.T) {
+	plans := []*Plan{
+		mustCompile(t, V(1, 2, 3).E("run").Ea("ts", property.RANGE, 1, 9).E("read").Rtn()),
+		mustCompile(t, VLabel("Execution").Va("model", property.EQ, "A").Rtn().E("read")),
+		mustCompile(t, V().E("x").Va("b", property.IN, 1, 2, 3)),
+	}
+	for i, p := range plans {
+		enc := p.Encode()
+		got, err := DecodePlan(enc)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("plan %d: round trip mismatch\n got %+v\nwant %+v", i, got, p)
+		}
+	}
+}
+
+func mustCompile(t *testing.T, tr *Travel) *Plan {
+	t.Helper()
+	p, err := tr.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDecodePlanErrors(t *testing.T) {
+	if _, err := DecodePlan(nil); err == nil {
+		t.Error("nil input should error")
+	}
+	if _, err := DecodePlan([]byte{9, 9}); err == nil {
+		t.Error("bad version should error")
+	}
+	p := mustCompile(t, V(1).E("run"))
+	enc := p.Encode()
+	if _, err := DecodePlan(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated plan should error")
+	}
+	if _, err := DecodePlan(append(enc, 0)); err == nil {
+		t.Error("trailing bytes should error")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := mustCompile(t, V(1).E("run").Ea("ts", property.EQ, 5).Rtn())
+	s := p.String()
+	for _, want := range []string{"GTravel", ".v(1 ids)", `.e("run")`, ".ea", ".rtn()"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if s := mustCompile(t, VLabel("User")).String(); !strings.Contains(s, "label=User") {
+		t.Errorf("VLabel String() = %q", s)
+	}
+	if s := mustCompile(t, V()).String(); !strings.Contains(s, ".v()") {
+		t.Errorf("V() String() = %q", s)
+	}
+}
+
+func TestVertexMatchesLabelKey(t *testing.T) {
+	v := model.Vertex{ID: 1, Label: "Execution", Props: property.Map{"model": property.String("A")}}
+	okf, _ := property.NewFilter(LabelKey, property.EQ, property.String("Execution"))
+	badf, _ := property.NewFilter(LabelKey, property.EQ, property.String("File"))
+	propf, _ := property.NewFilter("model", property.EQ, property.String("A"))
+	if !VertexMatches(v, property.Filters{okf, propf}) {
+		t.Error("label + prop filters should match")
+	}
+	if VertexMatches(v, property.Filters{badf}) {
+		t.Error("wrong label should not match")
+	}
+}
+
+// buildTestGraph constructs the paper's Fig. 1-style metadata graph:
+//
+//	user1 -run-> exec10 (ts 5)  -read->  file20 (type text)
+//	user1 -run-> exec11 (ts 50) -read->  file21 (type bin)
+//	exec10 -write-> file22
+//	user2 -run-> exec12 (ts 5)  (no reads)
+func buildTestGraph(t *testing.T) gstore.Graph {
+	t.Helper()
+	g := gstore.NewMemStore()
+	add := func(v model.Vertex) {
+		if err := g.PutVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(model.Vertex{ID: 1, Label: "User", Props: property.Map{"name": property.String("sam")}})
+	add(model.Vertex{ID: 2, Label: "User", Props: property.Map{"name": property.String("john")}})
+	add(model.Vertex{ID: 10, Label: "Execution", Props: property.Map{"model": property.String("A")}})
+	add(model.Vertex{ID: 11, Label: "Execution", Props: property.Map{"model": property.String("B")}})
+	add(model.Vertex{ID: 12, Label: "Execution", Props: property.Map{"model": property.String("A")}})
+	add(model.Vertex{ID: 20, Label: "File", Props: property.Map{"type": property.String("text")}})
+	add(model.Vertex{ID: 21, Label: "File", Props: property.Map{"type": property.String("bin")}})
+	add(model.Vertex{ID: 22, Label: "File", Props: property.Map{"type": property.String("text")}})
+	for _, e := range []model.Edge{
+		{Src: 1, Dst: 10, Label: "run", Props: property.Map{"ts": property.Int(5)}},
+		{Src: 1, Dst: 11, Label: "run", Props: property.Map{"ts": property.Int(50)}},
+		{Src: 2, Dst: 12, Label: "run", Props: property.Map{"ts": property.Int(5)}},
+		{Src: 10, Dst: 20, Label: "read"},
+		{Src: 11, Dst: 21, Label: "read"},
+		{Src: 10, Dst: 22, Label: "write"},
+	} {
+		if err := g.PutEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestReferenceAuditQuery(t *testing.T) {
+	g := buildTestGraph(t)
+	// Files of type text read by user 1 via runs with ts in [0,10].
+	p := mustCompile(t, V(1).
+		E("run").Ea("ts", property.RANGE, 0, 10).
+		E("read").Va("type", property.EQ, "text"))
+	res, err := Reference(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Results, []model.VertexID{20}) {
+		t.Errorf("results = %v, want [20]", res.Results)
+	}
+	if !reflect.DeepEqual(res.Frontiers, []int{1, 1, 1}) {
+		t.Errorf("frontiers = %v", res.Frontiers)
+	}
+}
+
+func TestReferenceRtnReturnsSourcesWithSurvivingPaths(t *testing.T) {
+	g := buildTestGraph(t)
+	// Executions with model A whose reads reach a text file. Exec 10
+	// qualifies; exec 12 (model A, no reads) must not.
+	p := mustCompile(t, V().
+		Va(LabelKey, property.EQ, "Execution").Va("model", property.EQ, "A").Rtn().
+		E("read").Va("type", property.EQ, "text"))
+	res, err := Reference(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Results, []model.VertexID{10}) {
+		t.Errorf("results = %v, want [10]", res.Results)
+	}
+}
+
+func TestReferenceMultipleRtnSteps(t *testing.T) {
+	g := buildTestGraph(t)
+	// Both the user and the file step marked: result is their union,
+	// restricted to paths that survive to the end.
+	p := mustCompile(t, V(1, 2).Rtn().
+		E("run").
+		E("read").Rtn())
+	res, err := Reference(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Results, []model.VertexID{1, 20, 21}) {
+		t.Errorf("results = %v, want [1 20 21] (user 2 has no read path)", res.Results)
+	}
+}
+
+func TestReferenceSourceLabelSelection(t *testing.T) {
+	g := buildTestGraph(t)
+	p := mustCompile(t, VLabel("User"))
+	res, err := Reference(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Results, []model.VertexID{1, 2}) {
+		t.Errorf("results = %v", res.Results)
+	}
+}
+
+func TestReferenceDanglingEdgeIgnored(t *testing.T) {
+	g := gstore.NewMemStore()
+	g.PutVertex(model.Vertex{ID: 1, Label: "User"})
+	g.PutEdge(model.Edge{Src: 1, Dst: 99, Label: "run"}) // 99 never stored
+	p := mustCompile(t, V(1).E("run"))
+	res, err := Reference(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 0 {
+		t.Errorf("dangling edge produced results: %v", res.Results)
+	}
+}
+
+func TestReferenceDuplicateSeedsDeduped(t *testing.T) {
+	g := buildTestGraph(t)
+	p := mustCompile(t, V(1, 1, 1).E("run"))
+	res, err := Reference(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Results, []model.VertexID{10, 11}) {
+		t.Errorf("results = %v", res.Results)
+	}
+	if res.Frontiers[0] != 1 {
+		t.Errorf("seed frontier = %d, want 1 after dedup", res.Frontiers[0])
+	}
+}
+
+func TestReferenceRevisitAcrossSteps(t *testing.T) {
+	// A cycle: 1 -next-> 2 -next-> 1. BFS would refuse to revisit vertex 1
+	// at step 2; GraphTrek's pattern 2 allows it.
+	g := gstore.NewMemStore()
+	g.PutVertex(model.Vertex{ID: 1, Label: "N"})
+	g.PutVertex(model.Vertex{ID: 2, Label: "N"})
+	g.PutEdge(model.Edge{Src: 1, Dst: 2, Label: "next"})
+	g.PutEdge(model.Edge{Src: 2, Dst: 1, Label: "next"})
+	p := mustCompile(t, V(1).E("next").E("next"))
+	res, err := Reference(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Results, []model.VertexID{1}) {
+		t.Errorf("results = %v, want revisited [1]", res.Results)
+	}
+}

@@ -1,0 +1,148 @@
+package query
+
+import (
+	"sort"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+)
+
+// RefResult is the output of the Reference evaluator.
+type RefResult struct {
+	// Results are the returned vertices, sorted and deduplicated.
+	Results []model.VertexID
+	// Frontiers[i] is the number of distinct vertices surviving step i.
+	Frontiers []int
+}
+
+// Reference evaluates a plan against a graph with a plain, single-threaded
+// level-by-level sweep. It is the semantic oracle for every distributed
+// engine: same filters, same revisit rules (a vertex may reappear at a
+// different step but is deduplicated within one step — §II-C pattern 2),
+// and the same rtn() rule (a marked vertex is returned only if at least one
+// path through it survives to the end of the chain).
+func Reference(g gstore.Graph, p *Plan) (RefResult, error) {
+	if err := p.Validate(); err != nil {
+		return RefResult{}, err
+	}
+	// Forward pass: frontier per step, plus the step-local edges between
+	// consecutive frontiers for the backward liveness pass.
+	type hop struct{ from, to model.VertexID }
+	frontiers := make([]map[model.VertexID]bool, len(p.Steps))
+	hops := make([][]hop, len(p.Steps)) // hops[i] connect frontier i-1 -> i
+
+	seed, err := sources(g, p.Steps[0])
+	if err != nil {
+		return RefResult{}, err
+	}
+	frontiers[0] = make(map[model.VertexID]bool)
+	for _, id := range seed {
+		ok, err := vertexPasses(g, id, p.Steps[0])
+		if err != nil {
+			return RefResult{}, err
+		}
+		if ok {
+			frontiers[0][id] = true
+		}
+	}
+	for i := 1; i < len(p.Steps); i++ {
+		step := p.Steps[i]
+		cand := make(map[model.VertexID]bool)
+		var stepHops []hop
+		for u := range frontiers[i-1] {
+			err := g.ScanEdges(u, step.EdgeLabel, func(e model.Edge) bool {
+				if !step.EdgeFilters.MatchAll(e.Props) {
+					return true
+				}
+				cand[e.Dst] = true
+				stepHops = append(stepHops, hop{from: u, to: e.Dst})
+				return true
+			})
+			if err != nil {
+				return RefResult{}, err
+			}
+		}
+		frontiers[i] = make(map[model.VertexID]bool)
+		for id := range cand {
+			ok, err := vertexPasses(g, id, step)
+			if err != nil {
+				return RefResult{}, err
+			}
+			if ok {
+				frontiers[i][id] = true
+			}
+		}
+		hops[i] = stepHops
+	}
+
+	// Backward pass: alive(i) = vertices of frontier i with a path to the
+	// final frontier.
+	last := len(p.Steps) - 1
+	alive := make([]map[model.VertexID]bool, len(p.Steps))
+	alive[last] = frontiers[last]
+	for i := last; i > 0; i-- {
+		alive[i-1] = make(map[model.VertexID]bool)
+		for _, h := range hops[i] {
+			if alive[i][h.to] && frontiers[i-1][h.from] {
+				alive[i-1][h.from] = true
+			}
+		}
+	}
+
+	out := RefResult{Frontiers: make([]int, len(p.Steps))}
+	resultSet := make(map[model.VertexID]bool)
+	for i := range p.Steps {
+		out.Frontiers[i] = len(frontiers[i])
+		if p.Returned(i) {
+			for id := range alive[i] {
+				resultSet[id] = true
+			}
+		}
+	}
+	for id := range resultSet {
+		out.Results = append(out.Results, id)
+	}
+	sort.Slice(out.Results, func(a, b int) bool { return out.Results[a] < out.Results[b] })
+	return out, nil
+}
+
+// sources returns the seed candidate ids of step 0 (before vertex filters).
+func sources(g gstore.Graph, s0 Step) ([]model.VertexID, error) {
+	switch {
+	case len(s0.SourceIDs) > 0:
+		// Deduplicate explicit seeds.
+		seen := make(map[model.VertexID]bool, len(s0.SourceIDs))
+		var out []model.VertexID
+		for _, id := range s0.SourceIDs {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	case s0.SourceLabel != "":
+		var out []model.VertexID
+		err := g.ScanVerticesByLabel(s0.SourceLabel, func(id model.VertexID) bool {
+			out = append(out, id)
+			return true
+		})
+		return out, err
+	default:
+		var out []model.VertexID
+		err := g.ScanVertices(func(v model.Vertex) bool {
+			out = append(out, v.ID)
+			return true
+		})
+		return out, err
+	}
+}
+
+// vertexPasses fetches a vertex and applies a step's vertex filters.
+// A candidate id with no stored vertex (dangling edge) never passes.
+func vertexPasses(g gstore.Graph, id model.VertexID, s Step) (bool, error) {
+	v, ok, err := g.GetVertex(id)
+	if err != nil || !ok {
+		return false, err
+	}
+	return VertexMatches(v, s.VertexFilters), nil
+}

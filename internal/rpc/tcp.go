@@ -1,0 +1,241 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"graphtrek/internal/wire"
+)
+
+// TCP is the network transport for standalone deployments: every node
+// listens on one address and lazily dials its peers. Frames are
+// [length: 4 bytes LE][wire-encoded message]; the first frame on a dialed
+// connection is a 4-byte hello carrying the dialer's node id.
+//
+// A dedicated writer goroutine per peer preserves per-pair FIFO order, and
+// each inbound connection is read (and its handler invoked) sequentially,
+// so the ordering contract matches the in-process Fabric. The Handler must
+// therefore be safe for concurrent calls from different peers.
+type TCP struct {
+	self    int
+	addrs   []string
+	handler Handler
+	ln      net.Listener
+
+	mu      sync.Mutex
+	peers   map[int]*tcpPeer
+	inbound map[net.Conn]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+type tcpPeer struct {
+	conn net.Conn
+	out  chan []byte
+	done chan struct{}
+}
+
+const tcpOutboxSize = 4096
+
+// NewTCP starts a TCP transport for node self among the given peer
+// addresses (index = node id). The handler receives every inbound message.
+func NewTCP(self int, addrs []string, h Handler) (*TCP, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("rpc: self %d out of range", self)
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addrs[self], err)
+	}
+	addrs = append([]string(nil), addrs...)
+	addrs[self] = ln.Addr().String() // resolve ":0" to the bound port
+	t := &TCP{
+		self: self, addrs: addrs, handler: h, ln: ln,
+		peers:   make(map[int]*tcpPeer),
+		inbound: make(map[net.Conn]bool),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (useful when the
+// configured address used port 0).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// PatchAddrs replaces the peer address list — used when a cluster binds
+// ephemeral ports one node at a time and the final list is only known once
+// every node is up. It must be called before the first Send to any
+// not-yet-dialed peer; established connections are unaffected.
+func (t *TCP) PatchAddrs(addrs []string) error {
+	if len(addrs) != len(t.addrs) {
+		return fmt.Errorf("rpc: PatchAddrs length %d != %d", len(addrs), len(t.addrs))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	copy(t.addrs, addrs)
+	t.addrs[t.self] = t.ln.Addr().String()
+	return nil
+}
+
+// Self implements Transport.
+func (t *TCP) Self() int { return t.self }
+
+// N implements Transport.
+func (t *TCP) N() int { return len(t.addrs) }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := int(binary.LittleEndian.Uint32(hello[:]))
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > 256<<20 {
+			return // absurd frame, drop the connection
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		msg, err := wire.Decode(payload)
+		if err != nil {
+			return
+		}
+		t.handler(from, msg)
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to int, msg wire.Message) error {
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("rpc: no such node %d", to)
+	}
+	p, err := t.peer(to)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4, 4+256)
+	frame = wire.Append(frame, &msg)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	select {
+	case p.out <- frame:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// peer returns (dialing if necessary) the outbound connection to node `to`.
+func (t *TCP) peer(to int) (*tcpPeer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := t.peers[to]; ok {
+		return p, nil
+	}
+	conn, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial node %d: %w", to, err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(t.self))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p := &tcpPeer{conn: conn, out: make(chan []byte, tcpOutboxSize), done: make(chan struct{})}
+	t.peers[to] = p
+	t.wg.Add(1)
+	go t.writeLoop(p)
+	return p, nil
+}
+
+func (t *TCP) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	defer p.conn.Close()
+	for {
+		select {
+		case frame := <-p.out:
+			if _, err := p.conn.Write(frame); err != nil {
+				return
+			}
+		case <-p.done:
+			// Flush anything already queued, then stop.
+			for {
+				select {
+				case frame := <-p.out:
+					if _, err := p.conn.Write(frame); err != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := t.peers
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, p := range peers {
+		close(p.done)
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,271 @@
+// Package sched implements the per-server request queue of §V-B. Incoming
+// traversal requests are buffered locally (the server acknowledges its
+// ancestor before processing, so ancestors finish asynchronously); a pool
+// of worker goroutines drains the queue under two cooperating policies:
+//
+//   - execution scheduling: workers always take the request with the
+//     smallest step id, so slow steps catch up and the spread between the
+//     fastest and slowest in-flight step stays bounded (which also bounds
+//     traversal-affiliate cache pressure);
+//   - execution merging: requests for the same vertex — across different
+//     steps of the same traversal — are coalesced into one group served by
+//     a single disk access.
+//
+// Both policies are independently switchable so the benchmarks can ablate
+// them, and a step gate turns the same queue into the synchronous engine's
+// barrier buffer.
+package sched
+
+import (
+	"math"
+	"sync"
+
+	"graphtrek/internal/model"
+)
+
+// Item is one buffered traversal request: visit Vertex on behalf of Step,
+// carrying the rtn() provenance tag (Anc, AncStep, Dest) and an opaque
+// reference to the execution accumulator that owns it.
+type Item struct {
+	Travel  uint64
+	Step    int32
+	Vertex  model.VertexID
+	Anc     model.VertexID
+	AncStep int32
+	Dest    int32
+	Exec    any
+}
+
+// Group is the unit a worker processes: one vertex of one traversal, with
+// every request currently merged onto it. Without merging a group holds
+// exactly one item.
+type Group struct {
+	Travel uint64
+	Vertex model.VertexID
+	Items  []Item
+}
+
+// Options selects the queue's policies.
+type Options struct {
+	// Priority pops smallest-step groups first (execution scheduling).
+	Priority bool
+	// Merge coalesces same-vertex requests into one group.
+	Merge bool
+	// Gated holds back items whose step exceeds the released gate — the
+	// synchronous engine's barrier. Ungated queues admit every step.
+	Gated bool
+}
+
+type groupKey struct {
+	travel uint64
+	vertex model.VertexID
+}
+
+type group struct {
+	Group
+	minStep int32
+	seq     uint64
+	taken   bool
+}
+
+// Queue is the buffered request queue. All methods are safe for concurrent
+// use.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	opts   Options
+	gate   int32
+	seq    uint64
+	byKey  map[groupKey]*group // only when merging
+	bucket map[int32][]*group  // step -> groups in arrival order
+	steps  []int32             // sorted distinct step ids with buckets
+	size   int                 // buffered items
+	closed bool
+}
+
+// New creates a queue with the given policies. A gated queue starts with
+// gate 0 (only step-0 items eligible).
+func New(opts Options) *Queue {
+	q := &Queue{opts: opts, byKey: make(map[groupKey]*group), bucket: make(map[int32][]*group)}
+	if !opts.Gated {
+		q.gate = math.MaxInt32
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push buffers items. Pushing to a closed queue drops the items.
+func (q *Queue) Push(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	for _, it := range items {
+		q.size++
+		if q.opts.Merge {
+			k := groupKey{it.Travel, it.Vertex}
+			if g, ok := q.byKey[k]; ok && !g.taken {
+				g.Items = append(g.Items, it)
+				if it.Step < g.minStep {
+					// Move the group down to the new step's bucket; the
+					// stale slot in the old bucket is skipped lazily.
+					g.minStep = it.Step
+					q.addToBucket(g)
+				}
+				continue
+			}
+			g := &group{Group: Group{Travel: it.Travel, Vertex: it.Vertex, Items: []Item{it}}, minStep: it.Step, seq: q.seq}
+			q.seq++
+			q.byKey[k] = g
+			q.addToBucket(g)
+			continue
+		}
+		g := &group{Group: Group{Travel: it.Travel, Vertex: it.Vertex, Items: []Item{it}}, minStep: it.Step, seq: q.seq}
+		q.seq++
+		q.addToBucket(g)
+	}
+	q.cond.Broadcast()
+}
+
+func (q *Queue) addToBucket(g *group) {
+	step := g.minStep
+	if _, ok := q.bucket[step]; !ok {
+		q.insertStep(step)
+	}
+	q.bucket[step] = append(q.bucket[step], g)
+}
+
+func (q *Queue) insertStep(step int32) {
+	i := 0
+	for i < len(q.steps) && q.steps[i] < step {
+		i++
+	}
+	q.steps = append(q.steps, 0)
+	copy(q.steps[i+1:], q.steps[i:])
+	q.steps[i] = step
+	if _, ok := q.bucket[step]; !ok {
+		q.bucket[step] = nil
+	}
+}
+
+// Pop blocks until a group is eligible (its smallest step is within the
+// gate) and returns it. The second result is false once the queue is
+// closed and drained of eligible work.
+func (q *Queue) Pop() (Group, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if g := q.popLocked(); g != nil {
+			return g.Group, true
+		}
+		if q.closed {
+			return Group{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// popLocked selects the next group under the configured policy, skipping
+// stale bucket slots left by merges that moved a group.
+func (q *Queue) popLocked() *group {
+	var best *group
+	bestBucket := int32(-1)
+	bestIdx := -1
+	for _, step := range q.steps {
+		if step > q.gate {
+			break
+		}
+		list := q.bucket[step]
+		// Trim stale heads (taken, or relocated to another bucket).
+		i := 0
+		for i < len(list) && (list[i].taken || list[i].minStep != step) {
+			i++
+		}
+		if i > 0 {
+			list = list[i:]
+			q.bucket[step] = list
+		}
+		if len(list) == 0 {
+			continue
+		}
+		head := list[0]
+		if q.opts.Priority {
+			best, bestBucket, bestIdx = head, step, 0
+			break // smallest eligible step wins
+		}
+		if best == nil || head.seq < best.seq {
+			best, bestBucket, bestIdx = head, step, 0
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	q.bucket[bestBucket] = q.bucket[bestBucket][bestIdx+1:]
+	best.taken = true
+	if q.opts.Merge {
+		delete(q.byKey, groupKey{best.Travel, best.Vertex})
+	}
+	q.size -= len(best.Items)
+	return best
+}
+
+// Release raises the gate so items up to and including step become
+// eligible. It is a no-op on ungated queues and never lowers the gate.
+func (q *Queue) Release(step int32) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.opts.Gated || step <= q.gate {
+		return
+	}
+	q.gate = step
+	q.cond.Broadcast()
+}
+
+// Gate returns the current gate (MaxInt32 when ungated).
+func (q *Queue) Gate() int32 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.gate
+}
+
+// Len reports the number of buffered items.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// EligibleLen reports the number of buffered items whose step is within the
+// gate — the items a worker could pop right now. The engine flushes its
+// outboxes when this reaches zero; counting gated items would deadlock the
+// synchronous barrier (step-k executions would never report termination
+// while step-k+1 items wait behind the gate).
+func (q *Queue) EligibleLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, step := range q.steps {
+		if step > q.gate {
+			break
+		}
+		for _, g := range q.bucket[step] {
+			if !g.taken && g.minStep == step {
+				n += len(g.Items)
+			}
+		}
+	}
+	return n
+}
+
+// Close wakes all blocked Pops; they drain remaining eligible work and then
+// return false.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

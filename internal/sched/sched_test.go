@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"graphtrek/internal/model"
+)
+
+func item(travel uint64, step int32, vertex int) Item {
+	return Item{Travel: travel, Step: step, Vertex: model.VertexID(vertex)}
+}
+
+func popAll(q *Queue) []Group {
+	q.Close()
+	var out []Group
+	for {
+		g, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, g)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(Options{})
+	q.Push([]Item{item(1, 2, 10), item(1, 0, 11), item(1, 1, 12)})
+	got := popAll(q)
+	want := []model.VertexID{10, 11, 12}
+	for i, g := range got {
+		if g.Vertex != want[i] || len(g.Items) != 1 {
+			t.Errorf("pop %d = %+v, want vertex %d", i, g, want[i])
+		}
+	}
+}
+
+func TestPriorityOrdersBySmallestStep(t *testing.T) {
+	q := New(Options{Priority: true})
+	q.Push([]Item{item(1, 5, 10), item(1, 1, 11), item(1, 3, 12), item(1, 1, 13)})
+	got := popAll(q)
+	wantSteps := []int32{1, 1, 3, 5}
+	wantVerts := []model.VertexID{11, 13, 12, 10} // FIFO within a step
+	for i, g := range got {
+		if g.Items[0].Step != wantSteps[i] || g.Vertex != wantVerts[i] {
+			t.Errorf("pop %d = step %d vertex %d, want step %d vertex %d",
+				i, g.Items[0].Step, g.Vertex, wantSteps[i], wantVerts[i])
+		}
+	}
+}
+
+func TestMergeCoalescesSameVertex(t *testing.T) {
+	q := New(Options{Priority: true, Merge: true})
+	q.Push([]Item{item(1, 1, 10), item(1, 2, 10), item(1, 1, 11)})
+	got := popAll(q)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d, want 2", len(got))
+	}
+	if got[0].Vertex != 10 || len(got[0].Items) != 2 {
+		t.Errorf("group 0 = %+v, want merged vertex 10 with 2 items", got[0])
+	}
+	if got[1].Vertex != 11 || len(got[1].Items) != 1 {
+		t.Errorf("group 1 = %+v", got[1])
+	}
+}
+
+func TestMergeDoesNotCrossTravels(t *testing.T) {
+	q := New(Options{Merge: true})
+	q.Push([]Item{item(1, 1, 10), item(2, 1, 10)})
+	got := popAll(q)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d, want 2 (no cross-travel merge)", len(got))
+	}
+}
+
+func TestMergeMovesGroupToLowerStep(t *testing.T) {
+	q := New(Options{Priority: true, Merge: true})
+	q.Push([]Item{item(1, 4, 10)})
+	q.Push([]Item{item(1, 2, 11)})
+	q.Push([]Item{item(1, 1, 10)}) // merges; group 10 now has min step 1
+	got := popAll(q)
+	if got[0].Vertex != 10 || len(got[0].Items) != 2 {
+		t.Fatalf("pop 0 = %+v, want vertex 10 popped first after move-down", got[0])
+	}
+	if got[1].Vertex != 11 {
+		t.Errorf("pop 1 = %+v", got[1])
+	}
+}
+
+func TestNoMergeAfterPop(t *testing.T) {
+	q := New(Options{Merge: true})
+	q.Push([]Item{item(1, 1, 10)})
+	g, ok := q.Pop()
+	if !ok || len(g.Items) != 1 {
+		t.Fatal("first pop failed")
+	}
+	// The group was taken; a new arrival must form a fresh group.
+	q.Push([]Item{item(1, 2, 10)})
+	got := popAll(q)
+	if len(got) != 1 || len(got[0].Items) != 1 || got[0].Items[0].Step != 2 {
+		t.Errorf("post-pop arrival = %+v", got)
+	}
+}
+
+func TestGatedQueueHoldsFutureSteps(t *testing.T) {
+	q := New(Options{Gated: true})
+	q.Push([]Item{item(1, 1, 10), item(1, 0, 11)})
+	g, ok := q.Pop()
+	if !ok || g.Vertex != 11 {
+		t.Fatalf("pop = %+v, want the step-0 item", g)
+	}
+	// Step-1 item must be held until release.
+	done := make(chan Group, 1)
+	go func() {
+		g, _ := q.Pop()
+		done <- g
+	}()
+	select {
+	case g := <-done:
+		t.Fatalf("gated item popped early: %+v", g)
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Release(1)
+	select {
+	case g := <-done:
+		if g.Vertex != 10 {
+			t.Errorf("released pop = %+v", g)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("release did not wake the popper")
+	}
+	q.Close()
+}
+
+func TestReleaseNeverLowersGate(t *testing.T) {
+	q := New(Options{Gated: true})
+	q.Release(5)
+	q.Release(3)
+	if q.Gate() != 5 {
+		t.Errorf("gate = %d, want 5", q.Gate())
+	}
+	// Ungated queues ignore Release.
+	u := New(Options{})
+	u.Release(1)
+	if u.Gate() <= 1<<30 {
+		t.Errorf("ungated gate = %d", u.Gate())
+	}
+}
+
+func TestLenTracksItems(t *testing.T) {
+	q := New(Options{Merge: true})
+	q.Push([]Item{item(1, 1, 10), item(1, 2, 10), item(1, 1, 11)})
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Errorf("Len after merged pop = %d, want 1", q.Len())
+	}
+}
+
+func TestPushAfterCloseDropped(t *testing.T) {
+	q := New(Options{})
+	q.Close()
+	q.Push([]Item{item(1, 0, 1)})
+	if _, ok := q.Pop(); ok {
+		t.Error("closed queue should not yield items pushed after close")
+	}
+}
+
+func TestCloseDrainsEligibleWork(t *testing.T) {
+	q := New(Options{})
+	q.Push([]Item{item(1, 0, 1), item(1, 0, 2)})
+	q.Close()
+	if got := len(popAllOpen(q)); got != 2 {
+		t.Errorf("drained %d items, want 2", got)
+	}
+}
+
+func popAllOpen(q *Queue) []Group {
+	var out []Group
+	for {
+		g, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, g)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New(Options{Priority: true, Merge: true})
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perProducer; i++ {
+				q.Push([]Item{item(uint64(r.Intn(2)), int32(r.Intn(8)), r.Intn(100))})
+			}
+		}(int64(p))
+	}
+	var consumed sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for c := 0; c < 3; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				g, ok := q.Pop()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				total += len(g.Items)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	consumed.Wait()
+	if total != producers*perProducer {
+		t.Errorf("consumed %d items, want %d", total, producers*perProducer)
+	}
+}
+
+func TestExecPointerPreserved(t *testing.T) {
+	q := New(Options{Merge: true})
+	type acc struct{ n int }
+	a1, a2 := &acc{1}, &acc{2}
+	q.Push([]Item{{Travel: 1, Step: 0, Vertex: 9, Exec: a1}})
+	q.Push([]Item{{Travel: 1, Step: 1, Vertex: 9, Exec: a2}})
+	g, _ := q.Pop()
+	if len(g.Items) != 2 || g.Items[0].Exec.(*acc) != a1 || g.Items[1].Exec.(*acc) != a2 {
+		t.Errorf("exec pointers lost: %+v", g.Items)
+	}
+	q.Close()
+}
+
+// TestPriorityInvariantQuick: under priority scheduling, a popped group's
+// step is never larger than the smallest step that was eligible in the
+// queue at pop time.
+func TestPriorityInvariantQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		q := New(Options{Priority: true})
+		pending := map[int32]int{}
+		for i := 0; i < 30; i++ {
+			step := int32(r.Intn(8))
+			q.Push([]Item{item(1, step, 1000+i)})
+			pending[step]++
+		}
+		for i := 0; i < 30; i++ {
+			g, ok := q.Pop()
+			if !ok {
+				t.Fatal("queue drained early")
+			}
+			got := g.Items[0].Step
+			for s := int32(0); s < got; s++ {
+				if pending[s] > 0 {
+					t.Fatalf("popped step %d while %d items at step %d were eligible", got, pending[s], s)
+				}
+			}
+			pending[got]--
+		}
+		q.Close()
+	}
+}
+
+func TestEligibleLenRespectsGate(t *testing.T) {
+	q := New(Options{Gated: true})
+	q.Push([]Item{item(1, 0, 1), item(1, 1, 2), item(1, 1, 3)})
+	if got := q.EligibleLen(); got != 1 {
+		t.Fatalf("EligibleLen = %d, want 1 (only step 0)", got)
+	}
+	q.Release(1)
+	if got := q.EligibleLen(); got != 3 {
+		t.Fatalf("EligibleLen after release = %d, want 3", got)
+	}
+	q.Close()
+}

@@ -1,0 +1,298 @@
+// Package wire defines the messages the GraphTrek traversal engines
+// exchange between backend servers, and a compact length-framed binary
+// codec for sending them over byte-stream transports. The in-process
+// transport passes Message values directly; the TCP transport uses the
+// codec. This is the role ZeroMQ messages played in the paper (§VI).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graphtrek/internal/model"
+)
+
+// Kind discriminates message payloads.
+type Kind uint8
+
+const (
+	// KindStartTravel is broadcast by the coordinator to every backend
+	// server before a traversal: it registers the plan and engine mode.
+	KindStartTravel Kind = iota + 1
+	// KindDispatch carries a frontier batch to the server owning its
+	// vertices, creating one traversal execution there.
+	KindDispatch
+	// KindReturnSig notifies an rtn()-holding server that descendant paths
+	// of the listed ancestor vertices reached the end of the chain (§IV-D).
+	KindReturnSig
+	// KindResult delivers returned vertices to the coordinator.
+	KindResult
+	// KindExecEvents reports execution creation/termination to the
+	// coordinator's status-tracing ledger (§IV-C).
+	KindExecEvents
+	// KindStepGo is the synchronous engine's barrier release: the
+	// controller permits processing of the given step.
+	KindStepGo
+	// KindTravelDone tells backend servers a traversal has completed so
+	// they may release per-traversal state (plans, caches, rtn tables).
+	KindTravelDone
+	// KindVisitReq is the client-side traversal mode's unit RPC: process
+	// these vertices for one step and reply, rather than forwarding.
+	KindVisitReq
+	// KindVisitResp answers a KindVisitReq.
+	KindVisitResp
+	// KindProgressReq asks a coordinator for a traversal's live execution
+	// counts per step (§IV-C progress estimation).
+	KindProgressReq
+	// KindProgressResp answers a KindProgressReq; Created carries one
+	// ExecRef per step with ID = live execution count.
+	KindProgressResp
+	// KindCancel asks a coordinator to abort a traversal: the ledger is
+	// failed with a cancellation error and every backend releases its
+	// per-traversal state.
+	KindCancel
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindStartTravel:
+		return "StartTravel"
+	case KindDispatch:
+		return "Dispatch"
+	case KindReturnSig:
+		return "ReturnSig"
+	case KindResult:
+		return "Result"
+	case KindExecEvents:
+		return "ExecEvents"
+	case KindStepGo:
+		return "StepGo"
+	case KindTravelDone:
+		return "TravelDone"
+	case KindVisitReq:
+		return "VisitReq"
+	case KindVisitResp:
+		return "VisitResp"
+	case KindProgressReq:
+		return "ProgressReq"
+	case KindProgressResp:
+		return "ProgressResp"
+	case KindCancel:
+		return "Cancel"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one frontier element: a candidate vertex tagged with its most
+// recent rtn()-marked ancestor (vertex plus the step at which it was
+// marked) and the server that must receive the end-of-chain signal for that
+// ancestor (the "reporting destination" of Fig. 4). Dest < 0 means no rtn
+// level is open. In KindReturnSig messages, Vertex and AncStep identify the
+// marked vertex being signalled.
+type Entry struct {
+	Vertex  model.VertexID
+	Anc     model.VertexID
+	AncStep int32
+	Dest    int32
+}
+
+// ExecRef identifies one traversal execution in the coordinator ledger.
+type ExecRef struct {
+	ID     uint64
+	Server int32
+	Step   int32
+}
+
+// Message is the single on-the-wire envelope; which fields are meaningful
+// depends on Kind. A flat struct keeps the codec simple and lets the
+// in-process transport pass messages by value with no marshaling.
+type Message struct {
+	Kind     Kind
+	TravelID uint64
+	Step     int32
+	Mode     uint8
+	Coord    int32
+	Plan     []byte
+	ExecID   uint64
+	Entries  []Entry
+	Created  []ExecRef
+	Ended    []uint64
+	Verts    []model.VertexID
+	ReqID    uint64
+	Err      string
+}
+
+// Append serializes m, appending to b.
+func Append(b []byte, m *Message) []byte {
+	b = append(b, byte(m.Kind), m.Mode)
+	b = binary.LittleEndian.AppendUint64(b, m.TravelID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Step))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Coord))
+	b = binary.LittleEndian.AppendUint64(b, m.ExecID)
+	b = binary.LittleEndian.AppendUint64(b, m.ReqID)
+	b = binary.AppendUvarint(b, uint64(len(m.Plan)))
+	b = append(b, m.Plan...)
+	b = binary.AppendUvarint(b, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = binary.AppendUvarint(b, uint64(e.Vertex))
+		b = binary.AppendUvarint(b, uint64(e.Anc))
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.AncStep))
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.Dest))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Created)))
+	for _, c := range m.Created {
+		b = binary.AppendUvarint(b, c.ID)
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.Server))
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.Step))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Ended)))
+	for _, id := range m.Ended {
+		b = binary.AppendUvarint(b, id)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Verts)))
+	for _, v := range m.Verts {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Err)))
+	b = append(b, m.Err...)
+	return b
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, sz := binary.Uvarint(d.b)
+	if sz <= 0 {
+		d.err = fmt.Errorf("wire: truncated uvarint")
+		return 0
+	}
+	d.b = d.b[sz:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 4 {
+		d.err = fmt.Errorf("wire: truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.err = fmt.Errorf("wire: truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)) < n {
+		d.err = fmt.Errorf("wire: truncated bytes")
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// count validates a declared element count against the bytes actually
+// remaining: each element needs at least minSize bytes, so a count that
+// cannot fit is corruption. This bounds allocation before any make() —
+// the decoder sits on a network trust boundary.
+func (d *decoder) count(n uint64, minSize int) int {
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b))/uint64(minSize) {
+		d.err = fmt.Errorf("wire: declared %d elements but only %d bytes remain", n, len(d.b))
+		return 0
+	}
+	return int(n)
+}
+
+// Decode parses a message serialized by Append. The entire input must be
+// consumed.
+func Decode(b []byte) (Message, error) {
+	if len(b) < 2 {
+		return Message{}, fmt.Errorf("wire: message too short")
+	}
+	var m Message
+	m.Kind = Kind(b[0])
+	m.Mode = b[1]
+	d := &decoder{b: b[2:]}
+	m.TravelID = d.u64()
+	m.Step = int32(d.u32())
+	m.Coord = int32(d.u32())
+	m.ExecID = d.u64()
+	m.ReqID = d.u64()
+	if n := d.uvarint(); n > 0 {
+		m.Plan = append([]byte(nil), d.bytes(n)...)
+	}
+	// An Entry encodes to at least 1+1+4+4 bytes, an ExecRef to 1+4+4,
+	// Ended ids and Verts to at least 1 byte each.
+	if n := d.count(d.uvarint(), 10); n > 0 && d.err == nil {
+		m.Entries = make([]Entry, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			e := Entry{
+				Vertex: model.VertexID(d.uvarint()),
+				Anc:    model.VertexID(d.uvarint()),
+			}
+			e.AncStep = int32(d.u32())
+			e.Dest = int32(d.u32())
+			m.Entries = append(m.Entries, e)
+		}
+	}
+	if n := d.count(d.uvarint(), 9); n > 0 && d.err == nil {
+		m.Created = make([]ExecRef, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			c := ExecRef{ID: d.uvarint()}
+			c.Server = int32(d.u32())
+			c.Step = int32(d.u32())
+			m.Created = append(m.Created, c)
+		}
+	}
+	if n := d.count(d.uvarint(), 1); n > 0 && d.err == nil {
+		m.Ended = make([]uint64, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Ended = append(m.Ended, d.uvarint())
+		}
+	}
+	if n := d.count(d.uvarint(), 1); n > 0 && d.err == nil {
+		m.Verts = make([]model.VertexID, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Verts = append(m.Verts, model.VertexID(d.uvarint()))
+		}
+	}
+	if n := d.uvarint(); d.err == nil {
+		m.Err = string(d.bytes(n))
+	}
+	if d.err != nil {
+		return Message{}, d.err
+	}
+	if len(d.b) != 0 {
+		return Message{}, fmt.Errorf("wire: %d trailing bytes", len(d.b))
+	}
+	return m, nil
+}
