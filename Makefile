@@ -1,0 +1,31 @@
+# GraphTrek build and verification targets. `make check` is the full gate
+# the CI and pre-commit runs use: vet, build, tests, and the race detector.
+
+GO ?= go
+
+.PHONY: all build vet test race check fmt bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet build test race
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/...
+
+clean:
+	$(GO) clean ./...

@@ -36,7 +36,10 @@ func main() {
 	data := flag.String("data", "", "persistent graph partition directory (required)")
 	workers := flag.Int("workers", 4, "traversal worker pool size")
 	diskService := flag.Duration("disk-service", 0, "simulated per-access disk latency (0 = real storage only)")
-	timeout := flag.Duration("travel-timeout", 60*time.Second, "coordinator failure-detection timeout")
+	timeout := flag.Duration("travel-timeout", 60*time.Second, "coordinator inactivity watchdog timeout")
+	heartbeat := flag.Duration("heartbeat", time.Second, "backend heartbeat interval (0 disables the failure detector)")
+	suspectAfter := flag.Duration("suspect-after", 0, "silence before a peer is suspected dead (0 = 3x heartbeat)")
+	sendTimeout := flag.Duration("send-timeout", 2*time.Second, "bounded wait on a full peer outbox before failing the send")
 	flag.Parse()
 
 	if *data == "" || *addrs == "" {
@@ -57,14 +60,20 @@ func main() {
 	defer store.Close()
 
 	srv := core.NewServer(core.Config{
-		ID:            *id,
-		Store:         store,
-		Part:          partition.NewHash(*servers),
-		Disk:          simio.NewDisk(*diskService, 1),
-		Workers:       *workers,
-		TravelTimeout: *timeout,
+		ID:                *id,
+		Store:             store,
+		Part:              partition.NewHash(*servers),
+		Disk:              simio.NewDisk(*diskService, 1),
+		Workers:           *workers,
+		TravelTimeout:     *timeout,
+		HeartbeatInterval: *heartbeat,
+		SuspectAfter:      *suspectAfter,
 	})
-	tr, err := rpc.NewTCP(*id, addrList, srv.Handle)
+	tr, err := rpc.NewTCPWithOptions(*id, addrList, srv.Handle, rpc.TCPOptions{
+		SendTimeout:   *sendTimeout,
+		OnReconnect:   srv.ObserveReconnect,
+		OnSendFailure: srv.ObserveSendFailure,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphtrek-server:", err)
 		os.Exit(1)

@@ -44,16 +44,17 @@ func main() {
 	vaSpec := flag.String("va", "", "final-step vertex EQ filter, key=value")
 	rtnStep := flag.Int("rtn", -1, "step index to mark with rtn() (-1: none)")
 	modeName := flag.String("mode", "graphtrek", "engine: sync | async | graphtrek | client")
-	timeout := flag.Duration("timeout", 2*time.Minute, "client wait timeout")
+	timeout := flag.Duration("timeout", 2*time.Minute, "client wait timeout per attempt")
+	retries := flag.Int("retries", 0, "traversal restarts after a failed attempt (rotates coordinator)")
 	flag.Parse()
 
-	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout); err != nil {
+	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "gtq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration) error {
+func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int) error {
 	mode, ok := modes[modeName]
 	if !ok {
 		return fmt.Errorf("unknown -mode %q", modeName)
@@ -79,7 +80,7 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 
 	fmt.Printf("gtq: %s (mode %s)\n", plan, mode)
 	start := time.Now()
-	res, err := client.SubmitPlan(plan, core.SubmitOptions{Mode: mode, Coordinator: -1, Timeout: timeout})
+	res, err := client.SubmitPlan(plan, core.SubmitOptions{Mode: mode, Coordinator: -1, Timeout: timeout, Retries: retries})
 	if err != nil {
 		return err
 	}

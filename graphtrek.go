@@ -154,6 +154,15 @@ type Options struct {
 	KVOptions kv.Options
 	// TravelTimeout is the coordinator failure-detection deadline.
 	TravelTimeout time.Duration
+	// HeartbeatInterval drives the backend failure detector: crashed or
+	// partitioned peers are suspected after SuspectAfter of silence and
+	// traversals touching them fail immediately for retry, instead of
+	// waiting out TravelTimeout. Zero selects 500ms; negative disables
+	// the detector.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence threshold before a peer is suspected
+	// dead (default 3 x HeartbeatInterval).
+	SuspectAfter time.Duration
 	// InboxSize is the per-node fabric inbox capacity.
 	InboxSize int
 	// ClientRTT models the client-server network round trip, which the
@@ -191,6 +200,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 		// Consolidate batches arriving within a couple of OS timer ticks.
 		opts.FlushLinger = 2 * time.Millisecond
 	}
+	if opts.HeartbeatInterval == 0 {
+		opts.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if opts.HeartbeatInterval < 0 {
+		opts.HeartbeatInterval = 0 // detector disabled
+	}
 	part := opts.Partitioner
 	if part == nil {
 		part = partition.NewHash(opts.Servers)
@@ -221,15 +236,17 @@ func NewCluster(opts Options) (*Cluster, error) {
 		}
 		c.disks = append(c.disks, disk)
 		srv := core.NewServer(core.Config{
-			ID:            i,
-			Store:         store,
-			Part:          c.part,
-			Disk:          disk,
-			Workers:       opts.Workers,
-			CacheCap:      opts.CacheCap,
-			BatchSize:     opts.BatchSize,
-			FlushLinger:   opts.FlushLinger,
-			TravelTimeout: opts.TravelTimeout,
+			ID:                i,
+			Store:             store,
+			Part:              c.part,
+			Disk:              disk,
+			Workers:           opts.Workers,
+			CacheCap:          opts.CacheCap,
+			BatchSize:         opts.BatchSize,
+			FlushLinger:       opts.FlushLinger,
+			TravelTimeout:     opts.TravelTimeout,
+			HeartbeatInterval: opts.HeartbeatInterval,
+			SuspectAfter:      opts.SuspectAfter,
 		})
 		srv.Bind(c.fabric.Endpoint(i))
 		if err := c.fabric.Endpoint(i).Start(srv.Handle); err != nil {

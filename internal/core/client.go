@@ -40,11 +40,18 @@ type pendingTravel struct {
 
 // NewClient creates a client; Bind must be called with its transport.
 func NewClient(part partition.Partitioner) *Client {
-	return &Client{
+	c := &Client{
 		part:    part,
 		pending: make(map[uint64]*pendingTravel),
 		reqs:    make(map[uint64]chan wire.Message),
 	}
+	// Travel ids embed this client's node slot and a sequence number. The
+	// sequence is seeded from the clock so a restarted client process never
+	// reuses an id a previous incarnation already completed — the servers
+	// remember recently finished traversals and drop late messages for
+	// them, which would silently swallow a replayed id's StartTravel.
+	c.seq.Store(uint64(time.Now().UnixNano()) & (1<<47 - 1))
+	return c
 }
 
 // Bind attaches the transport; call before submitting.
@@ -123,6 +130,11 @@ func (c *Client) Submit(t *query.Travel, opts SubmitOptions) ([]model.VertexID, 
 // SubmitPlan runs an already compiled traversal plan, restarting it on
 // failure per SubmitOptions.Retries.
 func (c *Client) SubmitPlan(plan *query.Plan, opts SubmitOptions) ([]model.VertexID, error) {
+	if opts.Retries < 0 {
+		// A negative count must not skip the loop entirely and report an
+		// empty result as success.
+		opts.Retries = 0
+	}
 	var lastErr error
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		res, err := c.submitOnce(plan, opts)

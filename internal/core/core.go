@@ -135,12 +135,19 @@ type Config struct {
 	FlushLinger time.Duration
 	// TravelTimeout is the coordinator watchdog deadline for ledger
 	// inactivity (default 30s; zero selects the default, negative
-	// disables).
+	// disables). It is the coarse backstop; with heartbeats enabled,
+	// crashed peers are detected within a couple of HeartbeatInterval.
 	TravelTimeout time.Duration
-	// DropInbound, when set, makes the server silently discard matching
-	// inbound messages — the failure-injection hook used to test the
-	// watchdog and status tracing.
-	DropInbound func(from int, travelID uint64) bool
+	// HeartbeatInterval enables the backend failure detector: each
+	// backend beacons liveness to every other backend at this interval,
+	// and a peer silent for SuspectAfter is suspected dead. Coordinators
+	// then fail traversals with live executions on the suspect
+	// immediately — peer-specific error, fast client retry — instead of
+	// waiting out TravelTimeout. Zero disables the detector.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long a backend may stay silent before being
+	// suspected dead (default 3 × HeartbeatInterval).
+	SuspectAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +165,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TravelTimeout == 0 {
 		c.TravelTimeout = 30 * time.Second
+	}
+	if c.HeartbeatInterval > 0 && c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.HeartbeatInterval
 	}
 	return c
 }

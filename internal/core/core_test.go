@@ -69,6 +69,56 @@ func newCluster(t testing.TB, n int, tweak func(*Config)) *cluster {
 	return c
 }
 
+// newChaosCluster is newCluster with every backend's transport wrapped in a
+// seeded fault injector; the returned chaos[i] controls server i's network
+// view (drops, delays, duplication, crash-stop). The client endpoint stays
+// fault-free so submissions and result collection are themselves reliable —
+// faults under test are the server-to-server ones.
+func newChaosCluster(t testing.TB, n int, chaosFor func(id int) rpc.ChaosConfig, tweak func(*Config)) (*cluster, []*rpc.Chaos) {
+	t.Helper()
+	c := &cluster{
+		part:   partition.NewHash(n),
+		fabric: rpc.NewFabric(n+1, 0),
+		global: gstore.NewMemStore(),
+	}
+	chaos := make([]*rpc.Chaos, n)
+	for i := 0; i < n; i++ {
+		store := gstore.NewMemStore()
+		c.stores = append(c.stores, store)
+		cfg := Config{ID: i, Store: store, Part: c.part, TravelTimeout: 15 * time.Second}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		srv := NewServer(cfg)
+		var cc rpc.ChaosConfig
+		if chaosFor != nil {
+			cc = chaosFor(i)
+		}
+		ch := rpc.NewChaos(c.fabric.Endpoint(i), cc)
+		chaos[i] = ch
+		srv.Bind(ch)
+		if err := c.fabric.Endpoint(i).Start(ch.WrapHandler(srv.Handle)); err != nil {
+			t.Fatal(err)
+		}
+		c.servers = append(c.servers, srv)
+	}
+	c.client = NewClient(c.part)
+	c.client.Bind(c.fabric.Endpoint(n))
+	if err := c.fabric.Endpoint(n).Start(c.client.Handle); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range c.servers {
+			s.Close()
+		}
+		for _, ch := range chaos {
+			ch.Close()
+		}
+		c.fabric.Close()
+	})
+	return c, chaos
+}
+
 func (c *cluster) addVertex(t testing.TB, v model.Vertex) {
 	t.Helper()
 	owner := c.part.Owner(v.ID)
@@ -401,13 +451,17 @@ func TestAsyncPlainDoesMoreIO(t *testing.T) {
 }
 
 func TestWatchdogDetectsSilentFailure(t *testing.T) {
-	// Server 1 silently drops every dispatch: executions registered as
-	// created there never terminate, and the coordinator watchdog must
-	// fail the traversal rather than hang (§IV-C).
-	c := newCluster(t, 3, func(cfg *Config) {
-		if cfg.ID == 1 {
-			cfg.DropInbound = func(int, uint64) bool { return true }
+	// Server 1 silently drops every inbound message: executions registered
+	// as created there never terminate, and with the heartbeat detector
+	// off (it cannot see a live-but-deaf server anyway — server 1 still
+	// beacons) the coordinator watchdog must fail the traversal rather
+	// than hang (§IV-C).
+	c, _ := newChaosCluster(t, 3, func(id int) rpc.ChaosConfig {
+		if id == 1 {
+			return rpc.ChaosConfig{DropIn: func(int, wire.Message) bool { return true }}
 		}
+		return rpc.ChaosConfig{}
+	}, func(cfg *Config) {
 		cfg.TravelTimeout = 500 * time.Millisecond
 	})
 	loadAuditGraph(t, c)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 
@@ -118,17 +119,23 @@ func (s *Server) bufferResult(ts *travelState, v model.VertexID) {
 // coordinator and ships its entries. Registration and shipping may happen
 // in either order: the ledger tolerates an execution's events arriving
 // before its registration (it only declares completion when the created and
-// terminated sets coincide).
+// terminated sets coincide). A failed send is recorded as a traversal error
+// — the next flush carries it to the coordinator, which fails the
+// traversal instead of waiting for the watchdog to notice the lost work.
 func (s *Server) sendDispatch(ts *travelState, target int, step int32, entries []wire.Entry) {
 	id := s.newExecID()
-	s.send(int(ts.coord), wire.Message{
+	if err := s.send(int(ts.coord), wire.Message{
 		Kind: wire.KindExecEvents, TravelID: ts.id,
 		Created: []wire.ExecRef{{ID: id, Server: int32(target), Step: step}},
-	})
-	s.send(target, wire.Message{
+	}); err != nil {
+		ts.addErr(fmt.Sprintf("core: exec registration to coordinator %d failed: %v", ts.coord, err))
+	}
+	if err := s.send(target, wire.Message{
 		Kind: wire.KindDispatch, TravelID: ts.id,
 		Step: step, ExecID: id, Entries: entries,
-	})
+	}); err != nil {
+		ts.addErr(fmt.Sprintf("core: dispatch to server %d failed: %v", target, err))
+	}
 }
 
 // flushTravel drains the traversal's outboxes, buffered results and
@@ -179,19 +186,40 @@ func (s *Server) flushTravel(ts *travelState) {
 		return
 	}
 	coord := int(ts.coord)
+	var sendErrs []string
 	if len(results) > 0 {
-		s.send(coord, wire.Message{Kind: wire.KindResult, TravelID: ts.id, Verts: results})
+		if err := s.send(coord, wire.Message{Kind: wire.KindResult, TravelID: ts.id, Verts: results}); err != nil {
+			sendErrs = append(sendErrs, fmt.Sprintf("core: result send to coordinator %d failed: %v", coord, err))
+		}
 	}
 	// Register children and report terminations in one atomic ledger
 	// update, then ship the children.
 	if len(created) > 0 || len(ended) > 0 || len(errs) > 0 {
-		s.send(coord, wire.Message{
+		if err := s.send(coord, wire.Message{
 			Kind: wire.KindExecEvents, TravelID: ts.id,
 			Created: created, Ended: ended, Err: strings.Join(errs, "; "),
-		})
+		}); err != nil {
+			sendErrs = append(sendErrs, fmt.Sprintf("core: exec events to coordinator %d failed: %v", coord, err))
+		}
 	}
 	s.met.AddExecs(int(int64(len(ended))))
 	for _, om := range msgs {
-		s.send(om.target, om.msg)
+		if err := s.send(om.target, om.msg); err != nil {
+			sendErrs = append(sendErrs, fmt.Sprintf("core: dispatch to server %d failed: %v", om.target, err))
+		}
+	}
+	// Lost messages mean lost work the ledger is waiting on: surface the
+	// failure to the coordinator so the traversal errors out promptly. If
+	// even that send fails, the errors stay buffered for the next flush and
+	// the coordinator-side failure detector / watchdog takes over.
+	if len(sendErrs) > 0 {
+		if err := s.send(coord, wire.Message{
+			Kind: wire.KindExecEvents, TravelID: ts.id,
+			Err: strings.Join(sendErrs, "; "),
+		}); err != nil {
+			for _, e := range sendErrs {
+				ts.addErr(e)
+			}
+		}
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"graphtrek/internal/query"
+	"graphtrek/internal/rpc"
 	"graphtrek/internal/simio"
+	"graphtrek/internal/wire"
 )
 
 func TestHandleWaitReturnsResults(t *testing.T) {
@@ -114,10 +116,12 @@ func TestHandleCancelAbortsTraversal(t *testing.T) {
 }
 
 func TestHandleWaitTimeout(t *testing.T) {
-	c := newCluster(t, 2, func(cfg *Config) {
-		if cfg.ID == 1 {
-			cfg.DropInbound = func(int, uint64) bool { return true }
+	c, _ := newChaosCluster(t, 2, func(id int) rpc.ChaosConfig {
+		if id == 1 {
+			return rpc.ChaosConfig{DropIn: func(int, wire.Message) bool { return true }}
 		}
+		return rpc.ChaosConfig{}
+	}, func(cfg *Config) {
 		cfg.TravelTimeout = -1 // watchdog disabled: only the client times out
 	})
 	loadAuditGraph(t, c)

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"graphtrek/internal/wire"
+)
+
+// This file implements the backend failure detector that sharpens the
+// paper's §IV-C failure story from "timeouts flag silent failures" to
+// detection within a couple of heartbeat intervals. Every backend sends a
+// lightweight heartbeat to every other backend each HeartbeatInterval; any
+// inbound message refreshes the sender's liveness, so heartbeats only set a
+// floor on the signal. A peer silent for SuspectAfter is suspected dead:
+// the detector gossips a PeerDown announcement and every coordinator fails
+// its traversals that have live executions registered on the suspect —
+// immediately, with a peer-specific error — so the client's retry policy
+// reroutes around the dead server instead of waiting out TravelTimeout.
+// The coarse TravelTimeout watchdog remains as the backstop for failures
+// heartbeats cannot see (e.g. a live server that silently discards work).
+
+// startFailureDetector launches the heartbeat and detection loops. Called
+// from Bind when HeartbeatInterval > 0.
+func (s *Server) startFailureDetector() {
+	now := time.Now().UnixNano()
+	for i := range s.lastSeen {
+		s.lastSeen[i].Store(now)
+	}
+	s.wg.Add(2)
+	go s.heartbeatLoop()
+	go s.detectLoop()
+}
+
+// heartbeatLoop beacons liveness to every other backend. Heartbeats bypass
+// the MsgsSent engine counter so benchmark message accounting stays
+// comparable whether or not the detector is enabled.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		for p := 0; p < s.cfg.Part.N(); p++ {
+			if p == s.cfg.ID {
+				continue
+			}
+			_ = s.tr.Send(p, wire.Message{Kind: wire.KindHeartbeat, Peer: int32(s.cfg.ID)})
+		}
+	}
+}
+
+// detectLoop scans peer liveness at twice the heartbeat rate and raises a
+// suspicion for any backend silent longer than SuspectAfter.
+func (s *Server) detectLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.HeartbeatInterval / 2
+	if interval <= 0 {
+		interval = s.cfg.HeartbeatInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		for p := range s.lastSeen {
+			if p == s.cfg.ID {
+				continue
+			}
+			if now-s.lastSeen[p].Load() <= int64(s.cfg.SuspectAfter) {
+				continue
+			}
+			if s.suspected[p].Swap(true) {
+				continue // already suspected
+			}
+			s.met.AddPeerDownEvents(1)
+			s.onPeerDown(p, true)
+		}
+	}
+}
+
+// noteAlive refreshes a backend peer's liveness; any message counts. A
+// suspected peer that speaks again is un-suspected — the detector
+// re-raises the suspicion if the silence resumes.
+func (s *Server) noteAlive(from int) {
+	if from < 0 || from >= len(s.lastSeen) || from == s.cfg.ID {
+		return
+	}
+	s.lastSeen[from].Store(time.Now().UnixNano())
+	s.suspected[from].Store(false)
+}
+
+// isSuspect reports whether backend p is currently suspected dead.
+func (s *Server) isSuspect(p int) bool {
+	return p >= 0 && p < len(s.suspected) && s.suspected[p].Load()
+}
+
+// onPeerDown reacts to a fresh suspicion: locally detected suspicions are
+// gossiped so the whole cluster converges within one message delay, and
+// every coordinated traversal with live work on the suspect fails fast.
+func (s *Server) onPeerDown(peer int, broadcast bool) {
+	if broadcast {
+		for p := 0; p < s.cfg.Part.N(); p++ {
+			if p == s.cfg.ID || p == peer || s.isSuspect(p) {
+				continue
+			}
+			s.send(p, wire.Message{Kind: wire.KindPeerDown, Peer: int32(peer)})
+		}
+	}
+	s.failLedgersForPeer(peer)
+}
+
+// handlePeerDown adopts a suspicion gossiped by another backend.
+func (s *Server) handlePeerDown(from int, msg wire.Message) {
+	peer := int(msg.Peer)
+	if from >= s.cfg.Part.N() || peer < 0 || peer >= len(s.suspected) || peer == s.cfg.ID {
+		return
+	}
+	if s.suspected[peer].Swap(true) {
+		return
+	}
+	s.met.AddPeerDownEvents(1)
+	s.onPeerDown(peer, false)
+}
+
+// failLedgersForPeer fails every traversal this server coordinates that
+// still has live executions registered on the suspect — the fast path that
+// replaces waiting out the TravelTimeout watchdog.
+func (s *Server) failLedgersForPeer(peer int) {
+	s.mu.Lock()
+	leds := make([]*ledger, 0, len(s.ledgers))
+	for _, led := range s.ledgers {
+		leds = append(leds, led)
+	}
+	s.mu.Unlock()
+	for _, led := range leds {
+		led.mu.Lock()
+		if led.done || led.liveByServer[int32(peer)] == 0 {
+			led.mu.Unlock()
+			continue
+		}
+		led.errs = append(led.errs, peerDeadError(peer))
+		s.finishTravelLocked(led)
+	}
+}
+
+// peerDeadError is the peer-specific failure a suspected-dead backend
+// produces; clients match on "suspected dead" to distinguish fast
+// detection from the generic inactivity timeout.
+func peerDeadError(peer int) string {
+	return fmt.Sprintf("core: server %d suspected dead (missed heartbeats); traversal failed for fast retry", peer)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -28,6 +29,7 @@ type ledger struct {
 
 	execs         map[uint64]*execInfo
 	liveByStep    map[int32]int // created-and-not-ended executions per step
+	liveByServer  map[int32]int // same, keyed by assigned server — the failure detector's join point
 	liveTotal     int
 	unmatchedEnds int
 	rootsSent     bool
@@ -42,6 +44,7 @@ type ledger struct {
 
 type execInfo struct {
 	step    int32
+	server  int32
 	created bool
 	ended   bool
 }
@@ -51,16 +54,17 @@ type execInfo struct {
 // seeds the source step, and arms the watchdog.
 func (s *Server) startCoordination(client int, travelID uint64, ts *travelState) {
 	led := &ledger{
-		travel:     travelID,
-		mode:       ts.mode,
-		client:     client,
-		plan:       ts.plan,
-		servers:    s.cfg.Part.N(),
-		execs:      make(map[uint64]*execInfo),
-		liveByStep: make(map[int32]int),
-		results:    make(map[model.VertexID]bool),
-		activity:   time.Now(),
-		stopWake:   make(chan struct{}),
+		travel:       travelID,
+		mode:         ts.mode,
+		client:       client,
+		plan:         ts.plan,
+		servers:      s.cfg.Part.N(),
+		execs:        make(map[uint64]*execInfo),
+		liveByStep:   make(map[int32]int),
+		liveByServer: make(map[int32]int),
+		results:      make(map[model.VertexID]bool),
+		activity:     time.Now(),
+		stopWake:     make(chan struct{}),
 	}
 	s.mu.Lock()
 	s.ledgers[travelID] = led
@@ -71,15 +75,18 @@ func (s *Server) startCoordination(client int, travelID uint64, ts *travelState)
 	seedByScan := len(s0.SourceIDs) == 0
 
 	led.mu.Lock()
-	// Broadcast the traversal to every other backend; with scan seeding,
-	// each broadcast carries that server's root execution id.
+	// Broadcast the traversal to every other live backend; with scan
+	// seeding, each broadcast carries that server's root execution id.
+	// Suspected-dead peers are skipped entirely — a traversal started
+	// while a peer is down routes around it (its partition's vertices are
+	// unreachable until it recovers) instead of hanging on it.
 	type bcast struct {
 		server int
 		msg    wire.Message
 	}
 	var bcasts []bcast
 	for srv := 0; srv < led.servers; srv++ {
-		if srv == s.cfg.ID {
+		if srv == s.cfg.ID || s.isSuspect(srv) {
 			continue
 		}
 		m := wire.Message{
@@ -126,16 +133,30 @@ func (s *Server) startCoordination(client int, travelID uint64, ts *travelState)
 	led.rootsSent = true
 	led.mu.Unlock()
 
+	// A failed send here means the execution just registered for that
+	// peer will never run: record it on the ledger so the traversal fails
+	// fast instead of waiting for the watchdog.
+	var sendErrs []string
 	for _, b := range bcasts {
-		s.send(b.server, b.msg)
+		if err := s.send(b.server, b.msg); err != nil {
+			sendErrs = append(sendErrs, fmt.Sprintf("core: start broadcast to server %d failed: %v", b.server, err))
+		}
 	}
 	if seedByScan {
 		s.runSeedExec(ts, selfSeed)
 	}
 	for _, r := range roots {
-		s.send(r.server, r.msg)
+		if err := s.send(r.server, r.msg); err != nil {
+			sendErrs = append(sendErrs, fmt.Sprintf("core: root dispatch to server %d failed: %v", r.server, err))
+		}
 	}
-	// A traversal with zero sources completes immediately.
+	if len(sendErrs) > 0 {
+		led.mu.Lock()
+		led.errs = append(led.errs, sendErrs...)
+		led.mu.Unlock()
+	}
+	// A traversal with zero sources completes immediately; one with a
+	// dead link or a suspected peer in its root set fails immediately.
 	s.checkLedger(led)
 
 	if s.cfg.TravelTimeout > 0 {
@@ -148,8 +169,9 @@ func (s *Server) startCoordination(client int, travelID uint64, ts *travelState)
 func (l *ledger) registerCreatedLocked(ref wire.ExecRef) {
 	info, ok := l.execs[ref.ID]
 	if !ok {
-		l.execs[ref.ID] = &execInfo{step: ref.Step, created: true}
+		l.execs[ref.ID] = &execInfo{step: ref.Step, server: ref.Server, created: true}
 		l.liveByStep[ref.Step]++
+		l.liveByServer[ref.Server]++
 		l.liveTotal++
 		return
 	}
@@ -158,6 +180,7 @@ func (l *ledger) registerCreatedLocked(ref wire.ExecRef) {
 	}
 	info.created = true
 	info.step = ref.Step
+	info.server = ref.Server
 	if info.ended {
 		l.unmatchedEnds-- // the early termination is now matched
 	}
@@ -178,6 +201,7 @@ func (l *ledger) registerEndedLocked(id uint64) {
 	info.ended = true
 	if info.created {
 		l.liveByStep[info.step]--
+		l.liveByServer[info.server]--
 		l.liveTotal--
 	} else {
 		l.unmatchedEnds++
@@ -227,6 +251,17 @@ func (s *Server) checkLedger(led *ledger) {
 	if len(led.errs) > 0 {
 		s.finishTravelLocked(led)
 		return
+	}
+	// Fast failure: live work registered on a suspected-dead backend will
+	// never terminate — fail now, not at TravelTimeout. This also catches
+	// mid-traversal dispatches to a peer that died after the start
+	// broadcast.
+	for p := 0; p < led.servers; p++ {
+		if s.isSuspect(p) && led.liveByServer[int32(p)] > 0 {
+			led.errs = append(led.errs, peerDeadError(p))
+			s.finishTravelLocked(led)
+			return
+		}
 	}
 	if !led.rootsSent || led.unmatchedEnds > 0 {
 		led.mu.Unlock()

@@ -14,10 +14,11 @@ import (
 
 func newTestLedger() *ledger {
 	return &ledger{
-		execs:      make(map[uint64]*execInfo),
-		liveByStep: make(map[int32]int),
-		results:    make(map[model.VertexID]bool),
-		stopWake:   make(chan struct{}),
+		execs:        make(map[uint64]*execInfo),
+		liveByStep:   make(map[int32]int),
+		liveByServer: make(map[int32]int),
+		results:      make(map[model.VertexID]bool),
+		stopWake:     make(chan struct{}),
 	}
 }
 
@@ -105,10 +106,18 @@ func TestLedgerPerStepAccounting(t *testing.T) {
 	if l.liveByStep[0] != 3 || l.liveByStep[1] != 1 {
 		t.Fatalf("liveByStep = %v", l.liveByStep)
 	}
+	if l.liveByServer[0] != 1 || l.liveByServer[1] != 1 || l.liveByServer[2] != 1 || l.liveByServer[3] != 1 {
+		t.Fatalf("liveByServer = %v", l.liveByServer)
+	}
 	l.registerEndedLocked(1)
 	l.registerEndedLocked(2)
 	if l.liveByStep[0] != 1 {
 		t.Fatalf("liveByStep[0] = %d", l.liveByStep[0])
+	}
+	// The failure detector keys off per-server live counts: only the
+	// servers whose executions have not ended may still hold the traversal.
+	if l.liveByServer[1] != 0 || l.liveByServer[2] != 0 || l.liveByServer[3] != 1 || l.liveByServer[0] != 1 {
+		t.Fatalf("liveByServer after ends = %v", l.liveByServer)
 	}
 }
 

@@ -36,6 +36,14 @@ type Server struct {
 	doneOrder   []uint64
 	closed      bool
 
+	// Failure-detector state: per-backend liveness timestamps (unix
+	// nanos) and suspicion flags, indexed by server id. Allocated even
+	// when heartbeats are disabled so suspicion checks are always safe
+	// (and always false).
+	lastSeen  []atomic.Int64
+	suspected []atomic.Bool
+	stop      chan struct{}
+
 	execSeq atomic.Uint64
 	wg      sync.WaitGroup
 }
@@ -64,12 +72,21 @@ func NewServer(cfg Config) *Server {
 		ledgers:     make(map[uint64]*ledger),
 		pendingMsgs: make(map[uint64][]pendingMsg),
 		doneTravels: make(map[uint64]bool),
+		lastSeen:    make([]atomic.Int64, cfg.Part.N()),
+		suspected:   make([]atomic.Bool, cfg.Part.N()),
+		stop:        make(chan struct{}),
 	}
 }
 
 // Bind attaches the transport. It must be called exactly once, before the
-// transport starts delivering messages.
-func (s *Server) Bind(tr transport) { s.tr = tr }
+// transport starts delivering messages. With HeartbeatInterval set, Bind
+// also starts the failure detector.
+func (s *Server) Bind(tr transport) {
+	s.tr = tr
+	if s.cfg.HeartbeatInterval > 0 {
+		s.startFailureDetector()
+	}
+}
 
 // ID returns the server's node id.
 func (s *Server) ID() int { return s.cfg.ID }
@@ -90,8 +107,17 @@ func (s *Server) Close() {
 		s.dropTravelLocked(id)
 	}
 	s.mu.Unlock()
+	close(s.stop)
 	s.wg.Wait()
 }
+
+// ObserveReconnect records a transport-level peer reconnection in this
+// server's metrics; wire it to rpc.TCPOptions.OnReconnect.
+func (s *Server) ObserveReconnect(int) { s.met.AddReconnects(1) }
+
+// ObserveSendFailure records a transport-level frame loss in this server's
+// metrics; wire it to rpc.TCPOptions.OnSendFailure.
+func (s *Server) ObserveSendFailure(int) { s.met.AddMsgsFailed(1) }
 
 // travelState is the per-traversal state a backend server keeps.
 type travelState struct {
@@ -150,9 +176,7 @@ func (s *Server) newExecID() uint64 {
 
 // Handle is the transport handler. It is safe for concurrent invocation.
 func (s *Server) Handle(from int, msg wire.Message) {
-	if s.cfg.DropInbound != nil && s.cfg.DropInbound(from, msg.TravelID) {
-		return
-	}
+	s.noteAlive(from)
 	switch msg.Kind {
 	case wire.KindStartTravel:
 		s.handleStartTravel(from, msg)
@@ -174,6 +198,10 @@ func (s *Server) Handle(from int, msg wire.Message) {
 		s.handleCancel(msg)
 	case wire.KindResult, wire.KindExecEvents:
 		s.handleCoordinator(from, msg)
+	case wire.KindHeartbeat:
+		// Liveness already noted above; heartbeats carry nothing else.
+	case wire.KindPeerDown:
+		s.handlePeerDown(from, msg)
 	}
 }
 
@@ -365,13 +393,18 @@ func (s *Server) dropTravelLocked(id uint64) {
 	}
 }
 
-// send transmits one engine message, tracking the outbound-message counter.
-func (s *Server) send(to int, msg wire.Message) {
+// send transmits one engine message, tracking the outbound-message and
+// failure counters. There is no per-message retry — callers that can
+// attribute a failure to a traversal record it on the traversal's error
+// path, and the failure detector / watchdog cover the rest — but a dead
+// link is observable in MsgsFailed instead of vanishing silently.
+func (s *Server) send(to int, msg wire.Message) error {
 	s.met.AddMsgsSent(1)
-	// Delivery failures surface as ledger inactivity at the coordinator
-	// (watchdog), matching the paper's silent-failure story; there is no
-	// per-message retry.
-	_ = s.tr.Send(to, msg)
+	if err := s.tr.Send(to, msg); err != nil {
+		s.met.AddMsgsFailed(1)
+		return err
+	}
+	return nil
 }
 
 // addErr records a traversal-level error for the next flush.

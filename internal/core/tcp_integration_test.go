@@ -12,6 +12,7 @@ import (
 	"graphtrek/internal/property"
 	"graphtrek/internal/query"
 	"graphtrek/internal/rpc"
+	"graphtrek/internal/wire"
 )
 
 // newTCPCluster assembles a real-TCP cluster on loopback: n backend
@@ -108,14 +109,12 @@ func TestRetryRoutesAroundDeadCoordinator(t *testing.T) {
 	// Server 0 drops everything (a crashed coordinator). With retries and
 	// hash-picked coordinators, the traversal must eventually land on a
 	// live coordinator and succeed — the §IV-C restart policy.
-	var attempts atomic.Int32
-	c := newCluster(t, 3, func(cfg *Config) {
-		if cfg.ID == 0 {
-			cfg.DropInbound = func(int, uint64) bool {
-				attempts.Add(1)
-				return true
-			}
+	c, _ := newChaosCluster(t, 3, func(id int) rpc.ChaosConfig {
+		if id == 0 {
+			return rpc.ChaosConfig{DropIn: func(int, wire.Message) bool { return true }}
 		}
+		return rpc.ChaosConfig{}
+	}, func(cfg *Config) {
 		cfg.TravelTimeout = 300 * time.Millisecond
 	})
 	loadAuditGraph(t, c)
@@ -141,13 +140,18 @@ func TestRetryRecoversFromTransientDrop(t *testing.T) {
 	// Server 1 drops messages for the first traversal it sees, then
 	// behaves. One retry must recover.
 	var dropped atomic.Uint64
-	c := newCluster(t, 3, func(cfg *Config) {
-		if cfg.ID == 1 {
-			cfg.DropInbound = func(_ int, travel uint64) bool {
-				first := dropped.CompareAndSwap(0, travel)
-				return first || dropped.Load() == travel
-			}
+	c, _ := newChaosCluster(t, 3, func(id int) rpc.ChaosConfig {
+		if id == 1 {
+			return rpc.ChaosConfig{DropIn: func(_ int, msg wire.Message) bool {
+				if msg.TravelID == 0 {
+					return false
+				}
+				first := dropped.CompareAndSwap(0, msg.TravelID)
+				return first || dropped.Load() == msg.TravelID
+			}}
 		}
+		return rpc.ChaosConfig{}
+	}, func(cfg *Config) {
 		cfg.TravelTimeout = 300 * time.Millisecond
 	})
 	loadAuditGraph(t, c)
@@ -166,10 +170,12 @@ func TestRetryRecoversFromTransientDrop(t *testing.T) {
 }
 
 func TestNoRetryFailsFast(t *testing.T) {
-	c := newCluster(t, 2, func(cfg *Config) {
-		if cfg.ID == 1 {
-			cfg.DropInbound = func(int, uint64) bool { return true }
+	c, _ := newChaosCluster(t, 2, func(id int) rpc.ChaosConfig {
+		if id == 1 {
+			return rpc.ChaosConfig{DropIn: func(int, wire.Message) bool { return true }}
 		}
+		return rpc.ChaosConfig{}
+	}, func(cfg *Config) {
 		cfg.TravelTimeout = 200 * time.Millisecond
 	})
 	loadAuditGraph(t, c)

@@ -12,12 +12,15 @@ import "sync/atomic"
 // Server holds one backend server's counters. All methods are safe for
 // concurrent use. The zero value is ready.
 type Server struct {
-	received  atomic.Int64
-	redundant atomic.Int64
-	combined  atomic.Int64
-	realIO    atomic.Int64
-	msgsSent  atomic.Int64
-	execs     atomic.Int64
+	received   atomic.Int64
+	redundant  atomic.Int64
+	combined   atomic.Int64
+	realIO     atomic.Int64
+	msgsSent   atomic.Int64
+	execs      atomic.Int64
+	msgsFailed atomic.Int64
+	reconnects atomic.Int64
+	peerDowns  atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -35,6 +38,17 @@ type Snapshot struct {
 	MsgsSent int64
 	// Execs counts traversal executions processed.
 	Execs int64
+	// MsgsFailed counts engine messages the transport failed to deliver
+	// (dead link, backpressure). A nonzero value makes a dead peer
+	// observable instead of silently stranding the traversal.
+	MsgsFailed int64
+	// Reconnects counts transport-level re-dials after a lost peer
+	// connection.
+	Reconnects int64
+	// PeerDownEvents counts failure-detector suspicion events: a backend
+	// transitioned from alive to suspected-dead (locally detected or
+	// learned via a PeerDown broadcast).
+	PeerDownEvents int64
 }
 
 // AddReceived records n accepted vertex requests.
@@ -55,15 +69,27 @@ func (s *Server) AddMsgsSent(n int) { s.msgsSent.Add(int64(n)) }
 // AddExecs records n processed executions.
 func (s *Server) AddExecs(n int) { s.execs.Add(int64(n)) }
 
+// AddMsgsFailed records n undeliverable outbound messages.
+func (s *Server) AddMsgsFailed(n int) { s.msgsFailed.Add(int64(n)) }
+
+// AddReconnects records n transport re-dials.
+func (s *Server) AddReconnects(n int) { s.reconnects.Add(int64(n)) }
+
+// AddPeerDownEvents records n failure-detector suspicion events.
+func (s *Server) AddPeerDownEvents(n int) { s.peerDowns.Add(int64(n)) }
+
 // Snapshot returns a copy of the current counters.
 func (s *Server) Snapshot() Snapshot {
 	return Snapshot{
-		Received:  s.received.Load(),
-		Redundant: s.redundant.Load(),
-		Combined:  s.combined.Load(),
-		RealIO:    s.realIO.Load(),
-		MsgsSent:  s.msgsSent.Load(),
-		Execs:     s.execs.Load(),
+		Received:       s.received.Load(),
+		Redundant:      s.redundant.Load(),
+		Combined:       s.combined.Load(),
+		RealIO:         s.realIO.Load(),
+		MsgsSent:       s.msgsSent.Load(),
+		Execs:          s.execs.Load(),
+		MsgsFailed:     s.msgsFailed.Load(),
+		Reconnects:     s.reconnects.Load(),
+		PeerDownEvents: s.peerDowns.Load(),
 	}
 }
 
@@ -71,24 +97,30 @@ func (s *Server) Snapshot() Snapshot {
 // benchmark harness isolates one traversal's statistics.
 func (a Snapshot) Sub(b Snapshot) Snapshot {
 	return Snapshot{
-		Received:  a.Received - b.Received,
-		Redundant: a.Redundant - b.Redundant,
-		Combined:  a.Combined - b.Combined,
-		RealIO:    a.RealIO - b.RealIO,
-		MsgsSent:  a.MsgsSent - b.MsgsSent,
-		Execs:     a.Execs - b.Execs,
+		Received:       a.Received - b.Received,
+		Redundant:      a.Redundant - b.Redundant,
+		Combined:       a.Combined - b.Combined,
+		RealIO:         a.RealIO - b.RealIO,
+		MsgsSent:       a.MsgsSent - b.MsgsSent,
+		Execs:          a.Execs - b.Execs,
+		MsgsFailed:     a.MsgsFailed - b.MsgsFailed,
+		Reconnects:     a.Reconnects - b.Reconnects,
+		PeerDownEvents: a.PeerDownEvents - b.PeerDownEvents,
 	}
 }
 
 // Add returns the field-wise sum of two snapshots.
 func (a Snapshot) Add(b Snapshot) Snapshot {
 	return Snapshot{
-		Received:  a.Received + b.Received,
-		Redundant: a.Redundant + b.Redundant,
-		Combined:  a.Combined + b.Combined,
-		RealIO:    a.RealIO + b.RealIO,
-		MsgsSent:  a.MsgsSent + b.MsgsSent,
-		Execs:     a.Execs + b.Execs,
+		Received:       a.Received + b.Received,
+		Redundant:      a.Redundant + b.Redundant,
+		Combined:       a.Combined + b.Combined,
+		RealIO:         a.RealIO + b.RealIO,
+		MsgsSent:       a.MsgsSent + b.MsgsSent,
+		Execs:          a.Execs + b.Execs,
+		MsgsFailed:     a.MsgsFailed + b.MsgsFailed,
+		Reconnects:     a.Reconnects + b.Reconnects,
+		PeerDownEvents: a.PeerDownEvents + b.PeerDownEvents,
 	}
 }
 

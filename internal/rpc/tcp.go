@@ -2,13 +2,21 @@ package rpc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"graphtrek/internal/wire"
 )
+
+// ErrBackpressure is returned by TCP.Send when a peer's outbox stays full
+// for the bounded wait — the peer is stuck or the link is down, and the
+// caller must not block forever behind it.
+var ErrBackpressure = errors.New("rpc: peer outbox full (backpressure)")
 
 // TCP is the network transport for standalone deployments: every node
 // listens on one address and lazily dials its peers. Frames are
@@ -19,32 +27,108 @@ import (
 // each inbound connection is read (and its handler invoked) sequentially,
 // so the ordering contract matches the in-process Fabric. The Handler must
 // therefore be safe for concurrent calls from different peers.
+//
+// Failure behavior: a broken peer connection is redialed with capped
+// exponential backoff. A frame whose write fails is retried once on a
+// fresh connection — the engines tolerate duplicates, and the retry is
+// what lets a restarted peer pick up where it left off — and is lost if
+// the retry fails too (the engine's failure detector, not the transport,
+// provides delivery guarantees). While a peer is unreachable its outbox
+// fills, and Send fails with ErrBackpressure after Options.SendTimeout
+// instead of blocking forever.
 type TCP struct {
 	self    int
 	addrs   []string
 	handler Handler
 	ln      net.Listener
+	opts    TCPOptions
 
 	mu      sync.Mutex
 	peers   map[int]*tcpPeer
 	inbound map[net.Conn]bool
 	closed  bool
 	wg      sync.WaitGroup
+
+	reconnects   atomic.Int64
+	sendFailures atomic.Int64
+	framesLost   atomic.Int64
 }
 
 var _ Transport = (*TCP)(nil)
 
-type tcpPeer struct {
-	conn net.Conn
-	out  chan []byte
-	done chan struct{}
+// TCPOptions tunes the transport's robustness behavior. The zero value
+// selects the defaults.
+type TCPOptions struct {
+	// OutboxSize is the per-peer outbox depth (default 4096 frames).
+	OutboxSize int
+	// SendTimeout bounds how long Send waits on a full outbox before
+	// returning ErrBackpressure (default 2s; negative fails immediately).
+	SendTimeout time.Duration
+	// DialBackoffBase is the first redial delay after a connection failure
+	// (default 50ms); it doubles per consecutive failure.
+	DialBackoffBase time.Duration
+	// DialBackoffMax caps the redial delay (default 2s).
+	DialBackoffMax time.Duration
+	// OnReconnect, when set, is invoked after a peer connection is
+	// re-established following a loss (not on the first dial).
+	OnReconnect func(peer int)
+	// OnSendFailure, when set, is invoked when a frame is lost to a write
+	// error or rejected by backpressure.
+	OnSendFailure func(peer int)
 }
 
-const tcpOutboxSize = 4096
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.OutboxSize <= 0 {
+		o.OutboxSize = 4096
+	}
+	if o.SendTimeout == 0 {
+		o.SendTimeout = 2 * time.Second
+	}
+	if o.DialBackoffBase <= 0 {
+		o.DialBackoffBase = 50 * time.Millisecond
+	}
+	if o.DialBackoffMax <= 0 {
+		o.DialBackoffMax = 2 * time.Second
+	}
+	return o
+}
+
+// TCPStats is a snapshot of the transport's failure counters.
+type TCPStats struct {
+	// Reconnects counts successful re-dials after a lost connection.
+	Reconnects int64
+	// SendFailures counts frames rejected by backpressure plus frames
+	// lost to write errors.
+	SendFailures int64
+	// FramesLost counts frames accepted into an outbox but lost to a
+	// write or dial failure.
+	FramesLost int64
+}
+
+type tcpPeer struct {
+	id   int
+	out  chan []byte
+	done chan struct{}
+	// connDead is set by the connection monitor when the peer closes or
+	// resets the outbound connection. Outbound connections are write-only,
+	// so without the monitor a peer's death is invisible until a write
+	// fails — and the kernel accepts the first write after a FIN, silently
+	// losing the frame. connGen keeps a stale monitor (for an already
+	// replaced connection) from flagging the live one.
+	connDead atomic.Bool
+	connGen  atomic.Uint64
+}
 
 // NewTCP starts a TCP transport for node self among the given peer
-// addresses (index = node id). The handler receives every inbound message.
+// addresses (index = node id) with default options. The handler receives
+// every inbound message.
 func NewTCP(self int, addrs []string, h Handler) (*TCP, error) {
+	return NewTCPWithOptions(self, addrs, h, TCPOptions{})
+}
+
+// NewTCPWithOptions starts a TCP transport with explicit robustness
+// options.
+func NewTCPWithOptions(self int, addrs []string, h Handler, opts TCPOptions) (*TCP, error) {
 	if self < 0 || self >= len(addrs) {
 		return nil, fmt.Errorf("rpc: self %d out of range", self)
 	}
@@ -56,6 +140,7 @@ func NewTCP(self int, addrs []string, h Handler) (*TCP, error) {
 	addrs[self] = ln.Addr().String() // resolve ":0" to the bound port
 	t := &TCP{
 		self: self, addrs: addrs, handler: h, ln: ln,
+		opts:    opts.withDefaults(),
 		peers:   make(map[int]*tcpPeer),
 		inbound: make(map[net.Conn]bool),
 	}
@@ -67,6 +152,15 @@ func NewTCP(self int, addrs []string, h Handler) (*TCP, error) {
 // Addr returns the transport's bound listen address (useful when the
 // configured address used port 0).
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Stats returns the transport's failure counters.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		Reconnects:   t.reconnects.Load(),
+		SendFailures: t.sendFailures.Load(),
+		FramesLost:   t.framesLost.Load(),
+	}
+}
 
 // PatchAddrs replaces the peer address list — used when a cluster binds
 // ephemeral ports one node at a time and the final list is only known once
@@ -143,7 +237,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport. A full outbox is waited on for at most
+// SendTimeout before ErrBackpressure — a stuck peer cannot wedge the
+// engine's worker goroutines indefinitely.
 func (t *TCP) Send(to int, msg wire.Message) error {
 	if to < 0 || to >= len(t.addrs) {
 		return fmt.Errorf("rpc: no such node %d", to)
@@ -160,10 +256,33 @@ func (t *TCP) Send(to int, msg wire.Message) error {
 		return nil
 	case <-p.done:
 		return ErrClosed
+	default:
+	}
+	if t.opts.SendTimeout < 0 {
+		return t.rejectFrame(to)
+	}
+	timer := time.NewTimer(t.opts.SendTimeout)
+	defer timer.Stop()
+	select {
+	case p.out <- frame:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	case <-timer.C:
+		return t.rejectFrame(to)
 	}
 }
 
-// peer returns (dialing if necessary) the outbound connection to node `to`.
+func (t *TCP) rejectFrame(to int) error {
+	t.sendFailures.Add(1)
+	if t.opts.OnSendFailure != nil {
+		t.opts.OnSendFailure(to)
+	}
+	return fmt.Errorf("rpc: send to node %d: %w", to, ErrBackpressure)
+}
+
+// peer returns node to's outbox, starting its writer (which dials, and
+// redials on failure) on first use.
 func (t *TCP) peer(to int) (*tcpPeer, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -173,9 +292,22 @@ func (t *TCP) peer(to int) (*tcpPeer, error) {
 	if p, ok := t.peers[to]; ok {
 		return p, nil
 	}
-	conn, err := net.Dial("tcp", t.addrs[to])
+	p := &tcpPeer{id: to, out: make(chan []byte, t.opts.OutboxSize), done: make(chan struct{})}
+	t.peers[to] = p
+	t.wg.Add(1)
+	go t.writeLoop(p)
+	return p, nil
+}
+
+// dial establishes one outbound connection to peer and sends the hello
+// frame identifying this node.
+func (t *TCP) dial(to int) (net.Conn, error) {
+	t.mu.Lock()
+	addr := t.addrs[to]
+	t.mu.Unlock()
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: dial node %d: %w", to, err)
+		return nil, err
 	}
 	var hello [4]byte
 	binary.LittleEndian.PutUint32(hello[:], uint32(t.self))
@@ -183,29 +315,93 @@ func (t *TCP) peer(to int) (*tcpPeer, error) {
 		conn.Close()
 		return nil, err
 	}
-	p := &tcpPeer{conn: conn, out: make(chan []byte, tcpOutboxSize), done: make(chan struct{})}
-	t.peers[to] = p
-	t.wg.Add(1)
-	go t.writeLoop(p)
-	return p, nil
+	return conn, nil
 }
 
+// writeLoop owns one peer's connection: it dials (with capped exponential
+// backoff on failure), drains the outbox, and on a dead connection redials
+// and retries the frame once. A frame is lost only when the retry fails
+// too, with loss made visible through the counters.
 func (t *TCP) writeLoop(p *tcpPeer) {
 	defer t.wg.Done()
-	defer p.conn.Close()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := t.opts.DialBackoffBase
+	everConnected := false
+	connect := func() bool {
+		for conn == nil {
+			select {
+			case <-p.done:
+				return false
+			default:
+			}
+			c, err := t.dial(p.id)
+			if err != nil {
+				select {
+				case <-p.done:
+					return false
+				case <-time.After(backoff):
+				}
+				backoff *= 2
+				if backoff > t.opts.DialBackoffMax {
+					backoff = t.opts.DialBackoffMax
+				}
+				continue
+			}
+			conn = c
+			p.connDead.Store(false)
+			t.monitorConn(c, p, p.connGen.Add(1))
+			if everConnected {
+				t.reconnects.Add(1)
+				if t.opts.OnReconnect != nil {
+					t.opts.OnReconnect(p.id)
+				}
+			}
+			everConnected = true
+			backoff = t.opts.DialBackoffBase
+		}
+		return true
+	}
+	write := func(frame []byte) {
+		for attempt := 0; attempt < 2; attempt++ {
+			if conn != nil && p.connDead.Load() {
+				conn.Close()
+				conn = nil
+			}
+			if conn == nil && !connect() {
+				t.framesLost.Add(1)
+				return // transport closing
+			}
+			if _, err := conn.Write(frame); err == nil {
+				return
+			}
+			conn.Close()
+			conn = nil
+		}
+		t.framesLost.Add(1)
+		t.sendFailures.Add(1)
+		if t.opts.OnSendFailure != nil {
+			t.opts.OnSendFailure(p.id)
+		}
+	}
 	for {
 		select {
 		case frame := <-p.out:
-			if _, err := p.conn.Write(frame); err != nil {
-				return
-			}
+			write(frame)
 		case <-p.done:
-			// Flush anything already queued, then stop.
+			// Flush anything already queued (best effort), then stop.
 			for {
 				select {
 				case frame := <-p.out:
-					if _, err := p.conn.Write(frame); err != nil {
-						return
+					if conn != nil {
+						if _, err := conn.Write(frame); err != nil {
+							conn.Close()
+							conn = nil
+						}
 					}
 				default:
 					return
@@ -213,6 +409,23 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 			}
 		}
 	}
+}
+
+// monitorConn watches an outbound (write-only) connection for the peer
+// closing its end. The protocol never sends data back on a dialed
+// connection, so Read returning — EOF, reset, or local close — means the
+// connection is gone; the flag tells writeLoop to redial before the next
+// write instead of burying it in a dead socket.
+func (t *TCP) monitorConn(conn net.Conn, p *tcpPeer, gen uint64) {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var b [1]byte
+		conn.Read(b[:])
+		if p.connGen.Load() == gen {
+			p.connDead.Store(true)
+		}
+	}()
 }
 
 // Close implements Transport.

@@ -1,0 +1,135 @@
+package rpc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphtrek/internal/wire"
+)
+
+// TestTCPReconnectAfterPeerRestart kills a peer's transport and restarts a
+// fresh one on the same address: the sender's write loop must notice the
+// broken connection, redial with backoff, and resume delivery — counting
+// the reconnect.
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	var c0, c1 collector
+	t0, err := NewTCPWithOptions(0, []string{"127.0.0.1:0", "127.0.0.1:0"}, c0.handle, TCPOptions{
+		DialBackoffBase: 5 * time.Millisecond,
+		DialBackoffMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := NewTCP(1, []string{t0.Addr(), "127.0.0.1:0"}, c1.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := t1.Addr()
+	patched := []string{t0.Addr(), peerAddr}
+	if err := t0.PatchAddrs(patched); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := t0.Send(1, wire.Message{Kind: wire.KindResult, TravelID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c1.len() == 1 })
+
+	// Kill the peer. In-flight and near-future frames are lost (at-most-
+	// once delivery); the transport must not error out or wedge.
+	if err := t1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart a fresh transport on the same address and keep sending until
+	// a frame arrives over the re-established connection.
+	var c1b collector
+	t1b, err := NewTCP(1, []string{t0.Addr(), peerAddr}, c1b.handle)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", peerAddr, err)
+	}
+	defer t1b.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c1b.len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no delivery after peer restart; stats %+v", t0.Stats())
+		}
+		if err := t0.Send(1, wire.Message{Kind: wire.KindResult, TravelID: 2}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s := t0.Stats(); s.Reconnects < 1 {
+		t.Errorf("Reconnects = %d, want >= 1 (stats %+v)", s.Reconnects, s)
+	}
+}
+
+// TestTCPBackpressure points a tiny outbox at an unreachable peer: once the
+// writer is stuck in dial backoff the outbox fills, and Send must fail with
+// ErrBackpressure instead of blocking the caller forever.
+func TestTCPBackpressure(t *testing.T) {
+	reconnectObserved := make(chan int, 16)
+	var failures atomic.Int64
+	t0, err := NewTCPWithOptions(0, []string{"127.0.0.1:0", "127.0.0.1:1"}, func(int, wire.Message) {}, TCPOptions{
+		OutboxSize:      2,
+		SendTimeout:     -1, // fail immediately on a full outbox
+		DialBackoffBase: 10 * time.Millisecond,
+		DialBackoffMax:  50 * time.Millisecond,
+		OnReconnect:     func(peer int) { reconnectObserved <- peer },
+		OnSendFailure:   func(int) { failures.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	// Port 1 refuses connections, so the writer loops in dial backoff. The
+	// outbox holds 2 frames plus one in the writer's hands; within a few
+	// sends the outbox is full and backpressure must kick in.
+	var bpErr error
+	for i := 0; i < 20 && bpErr == nil; i++ {
+		bpErr = t0.Send(1, wire.Message{Kind: wire.KindResult, TravelID: uint64(i)})
+	}
+	if !errors.Is(bpErr, ErrBackpressure) {
+		t.Fatalf("want ErrBackpressure, got %v", bpErr)
+	}
+	if s := t0.Stats(); s.SendFailures < 1 {
+		t.Errorf("SendFailures = %d, want >= 1", s.SendFailures)
+	}
+	if failures.Load() < 1 {
+		t.Error("OnSendFailure callback never fired")
+	}
+	select {
+	case p := <-reconnectObserved:
+		t.Errorf("unexpected reconnect to %d (never connected)", p)
+	default:
+	}
+}
+
+// TestTCPBackpressureBoundedWait verifies the positive-timeout path: Send
+// blocks for about SendTimeout, not forever, on a wedged peer.
+func TestTCPBackpressureBoundedWait(t *testing.T) {
+	t0, err := NewTCPWithOptions(0, []string{"127.0.0.1:0", "127.0.0.1:1"}, func(int, wire.Message) {}, TCPOptions{
+		OutboxSize:  1,
+		SendTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	var bpErr error
+	start := time.Now()
+	for i := 0; i < 10 && bpErr == nil; i++ {
+		bpErr = t0.Send(1, wire.Message{Kind: wire.KindResult})
+	}
+	if !errors.Is(bpErr, ErrBackpressure) {
+		t.Fatalf("want ErrBackpressure, got %v", bpErr)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("bounded wait took %v; Send must not block indefinitely", elapsed)
+	}
+}

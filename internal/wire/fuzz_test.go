@@ -53,8 +53,8 @@ func TestDecodeMutatedMessagesNeverPanic(t *testing.T) {
 // TestUvarintLengthBombs checks that huge declared lengths inside a tiny
 // message are rejected rather than causing giant allocations.
 func TestUvarintLengthBombs(t *testing.T) {
-	// Header (2) + fixed fields (32) + plan length claiming 2^60 bytes.
-	msg := make([]byte, 34)
+	// Header (2) + fixed fields (36) + plan length claiming 2^60 bytes.
+	msg := make([]byte, 38)
 	msg[0] = byte(KindDispatch)
 	bomb := append(msg, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x10)
 	if _, err := Decode(bomb); err == nil {

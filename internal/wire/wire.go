@@ -51,6 +51,15 @@ const (
 	// failed with a cancellation error and every backend releases its
 	// per-traversal state.
 	KindCancel
+	// KindHeartbeat is the liveness beacon backends exchange every
+	// heartbeat interval. Any message from a peer refreshes its liveness;
+	// heartbeats guarantee a floor on that signal even on idle clusters.
+	KindHeartbeat
+	// KindPeerDown announces that the sender's failure detector suspects
+	// the backend in Peer of having crashed (missed heartbeats). Receivers
+	// adopt the suspicion immediately, so one detection propagates
+	// cluster-wide within a message delay instead of a detection period.
+	KindPeerDown
 )
 
 // String names the kind for logs.
@@ -80,6 +89,10 @@ func (k Kind) String() string {
 		return "ProgressResp"
 	case KindCancel:
 		return "Cancel"
+	case KindHeartbeat:
+		return "Heartbeat"
+	case KindPeerDown:
+		return "PeerDown"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -114,14 +127,16 @@ type Message struct {
 	Step     int32
 	Mode     uint8
 	Coord    int32
-	Plan     []byte
-	ExecID   uint64
-	Entries  []Entry
-	Created  []ExecRef
-	Ended    []uint64
-	Verts    []model.VertexID
-	ReqID    uint64
-	Err      string
+	// Peer names the backend a KindPeerDown message suspects.
+	Peer    int32
+	Plan    []byte
+	ExecID  uint64
+	Entries []Entry
+	Created []ExecRef
+	Ended   []uint64
+	Verts   []model.VertexID
+	ReqID   uint64
+	Err     string
 }
 
 // Append serializes m, appending to b.
@@ -130,6 +145,7 @@ func Append(b []byte, m *Message) []byte {
 	b = binary.LittleEndian.AppendUint64(b, m.TravelID)
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.Step))
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.Coord))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Peer))
 	b = binary.LittleEndian.AppendUint64(b, m.ExecID)
 	b = binary.LittleEndian.AppendUint64(b, m.ReqID)
 	b = binary.AppendUvarint(b, uint64(len(m.Plan)))
@@ -245,6 +261,7 @@ func Decode(b []byte) (Message, error) {
 	m.TravelID = d.u64()
 	m.Step = int32(d.u32())
 	m.Coord = int32(d.u32())
+	m.Peer = int32(d.u32())
 	m.ExecID = d.u64()
 	m.ReqID = d.u64()
 	if n := d.uvarint(); n > 0 {

@@ -17,6 +17,7 @@ func TestRoundTripAllFields(t *testing.T) {
 		Step:     -3,
 		Mode:     2,
 		Coord:    -1,
+		Peer:     5,
 		Plan:     []byte{1, 2, 3},
 		ExecID:   999,
 		Entries:  []Entry{{Vertex: 5, Anc: 6, AncStep: 2, Dest: -1}, {Vertex: 7, Anc: 0, AncStep: -1, Dest: 3}},
@@ -53,6 +54,7 @@ func randomMessage(r *rand.Rand) Message {
 		Step:     int32(r.Int31() - r.Int31()),
 		Mode:     uint8(r.Intn(4)),
 		Coord:    int32(r.Intn(64) - 1),
+		Peer:     int32(r.Intn(64) - 1),
 		ExecID:   r.Uint64(),
 		ReqID:    r.Uint64(),
 	}
@@ -125,6 +127,8 @@ func TestKindString(t *testing.T) {
 		KindTravelDone:  "TravelDone",
 		KindVisitReq:    "VisitReq",
 		KindVisitResp:   "VisitResp",
+		KindHeartbeat:   "Heartbeat",
+		KindPeerDown:    "PeerDown",
 	}
 	for k, want := range names {
 		if k.String() != want {
