@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fmt bench clean
+.PHONY: all build vet test race stress check fmt bench clean
 
 all: build
 
@@ -19,7 +19,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: vet build test race
+# Concurrency stress: many simultaneous traversals multiplexed over the
+# shared per-server executor, under the race detector with a short deadline.
+stress:
+	$(GO) test -race -count=1 -timeout 120s -run 'TestSharedExecutor' ./internal/core
+
+check: vet build test race stress
 
 fmt:
 	gofmt -l -w .

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	graphtrek-bench [-exp all|table1|fig7|fig8|fig9|fig10|fig11|table2|table3|ablation]
+//	graphtrek-bench [-exp all|table1|fig7|fig8|fig9|fig10|fig11|table2|table3|ablation|concurrent|partition]
+//
+// The concurrent experiment sweeps K=1/4/16/64 simultaneous traversals over
+// the shared per-server executor and reports per-traversal latency
+// percentiles plus queue-depth and queue-wait executor metrics.
 //
 // The experiment scale is selected with GRAPHTREK_SCALE
 // (tiny|small|medium|paper; default small). See EXPERIMENTS.md for

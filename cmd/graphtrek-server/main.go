@@ -34,7 +34,8 @@ func main() {
 	servers := flag.Int("servers", 1, "number of backend servers in the cluster")
 	addrs := flag.String("addrs", "", "comma-separated node addresses, index = node id (backends first, then client slots)")
 	data := flag.String("data", "", "persistent graph partition directory (required)")
-	workers := flag.Int("workers", 4, "traversal worker pool size")
+	workers := flag.Int("workers", 4, "shared executor pool size: worker goroutines per server, across all concurrent traversals")
+	maxQueue := flag.Int("max-queue", 0, "executor admission limit: max buffered requests across all traversals (0 = unbounded)")
 	diskService := flag.Duration("disk-service", 0, "simulated per-access disk latency (0 = real storage only)")
 	timeout := flag.Duration("travel-timeout", 60*time.Second, "coordinator inactivity watchdog timeout")
 	heartbeat := flag.Duration("heartbeat", time.Second, "backend heartbeat interval (0 disables the failure detector)")
@@ -65,6 +66,7 @@ func main() {
 		Part:              partition.NewHash(*servers),
 		Disk:              simio.NewDisk(*diskService, 1),
 		Workers:           *workers,
+		MaxQueueDepth:     *maxQueue,
 		TravelTimeout:     *timeout,
 		HeartbeatInterval: *heartbeat,
 		SuspectAfter:      *suspectAfter,

@@ -135,8 +135,15 @@ type Options struct {
 	// DiskParallelism is the number of concurrent I/O slots per server
 	// (default 1 — a single cold spindle, the paper's hard-disk setup).
 	DiskParallelism int
-	// Workers is the per-traversal worker pool size per server.
+	// Workers sizes each server's shared executor pool: the fixed number
+	// of worker goroutines multiplexing every concurrent traversal on that
+	// server (per server, not per traversal).
 	Workers int
+	// MaxQueueDepth bounds each server's executor queue (total buffered
+	// requests across all traversals). Batches beyond the bound are
+	// rejected and surface as retryable traversal errors. Zero or negative
+	// means unbounded.
+	MaxQueueDepth int
 	// CacheCap bounds each server's traversal-affiliate cache.
 	CacheCap int
 	// BatchSize caps dispatch message size (entries per message).
@@ -241,6 +248,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 			Part:              c.part,
 			Disk:              disk,
 			Workers:           opts.Workers,
+			MaxQueueDepth:     opts.MaxQueueDepth,
 			CacheCap:          opts.CacheCap,
 			BatchSize:         opts.BatchSize,
 			FlushLinger:       opts.FlushLinger,

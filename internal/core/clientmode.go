@@ -1,17 +1,54 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"graphtrek/internal/model"
 	"graphtrek/internal/query"
+	"graphtrek/internal/sched"
 	"graphtrek/internal/wire"
 )
+
+// visitAcc accumulates one client-mode VisitReq batch's response while its
+// entries flow through the shared executor like any other traversal work —
+// client-driven traversals compete under the same fair-share policy and
+// admission control as the server-side engines. The response ships back to
+// the client when the last entry completes.
+type visitAcc struct {
+	pending atomic.Int32
+	from    int
+
+	mu   sync.Mutex
+	resp wire.Message
+}
+
+func (a *visitAcc) ItemDone() bool { return a.pending.Add(-1) == 0 }
+
+// fail records the first error on the response; the client treats a
+// response error as fatal for the whole traversal attempt.
+func (a *visitAcc) fail(_ *Server, _ *travelState, msg string) {
+	a.mu.Lock()
+	if a.resp.Err == "" {
+		a.resp.Err = msg
+	}
+	a.mu.Unlock()
+}
+
+func (a *visitAcc) finished(s *Server, _ *travelState) {
+	a.mu.Lock()
+	resp := a.resp
+	a.mu.Unlock()
+	s.send(a.from, resp)
+}
 
 // handleVisitReq serves one client-side traversal request (Fig 2a): the
 // client asks this server to evaluate one step for the given candidate
 // vertices and ship everything — survivors and expansions — straight back.
 // There is no caching, no merging and no forwarding: every intermediate
 // result crosses the client-server link, which is exactly the design the
-// server-side engines exist to avoid.
+// server-side engines exist to avoid. The per-vertex work itself runs on
+// the shared executor pool; only the lightweight seed scan stays inline.
 func (s *Server) handleVisitReq(from int, msg wire.Message, ts *travelState) {
 	resp := wire.Message{Kind: wire.KindVisitResp, TravelID: msg.TravelID, ReqID: msg.ReqID}
 	if msg.Mode == 1 {
@@ -37,38 +74,54 @@ func (s *Server) handleVisitReq(from int, msg wire.Message, ts *travelState) {
 		return
 	}
 
-	plan := ts.plan
-	last := int32(plan.NumSteps() - 1)
-	step := plan.Steps[msg.Step]
-	for _, e := range msg.Entries {
-		s.met.AddReceived(1)
-		s.met.AddRealIO(1)
-		s.disk.Access(int(msg.Step), uint64(e.Vertex))
-		vtx, found, err := s.cfg.Store.GetVertex(e.Vertex)
-		if err != nil {
-			resp.Err = err.Error()
-			break
-		}
-		if !found || !query.VertexMatches(vtx, step.VertexFilters) {
-			continue
-		}
-		resp.Verts = append(resp.Verts, e.Vertex)
-		if msg.Step == last {
-			continue
-		}
-		next := plan.Steps[msg.Step+1]
-		err = s.cfg.Store.ScanEdges(e.Vertex, next.EdgeLabel, func(edge model.Edge) bool {
-			if next.EdgeFilters.MatchAll(edge.Props) {
-				// Anc carries the surviving source so the client can
-				// reconstruct the hop graph for rtn() liveness.
-				resp.Entries = append(resp.Entries, wire.Entry{Vertex: edge.Dst, Anc: e.Vertex})
-			}
-			return true
-		})
-		if err != nil {
-			resp.Err = err.Error()
-			break
+	if len(msg.Entries) == 0 {
+		s.send(from, resp)
+		return
+	}
+	acc := &visitAcc{from: from, resp: resp}
+	acc.pending.Store(int32(len(msg.Entries)))
+	items := make([]sched.Item, len(msg.Entries))
+	for i, e := range msg.Entries {
+		items[i] = sched.Item{
+			Travel: ts.id, Step: msg.Step, Vertex: e.Vertex,
+			AncStep: -1, Dest: -1, Exec: acc,
 		}
 	}
-	s.send(from, resp)
+	if err := s.enqueue(items); err != nil {
+		resp.Err = s.admissionError(err)
+		s.send(from, resp)
+	}
+}
+
+// processVisitItem evaluates one client-mode entry against the (already
+// fetched) vertex, accumulating the surviving vertex and its next-step
+// expansions into the batch response.
+func (s *Server) processVisitItem(ts *travelState, vtx model.Vertex, found bool, it sched.Item) {
+	acc := it.Exec.(*visitAcc)
+	plan := ts.plan
+	step := plan.Steps[it.Step]
+	last := int32(plan.NumSteps() - 1)
+	if !found || !query.VertexMatches(vtx, step.VertexFilters) {
+		return
+	}
+	acc.mu.Lock()
+	acc.resp.Verts = append(acc.resp.Verts, it.Vertex)
+	acc.mu.Unlock()
+	if it.Step == last {
+		return
+	}
+	next := plan.Steps[it.Step+1]
+	err := s.cfg.Store.ScanEdges(it.Vertex, next.EdgeLabel, func(edge model.Edge) bool {
+		if next.EdgeFilters.MatchAll(edge.Props) {
+			// Anc carries the surviving source so the client can
+			// reconstruct the hop graph for rtn() liveness.
+			acc.mu.Lock()
+			acc.resp.Entries = append(acc.resp.Entries, wire.Entry{Vertex: edge.Dst, Anc: it.Vertex})
+			acc.mu.Unlock()
+		}
+		return true
+	})
+	if err != nil {
+		acc.fail(s, ts, err.Error())
+	}
 }

@@ -119,8 +119,16 @@ type Config struct {
 	// Disk is the simulated storage device; nil means no simulated
 	// latency.
 	Disk *simio.Disk
-	// Workers is the per-traversal worker pool size (default 4).
+	// Workers sizes the server's shared executor pool (default 4): the
+	// fixed number of goroutines draining the two-level scheduler on behalf
+	// of every concurrent traversal. Per server, not per traversal — K
+	// in-flight traversals still cost exactly Workers goroutines.
 	Workers int
+	// MaxQueueDepth bounds the executor queue's total buffered items across
+	// all traversals (admission control). A batch that would exceed it is
+	// rejected whole and surfaces as a retryable traversal error at the
+	// client. Zero or negative means unbounded.
+	MaxQueueDepth int
 	// CacheCap bounds the traversal-affiliate cache (default 1<<20
 	// entries; negative means unbounded).
 	CacheCap int

@@ -6,8 +6,24 @@ import (
 	"sync/atomic"
 
 	"graphtrek/internal/model"
+	"graphtrek/internal/sched"
 	"graphtrek/internal/wire"
 )
+
+// accumulator is the engine-side contract behind sched.Accumulator: every
+// scheduled item carries one, and finishItems — the single termination
+// point — drives its completion protocol. Implementations: execAcc for
+// server-side traversal executions, visitAcc for client-mode VisitReq
+// batches.
+type accumulator interface {
+	sched.Accumulator
+	// fail records a processing failure on whatever error path the
+	// accumulator reports through. Called at most once per finishItems call.
+	fail(s *Server, ts *travelState, msg string)
+	// finished runs the accumulator's completion action after its last item
+	// was processed (ItemDone returned true).
+	finished(s *Server, ts *travelState)
+}
 
 // execAcc tracks one traversal execution being processed on this server: a
 // countdown of its unprocessed frontier entries. Outputs are not owned by
@@ -23,14 +39,42 @@ type execAcc struct {
 	pending atomic.Int32
 }
 
-// itemDone marks one entry of the execution processed; the caller must have
-// already buffered any outputs. When the last entry completes, the
-// execution joins the traversal's pending-termination list.
-func (s *Server) itemDone(ts *travelState, acc *execAcc) {
-	if acc.pending.Add(-1) == 0 {
-		ts.addEnded(acc.id)
+// ItemDone marks one entry of the execution processed; the caller must have
+// already buffered any outputs.
+func (a *execAcc) ItemDone() bool { return a.pending.Add(-1) == 0 }
+
+func (a *execAcc) fail(_ *Server, ts *travelState, msg string) { ts.addErr(msg) }
+
+// finished puts the execution on the traversal's pending-termination list
+// for the next flush.
+func (a *execAcc) finished(_ *Server, ts *travelState) { ts.addEnded(a.id) }
+
+// finishItems is the single termination point for scheduled items: it
+// records the failure (if any) once per distinct accumulator, counts each
+// item done — running the completion action of accumulators whose last item
+// this was — and balances the in-process counter that gates quiescence
+// flushes.
+func (s *Server) finishItems(ts *travelState, items []sched.Item, failure error) {
+	if len(items) == 0 {
+		return
 	}
-	ts.inProcess.Add(-1)
+	var failed map[accumulator]bool
+	for _, it := range items {
+		acc := it.Exec.(accumulator)
+		if failure != nil {
+			if failed == nil {
+				failed = make(map[accumulator]bool, 1)
+			}
+			if !failed[acc] {
+				failed[acc] = true
+				acc.fail(s, ts, failure.Error())
+			}
+		}
+		if acc.ItemDone() {
+			acc.finished(s, ts)
+		}
+		ts.inProcess.Add(-1)
+	}
 }
 
 // outKey addresses one dispatch outbox: entries bound for one target

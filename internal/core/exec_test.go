@@ -1,11 +1,16 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
+	"graphtrek/internal/model"
 	"graphtrek/internal/query"
+	"graphtrek/internal/sched"
 	"graphtrek/internal/wire"
 )
+
+var errForTest = errors.New("simulated storage failure")
 
 func TestOutboxSetDedupsWithinBatch(t *testing.T) {
 	box := &outboxSet{}
@@ -73,19 +78,52 @@ func TestExecAccCountdown(t *testing.T) {
 	}
 	acc := &execAcc{id: 99}
 	acc.pending.Store(3)
+	items := make([]sched.Item, 3)
+	for i := range items {
+		items[i] = sched.Item{Travel: 1, Vertex: model.VertexID(i), Exec: acc}
+	}
+	ts.inProcess.Add(3)
 	s := c.servers[0]
-	s.itemDone(ts, acc)
-	s.itemDone(ts, acc)
+	s.finishItems(ts, items[:2], nil)
 	ts.flushMu.Lock()
 	if len(ts.ended) != 0 {
 		t.Fatal("execution ended early")
 	}
 	ts.flushMu.Unlock()
-	s.itemDone(ts, acc)
+	s.finishItems(ts, items[2:], nil)
 	ts.flushMu.Lock()
-	defer ts.flushMu.Unlock()
 	if len(ts.ended) != 1 || ts.ended[0] != 99 {
 		t.Fatalf("ended = %v", ts.ended)
+	}
+	ts.flushMu.Unlock()
+	if ts.inProcess.Load() != 0 {
+		t.Fatalf("inProcess = %d after all items finished", ts.inProcess.Load())
+	}
+}
+
+func TestFinishItemsRecordsFailureOncePerExec(t *testing.T) {
+	c := newCluster(t, 1, nil)
+	ts := &travelState{
+		id:     1,
+		outbox: make(map[outKey]*outboxSet),
+		sigbox: make(map[int]*outboxSet),
+		rtn:    make(map[rtnKey]*rtnRec),
+	}
+	acc := &execAcc{id: 7}
+	acc.pending.Store(2)
+	items := []sched.Item{
+		{Travel: 1, Vertex: 1, Exec: acc},
+		{Travel: 1, Vertex: 2, Exec: acc},
+	}
+	ts.inProcess.Add(2)
+	c.servers[0].finishItems(ts, items, errForTest)
+	ts.flushMu.Lock()
+	defer ts.flushMu.Unlock()
+	if len(ts.errs) != 1 {
+		t.Fatalf("errs = %v, want the shared failure recorded once", ts.errs)
+	}
+	if len(ts.ended) != 1 || ts.ended[0] != 7 {
+		t.Fatalf("ended = %v, want the execution terminated despite failure", ts.ended)
 	}
 }
 

@@ -326,8 +326,17 @@ func (s *Server) finishTravelLocked(led *ledger) {
 	}
 	s.send(client, wire.Message{Kind: wire.KindTravelDone, TravelID: travel, Err: errText})
 	for srv := 0; srv < servers; srv++ {
+		if srv == s.cfg.ID {
+			continue
+		}
 		s.send(srv, wire.Message{Kind: wire.KindTravelDone, TravelID: travel})
 	}
+	// Drop the local state directly rather than via a self-send: the dead
+	// traversal's pending groups must leave the shared executor even if the
+	// loopback link is saturated or failing.
+	s.mu.Lock()
+	s.dropTravelLocked(travel)
+	s.mu.Unlock()
 }
 
 // watchdog fails the traversal if the ledger stops making progress — the

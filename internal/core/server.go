@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,9 @@ type Server struct {
 	disk  *simio.Disk
 	met   metrics.Server
 	cache *cache.Cache
+	// exec is the shared executor queue: one two-level scheduler multiplexing
+	// every concurrent traversal over the server's single worker pool.
+	exec *sched.Multi
 
 	mu      sync.Mutex
 	travels map[uint64]*travelState
@@ -68,6 +72,7 @@ func NewServer(cfg Config) *Server {
 		cfg:         cfg,
 		disk:        disk,
 		cache:       cache.New(cfg.CacheCap),
+		exec:        sched.NewMulti(cfg.MaxQueueDepth),
 		travels:     make(map[uint64]*travelState),
 		ledgers:     make(map[uint64]*ledger),
 		pendingMsgs: make(map[uint64][]pendingMsg),
@@ -78,14 +83,95 @@ func NewServer(cfg Config) *Server {
 	}
 }
 
-// Bind attaches the transport. It must be called exactly once, before the
+// Bind attaches the transport and starts the server's worker pool — exactly
+// Workers goroutines for the server's lifetime, independent of how many
+// traversals are in flight. It must be called exactly once, before the
 // transport starts delivering messages. With HeartbeatInterval set, Bind
 // also starts the failure detector.
 func (s *Server) Bind(tr transport) {
 	s.tr = tr
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 	if s.cfg.HeartbeatInterval > 0 {
 		s.startFailureDetector()
 	}
+}
+
+// worker is one lane of the shared executor pool: it drains the two-level
+// queue, serving whichever traversal the fair-share policy selects.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		g, ok := s.exec.Pop()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		ts := s.travels[g.Travel]
+		s.mu.Unlock()
+		if ts == nil {
+			continue // traversal torn down between pop and lookup
+		}
+		ts.inProcess.Add(int64(len(g.Items)))
+		s.met.AddQueueWait(time.Since(g.Enqueued))
+		s.processGroup(ts, g)
+		s.maybeFlush(ts)
+	}
+}
+
+// maybeFlush flushes a traversal's outboxes at local quiescence — eligible
+// queue empty AND nothing in process. With FlushLinger configured the flush
+// is deferred on a timer (never on a shared worker: a sleeping worker would
+// stall other traversals) so waves of in-flight batches consolidate.
+func (s *Server) maybeFlush(ts *travelState) {
+	if s.exec.EligibleLen(ts.id) != 0 || ts.inProcess.Load() != 0 {
+		return
+	}
+	if s.cfg.FlushLinger <= 0 {
+		s.flushTravel(ts)
+		return
+	}
+	if !ts.flushPending.CompareAndSwap(false, true) {
+		return // a deferred flush is already scheduled
+	}
+	// The timer goroutine joins the server's waitgroup; Add happens on a
+	// worker goroutine, so the counter is still positive during Close's Wait.
+	s.wg.Add(1)
+	time.AfterFunc(s.cfg.FlushLinger, func() {
+		defer s.wg.Done()
+		ts.flushPending.Store(false)
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if s.exec.EligibleLen(ts.id) == 0 && ts.inProcess.Load() == 0 {
+			s.flushTravel(ts)
+		}
+	})
+}
+
+// enqueue admits a request batch into the shared executor, enforcing
+// MaxQueueDepth. On ErrBackpressure the whole batch was refused and the
+// caller must surface it on the traversal's error path so the client can
+// retry; admitted batches update the received counter and depth gauge.
+func (s *Server) enqueue(items []sched.Item) error {
+	depth, err := s.exec.Push(items)
+	if err != nil {
+		s.met.AddRejected(1)
+		return err
+	}
+	s.met.AddReceived(len(items))
+	s.met.ObserveQueueDepth(int64(depth))
+	return nil
+}
+
+// admissionError formats an executor rejection as a retryable traversal
+// error.
+func (s *Server) admissionError(err error) string {
+	return fmt.Sprintf("core: server %d rejected traversal work, retry later: %v", s.cfg.ID, err)
 }
 
 // ID returns the server's node id.
@@ -94,8 +180,9 @@ func (s *Server) ID() int { return s.cfg.ID }
 // Metrics returns a snapshot of this server's engine counters.
 func (s *Server) Metrics() Metrics { return s.met.Snapshot() }
 
-// Close stops every in-flight traversal's workers and releases state. The
-// transport is owned by the caller and closed separately.
+// Close stops the worker pool, releases every in-flight traversal's state
+// and waits for the server's goroutines. The transport is owned by the
+// caller and closed separately.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -108,6 +195,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	close(s.stop)
+	s.exec.Close()
 	s.wg.Wait()
 }
 
@@ -119,14 +207,14 @@ func (s *Server) ObserveReconnect(int) { s.met.AddReconnects(1) }
 // metrics; wire it to rpc.TCPOptions.OnSendFailure.
 func (s *Server) ObserveSendFailure(int) { s.met.AddMsgsFailed(1) }
 
-// travelState is the per-traversal state a backend server keeps.
+// travelState is the per-traversal state a backend server keeps. Its
+// requests live in the server's shared executor queue, keyed by id.
 type travelState struct {
 	id    uint64
 	plan  *query.Plan
 	mode  Mode
 	tun   tuning
 	coord int32
-	queue *sched.Queue
 
 	// flushMu guards the outboxes, buffered results and ended executions.
 	flushMu sync.Mutex
@@ -149,6 +237,9 @@ type travelState struct {
 	// plain-async engine's redundant-visit amplification at the moderate
 	// levels the paper's Fig 7 and Table I report.
 	inProcess atomic.Int64
+	// flushPending guards against stacking more than one deferred
+	// FlushLinger flush timer per traversal.
+	flushPending atomic.Bool
 }
 
 type rtnKey struct {
@@ -186,7 +277,7 @@ func (s *Server) Handle(from int, msg wire.Message) {
 		s.withTravel(from, msg, s.handleReturnSig)
 	case wire.KindStepGo:
 		s.withTravel(from, msg, func(_ int, m wire.Message, ts *travelState) {
-			ts.queue.Release(m.Step)
+			s.exec.Release(ts.id, m.Step)
 		})
 	case wire.KindTravelDone:
 		s.handleTravelDone(msg)
@@ -252,49 +343,24 @@ func (s *Server) handleStartTravel(from int, msg wire.Message) {
 	if isCoordinatorRequest {
 		ts.coord = int32(s.cfg.ID)
 	}
-	ts.queue = sched.New(sched.Options{
-		Priority: ts.tun.priority,
-		Merge:    ts.tun.merge,
-		Gated:    ts.tun.gated,
-	})
 
 	s.mu.Lock()
 	if s.closed || s.travels[msg.TravelID] != nil || s.doneTravels[msg.TravelID] {
 		s.mu.Unlock()
 		return
 	}
+	// Register the traversal's sub-queue with the shared executor before any
+	// request can be pushed; the server's standing worker pool picks its
+	// groups up under the fair-share policy.
+	s.exec.Register(msg.TravelID, sched.Options{
+		Priority: ts.tun.priority,
+		Merge:    ts.tun.merge,
+		Gated:    ts.tun.gated,
+	})
 	s.travels[msg.TravelID] = ts
 	replay := s.pendingMsgs[msg.TravelID]
 	delete(s.pendingMsgs, msg.TravelID)
 	s.mu.Unlock()
-
-	// Start the worker pool that drains this traversal's request queue.
-	for i := 0; i < s.cfg.Workers; i++ {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for {
-				g, ok := ts.queue.Pop()
-				if !ok {
-					return
-				}
-				ts.inProcess.Add(int64(len(g.Items)))
-				s.processGroup(ts, g)
-				if ts.queue.EligibleLen() == 0 && ts.inProcess.Load() == 0 {
-					// Local quiescence. Linger briefly so a wave of
-					// batches in flight from peers joins this flush
-					// instead of triggering its own.
-					if s.cfg.FlushLinger > 0 {
-						time.Sleep(s.cfg.FlushLinger)
-						if ts.queue.EligibleLen() != 0 || ts.inProcess.Load() != 0 {
-							continue
-						}
-					}
-					s.flushTravel(ts)
-				}
-			}
-		}()
-	}
 
 	if isCoordinatorRequest {
 		s.startCoordination(from, msg.TravelID, ts)
@@ -335,7 +401,6 @@ func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 		s.flushTravel(ts)
 		return
 	}
-	s.met.AddReceived(len(ids))
 	acc.pending.Store(int32(len(ids)))
 	items := make([]sched.Item, len(ids))
 	for i, id := range ids {
@@ -344,7 +409,11 @@ func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 			Anc: 0, AncStep: -1, Dest: -1, Exec: acc,
 		}
 	}
-	ts.queue.Push(items)
+	if err := s.enqueue(items); err != nil {
+		ts.addErr(s.admissionError(err))
+		ts.addEnded(execID)
+		s.flushTravel(ts)
+	}
 }
 
 // handleDispatch enqueues a frontier batch as one traversal execution.
@@ -354,7 +423,6 @@ func (s *Server) handleDispatch(_ int, msg wire.Message, ts *travelState) {
 		s.flushTravel(ts)
 		return
 	}
-	s.met.AddReceived(len(msg.Entries))
 	acc := &execAcc{id: msg.ExecID}
 	acc.pending.Store(int32(len(msg.Entries)))
 	items := make([]sched.Item, len(msg.Entries))
@@ -364,7 +432,13 @@ func (s *Server) handleDispatch(_ int, msg wire.Message, ts *travelState) {
 			Anc: e.Anc, AncStep: e.AncStep, Dest: e.Dest, Exec: acc,
 		}
 	}
-	ts.queue.Push(items)
+	if err := s.enqueue(items); err != nil {
+		// The batch was refused whole; report the execution terminated with
+		// a retryable error so the ledger fails the traversal promptly.
+		ts.addErr(s.admissionError(err))
+		ts.addEnded(msg.ExecID)
+		s.flushTravel(ts)
+	}
 }
 
 // handleTravelDone releases a finished traversal's state.
@@ -375,9 +449,10 @@ func (s *Server) handleTravelDone(msg wire.Message) {
 }
 
 func (s *Server) dropTravelLocked(id uint64) {
-	ts, ok := s.travels[id]
-	if ok {
-		ts.queue.Close()
+	if _, ok := s.travels[id]; ok {
+		// Evict the dead traversal's pending groups from the shared
+		// executor so they never occupy a worker.
+		s.exec.Drop(id)
 		delete(s.travels, id)
 	}
 	delete(s.pendingMsgs, id)

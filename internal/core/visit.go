@@ -20,6 +20,7 @@ import (
 //     disk access.
 func (s *Server) processGroup(ts *travelState, g sched.Group) {
 	live := g.Items[:0:0]
+	var dropped []sched.Item
 	for _, it := range g.Items {
 		if ts.tun.useCache {
 			k := cache.Key{
@@ -28,12 +29,13 @@ func (s *Server) processGroup(ts *travelState, g sched.Group) {
 			}
 			if s.cache.CheckAndInsert(k) {
 				s.met.AddRedundant(1)
-				s.itemDone(ts, it.Exec.(*execAcc))
+				dropped = append(dropped, it)
 				continue
 			}
 		}
 		live = append(live, it)
 	}
+	s.finishItems(ts, dropped, nil)
 	if len(live) == 0 {
 		return
 	}
@@ -46,16 +48,17 @@ func (s *Server) processGroup(ts *travelState, g sched.Group) {
 	s.disk.Access(int(live[0].Step), uint64(g.Vertex))
 	vtx, found, err := s.cfg.Store.GetVertex(g.Vertex)
 	if err != nil {
-		ts.addErr(err.Error())
-		for _, it := range live {
-			s.itemDone(ts, it.Exec.(*execAcc))
-		}
+		s.finishItems(ts, live, err)
 		return
 	}
 	for _, it := range live {
-		s.processItem(ts, vtx, found, it)
-		s.itemDone(ts, it.Exec.(*execAcc))
+		if ts.mode == ModeClientSide {
+			s.processVisitItem(ts, vtx, found, it)
+		} else {
+			s.processItem(ts, vtx, found, it)
+		}
 	}
+	s.finishItems(ts, live, nil)
 }
 
 // processItem evaluates one request against the (already fetched) vertex.

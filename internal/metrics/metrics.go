@@ -7,7 +7,10 @@
 // is asserted by tests and checked by the benchmark harness.
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Server holds one backend server's counters. All methods are safe for
 // concurrent use. The zero value is ready.
@@ -21,6 +24,12 @@ type Server struct {
 	msgsFailed atomic.Int64
 	reconnects atomic.Int64
 	peerDowns  atomic.Int64
+
+	// Shared-executor instrumentation.
+	rejected    atomic.Int64
+	queuePeak   atomic.Int64
+	queueWaitNs atomic.Int64
+	queueGroups atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -49,6 +58,19 @@ type Snapshot struct {
 	// transitioned from alive to suspected-dead (locally detected or
 	// learned via a PeerDown broadcast).
 	PeerDownEvents int64
+	// Rejected counts request batches refused by the shared executor's
+	// admission control (queue depth limit).
+	Rejected int64
+	// QueueDepthPeak is the high-water mark of the shared executor's queue
+	// depth (items buffered across all traversals). A gauge, not a counter:
+	// Add takes the max of the operands and Sub keeps the receiver's value.
+	QueueDepthPeak int64
+	// QueueWaitNs accumulates the enqueue→pop wait of every scheduler group
+	// a worker served; QueueGroups counts those groups, so the mean wait is
+	// QueueWaitNs / QueueGroups.
+	QueueWaitNs int64
+	// QueueGroups counts scheduler groups popped by executor workers.
+	QueueGroups int64
 }
 
 // AddReceived records n accepted vertex requests.
@@ -78,6 +100,25 @@ func (s *Server) AddReconnects(n int) { s.reconnects.Add(int64(n)) }
 // AddPeerDownEvents records n failure-detector suspicion events.
 func (s *Server) AddPeerDownEvents(n int) { s.peerDowns.Add(int64(n)) }
 
+// AddRejected records n admission-control rejections.
+func (s *Server) AddRejected(n int) { s.rejected.Add(int64(n)) }
+
+// ObserveQueueDepth raises the executor queue-depth high-water mark.
+func (s *Server) ObserveQueueDepth(depth int64) {
+	for {
+		cur := s.queuePeak.Load()
+		if depth <= cur || s.queuePeak.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// AddQueueWait records one popped scheduler group's enqueue→pop wait.
+func (s *Server) AddQueueWait(d time.Duration) {
+	s.queueWaitNs.Add(int64(d))
+	s.queueGroups.Add(1)
+}
+
 // Snapshot returns a copy of the current counters.
 func (s *Server) Snapshot() Snapshot {
 	return Snapshot{
@@ -90,11 +131,16 @@ func (s *Server) Snapshot() Snapshot {
 		MsgsFailed:     s.msgsFailed.Load(),
 		Reconnects:     s.reconnects.Load(),
 		PeerDownEvents: s.peerDowns.Load(),
+		Rejected:       s.rejected.Load(),
+		QueueDepthPeak: s.queuePeak.Load(),
+		QueueWaitNs:    s.queueWaitNs.Load(),
+		QueueGroups:    s.queueGroups.Load(),
 	}
 }
 
 // Sub returns the counter deltas from an earlier snapshot — how the
-// benchmark harness isolates one traversal's statistics.
+// benchmark harness isolates one traversal's statistics. QueueDepthPeak is
+// a gauge and keeps the receiver's (later) value.
 func (a Snapshot) Sub(b Snapshot) Snapshot {
 	return Snapshot{
 		Received:       a.Received - b.Received,
@@ -106,10 +152,16 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		MsgsFailed:     a.MsgsFailed - b.MsgsFailed,
 		Reconnects:     a.Reconnects - b.Reconnects,
 		PeerDownEvents: a.PeerDownEvents - b.PeerDownEvents,
+		Rejected:       a.Rejected - b.Rejected,
+		QueueDepthPeak: a.QueueDepthPeak,
+		QueueWaitNs:    a.QueueWaitNs - b.QueueWaitNs,
+		QueueGroups:    a.QueueGroups - b.QueueGroups,
 	}
 }
 
-// Add returns the field-wise sum of two snapshots.
+// Add returns the field-wise sum of two snapshots. QueueDepthPeak is a
+// gauge and takes the max — summing per-server peaks would overstate any
+// single server's backlog.
 func (a Snapshot) Add(b Snapshot) Snapshot {
 	return Snapshot{
 		Received:       a.Received + b.Received,
@@ -121,6 +173,10 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		MsgsFailed:     a.MsgsFailed + b.MsgsFailed,
 		Reconnects:     a.Reconnects + b.Reconnects,
 		PeerDownEvents: a.PeerDownEvents + b.PeerDownEvents,
+		Rejected:       a.Rejected + b.Rejected,
+		QueueDepthPeak: max(a.QueueDepthPeak, b.QueueDepthPeak),
+		QueueWaitNs:    a.QueueWaitNs + b.QueueWaitNs,
+		QueueGroups:    a.QueueGroups + b.QueueGroups,
 	}
 }
 

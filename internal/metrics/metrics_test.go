@@ -54,6 +54,40 @@ func TestSubAddInverseQuick(t *testing.T) {
 	}
 }
 
+func TestExecutorMetrics(t *testing.T) {
+	var s Server
+	s.ObserveQueueDepth(5)
+	s.ObserveQueueDepth(12)
+	s.ObserveQueueDepth(3) // never lowers the peak
+	s.AddQueueWait(100)
+	s.AddQueueWait(300)
+	s.AddRejected(2)
+	snap := s.Snapshot()
+	if snap.QueueDepthPeak != 12 {
+		t.Errorf("QueueDepthPeak = %d, want 12", snap.QueueDepthPeak)
+	}
+	if snap.QueueWaitNs != 400 || snap.QueueGroups != 2 {
+		t.Errorf("wait = %d/%d groups, want 400/2", snap.QueueWaitNs, snap.QueueGroups)
+	}
+	if snap.Rejected != 2 {
+		t.Errorf("Rejected = %d, want 2", snap.Rejected)
+	}
+}
+
+func TestQueueDepthPeakGaugeSemantics(t *testing.T) {
+	a := Snapshot{QueueDepthPeak: 7, QueueWaitNs: 50, QueueGroups: 5}
+	b := Snapshot{QueueDepthPeak: 9, QueueWaitNs: 20, QueueGroups: 2}
+	if got := a.Add(b).QueueDepthPeak; got != 9 {
+		t.Errorf("Add peak = %d, want max 9", got)
+	}
+	if got := a.Sub(b).QueueDepthPeak; got != 7 {
+		t.Errorf("Sub peak = %d, want receiver's 7", got)
+	}
+	if d := a.Sub(b); d.QueueWaitNs != 30 || d.QueueGroups != 3 {
+		t.Errorf("Sub wait = %+v", d)
+	}
+}
+
 func TestConcurrentAdds(t *testing.T) {
 	var s Server
 	var wg sync.WaitGroup

@@ -1,31 +1,56 @@
-// Package sched implements the per-server request queue of §V-B. Incoming
-// traversal requests are buffered locally (the server acknowledges its
-// ancestor before processing, so ancestors finish asynchronously); a pool
-// of worker goroutines drains the queue under two cooperating policies:
+// Package sched implements the per-server request scheduler of §V-B,
+// generalized to a server-wide, two-level queue that multiplexes every
+// concurrent traversal over one bounded worker pool. Incoming traversal
+// requests are buffered locally (the server acknowledges its ancestor
+// before processing, so ancestors finish asynchronously); the server's
+// worker pool drains the queue under three cooperating policies:
 //
-//   - execution scheduling: workers always take the request with the
-//     smallest step id, so slow steps catch up and the spread between the
-//     fastest and slowest in-flight step stays bounded (which also bounds
-//     traversal-affiliate cache pressure);
-//   - execution merging: requests for the same vertex — across different
-//     steps of the same traversal — are coalesced into one group served by
-//     a single disk access.
+//   - traversal scheduling (level 1, across traversals): workers pick the
+//     traversal that has been served the fewest requests so far — a
+//     fair-share policy — breaking ties toward the oldest traversal so
+//     stragglers drain instead of starving behind a stream of newcomers;
+//   - execution scheduling (level 2, within a traversal): workers take the
+//     request with the smallest step id, so slow steps catch up and the
+//     spread between the fastest and slowest in-flight step stays bounded
+//     (which also bounds traversal-affiliate cache pressure);
+//   - execution merging (level 2): requests for the same vertex — across
+//     different steps of the same traversal — are coalesced into one group
+//     served by a single disk access.
 //
-// Both policies are independently switchable so the benchmarks can ablate
-// them, and a step gate turns the same queue into the synchronous engine's
-// barrier buffer.
+// The level-2 policies are independently switchable per traversal so the
+// benchmarks can ablate them, and a per-traversal step gate turns a
+// traversal's sub-queue into the synchronous engine's barrier buffer.
+// Admission control bounds the total buffered items across all traversals
+// (Push fails with ErrBackpressure), and dropping a traversal evicts its
+// pending groups without processing them.
 package sched
 
 import (
+	"errors"
 	"math"
 	"sync"
+	"time"
 
 	"graphtrek/internal/model"
 )
 
+// ErrBackpressure is returned by Push when admitting a batch would exceed
+// the queue's depth limit. The engine surfaces it as a traversal-level
+// error the client can retry once load subsides.
+var ErrBackpressure = errors.New("sched: server queue depth limit exceeded (backpressure)")
+
+// Accumulator tracks the unprocessed items of one traversal execution. The
+// scheduler never inspects it beyond carrying it with each item; the engine
+// implements it with per-mode completion behaviour.
+type Accumulator interface {
+	// ItemDone marks one of the accumulator's items processed and reports
+	// whether it was the last one.
+	ItemDone() bool
+}
+
 // Item is one buffered traversal request: visit Vertex on behalf of Step,
-// carrying the rtn() provenance tag (Anc, AncStep, Dest) and an opaque
-// reference to the execution accumulator that owns it.
+// carrying the rtn() provenance tag (Anc, AncStep, Dest) and the
+// accumulator of the execution that owns it.
 type Item struct {
 	Travel  uint64
 	Step    int32
@@ -33,7 +58,7 @@ type Item struct {
 	Anc     model.VertexID
 	AncStep int32
 	Dest    int32
-	Exec    any
+	Exec    Accumulator
 }
 
 // Group is the unit a worker processes: one vertex of one traversal, with
@@ -43,16 +68,19 @@ type Group struct {
 	Travel uint64
 	Vertex model.VertexID
 	Items  []Item
+	// Enqueued is when the group's first item arrived; the executor derives
+	// its enqueue→pop wait metric from it.
+	Enqueued time.Time
 }
 
-// Options selects the queue's policies.
+// Options selects a traversal's level-2 policies.
 type Options struct {
 	// Priority pops smallest-step groups first (execution scheduling).
 	Priority bool
 	// Merge coalesces same-vertex requests into one group.
 	Merge bool
 	// Gated holds back items whose step exceeds the released gate — the
-	// synchronous engine's barrier. Ungated queues admit every step.
+	// synchronous engine's barrier. Ungated traversals admit every step.
 	Gated bool
 }
 
@@ -68,118 +96,221 @@ type group struct {
 	taken   bool
 }
 
-// Queue is the buffered request queue. All methods are safe for concurrent
-// use.
-type Queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	opts   Options
-	gate   int32
-	seq    uint64
-	byKey  map[groupKey]*group // only when merging
-	bucket map[int32][]*group  // step -> groups in arrival order
-	steps  []int32             // sorted distinct step ids with buckets
-	size   int                 // buffered items
-	closed bool
+// travelQueue is one traversal's sub-queue. All fields are guarded by the
+// owning Multi's mutex.
+type travelQueue struct {
+	travel  uint64
+	opts    Options
+	gate    int32
+	arrival uint64 // registration order — the fair-share tie-break
+	served  int    // items handed to workers so far — the fair-share key
+	seq     uint64
+	byKey   map[groupKey]*group // only when merging
+	bucket  map[int32][]*group  // step -> groups in arrival order
+	steps   []int32             // sorted distinct step ids with buckets
+	size    int                 // buffered items
 }
 
-// New creates a queue with the given policies. A gated queue starts with
-// gate 0 (only step-0 items eligible).
-func New(opts Options) *Queue {
-	q := &Queue{opts: opts, byKey: make(map[groupKey]*group), bucket: make(map[int32][]*group)}
+// Multi is the server-wide two-level queue. All methods are safe for
+// concurrent use.
+type Multi struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	maxDepth  int // admission bound on buffered items; 0 = unbounded
+	travels   map[uint64]*travelQueue
+	arrival   uint64
+	size      int // buffered items across all traversals
+	highWater int
+	closed    bool
+}
+
+// NewMulti creates the server's queue. maxDepth bounds the total buffered
+// items across all traversals (admission control); zero or negative means
+// unbounded.
+func NewMulti(maxDepth int) *Multi {
+	if maxDepth < 0 {
+		maxDepth = 0
+	}
+	m := &Multi{maxDepth: maxDepth, travels: make(map[uint64]*travelQueue)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Register creates the traversal's sub-queue with the given policies. A
+// gated traversal starts with gate 0 (only step-0 items eligible).
+// Re-registering an existing traversal is a no-op.
+func (m *Multi) Register(travel uint64, opts Options) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.travels[travel] != nil {
+		return
+	}
+	t := &travelQueue{
+		travel:  travel,
+		opts:    opts,
+		arrival: m.arrival,
+		byKey:   make(map[groupKey]*group),
+		bucket:  make(map[int32][]*group),
+	}
+	m.arrival++
 	if !opts.Gated {
-		q.gate = math.MaxInt32
+		t.gate = math.MaxInt32
 	}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+	m.travels[travel] = t
 }
 
-// Push buffers items. Pushing to a closed queue drops the items.
-func (q *Queue) Push(items []Item) {
-	if len(items) == 0 {
-		return
+// Drop evicts a traversal: its pending groups are discarded unprocessed —
+// a dead traversal's queued work must not occupy workers — and subsequent
+// pushes for it are dropped. Returns the number of evicted items.
+func (m *Multi) Drop(travel uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.travels[travel]
+	if !ok {
+		return 0
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return
+	delete(m.travels, travel)
+	m.size -= t.size
+	return t.size
+}
+
+// Push buffers items for their traversal, enforcing the depth limit as
+// all-or-nothing admission per batch. It returns the resulting total queue
+// depth. Pushing to a closed queue or an unregistered (dropped) traversal
+// silently discards the items, mirroring message delivery to a finished
+// traversal.
+func (m *Multi) Push(items []Item) (int, error) {
+	if len(items) == 0 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.size, nil
+	}
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.size, nil
+	}
+	t, ok := m.travels[items[0].Travel]
+	if !ok {
+		return m.size, nil
+	}
+	if m.maxDepth > 0 && m.size+len(items) > m.maxDepth {
+		return m.size, ErrBackpressure
 	}
 	for _, it := range items {
-		q.size++
-		if q.opts.Merge {
+		m.size++
+		t.size++
+		if t.opts.Merge {
 			k := groupKey{it.Travel, it.Vertex}
-			if g, ok := q.byKey[k]; ok && !g.taken {
+			if g, ok := t.byKey[k]; ok && !g.taken {
 				g.Items = append(g.Items, it)
 				if it.Step < g.minStep {
 					// Move the group down to the new step's bucket; the
 					// stale slot in the old bucket is skipped lazily.
 					g.minStep = it.Step
-					q.addToBucket(g)
+					t.addToBucket(g)
 				}
 				continue
 			}
-			g := &group{Group: Group{Travel: it.Travel, Vertex: it.Vertex, Items: []Item{it}}, minStep: it.Step, seq: q.seq}
-			q.seq++
-			q.byKey[k] = g
-			q.addToBucket(g)
+			g := t.newGroup(it, now)
+			t.byKey[k] = g
+			t.addToBucket(g)
 			continue
 		}
-		g := &group{Group: Group{Travel: it.Travel, Vertex: it.Vertex, Items: []Item{it}}, minStep: it.Step, seq: q.seq}
-		q.seq++
-		q.addToBucket(g)
+		t.addToBucket(t.newGroup(it, now))
 	}
-	q.cond.Broadcast()
+	if m.size > m.highWater {
+		m.highWater = m.size
+	}
+	m.cond.Broadcast()
+	return m.size, nil
 }
 
-func (q *Queue) addToBucket(g *group) {
+func (t *travelQueue) newGroup(it Item, now time.Time) *group {
+	g := &group{
+		Group:   Group{Travel: it.Travel, Vertex: it.Vertex, Items: []Item{it}, Enqueued: now},
+		minStep: it.Step,
+		seq:     t.seq,
+	}
+	t.seq++
+	return g
+}
+
+func (t *travelQueue) addToBucket(g *group) {
 	step := g.minStep
-	if _, ok := q.bucket[step]; !ok {
-		q.insertStep(step)
+	if _, ok := t.bucket[step]; !ok {
+		t.insertStep(step)
 	}
-	q.bucket[step] = append(q.bucket[step], g)
+	t.bucket[step] = append(t.bucket[step], g)
 }
 
-func (q *Queue) insertStep(step int32) {
+func (t *travelQueue) insertStep(step int32) {
 	i := 0
-	for i < len(q.steps) && q.steps[i] < step {
+	for i < len(t.steps) && t.steps[i] < step {
 		i++
 	}
-	q.steps = append(q.steps, 0)
-	copy(q.steps[i+1:], q.steps[i:])
-	q.steps[i] = step
-	if _, ok := q.bucket[step]; !ok {
-		q.bucket[step] = nil
+	t.steps = append(t.steps, 0)
+	copy(t.steps[i+1:], t.steps[i:])
+	t.steps[i] = step
+	if _, ok := t.bucket[step]; !ok {
+		t.bucket[step] = nil
 	}
 }
 
-// Pop blocks until a group is eligible (its smallest step is within the
-// gate) and returns it. The second result is false once the queue is
-// closed and drained of eligible work.
-func (q *Queue) Pop() (Group, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+// Pop blocks until some traversal has an eligible group (its smallest step
+// is within that traversal's gate) and returns it under the two-level
+// policy. The second result is false once the queue is closed and drained
+// of eligible work.
+func (m *Multi) Pop() (Group, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for {
-		if g := q.popLocked(); g != nil {
+		if g := m.popLocked(); g != nil {
 			return g.Group, true
 		}
-		if q.closed {
+		if m.closed {
 			return Group{}, false
 		}
-		q.cond.Wait()
+		m.cond.Wait()
 	}
 }
 
-// popLocked selects the next group under the configured policy, skipping
-// stale bucket slots left by merges that moved a group.
-func (q *Queue) popLocked() *group {
+// popLocked runs the two-level selection: level 1 picks the least-served
+// traversal with eligible work (ties to the oldest), level 2 picks that
+// traversal's group under its own policy.
+func (m *Multi) popLocked() *group {
+	var best *travelQueue
+	var bestG *group
+	for _, t := range m.travels {
+		g := t.peek()
+		if g == nil {
+			continue
+		}
+		if best == nil || t.served < best.served ||
+			(t.served == best.served && t.arrival < best.arrival) {
+			best, bestG = t, g
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.take(bestG)
+	best.served += len(bestG.Items)
+	m.size -= len(bestG.Items)
+	return bestG
+}
+
+// peek selects the traversal's next group under its policy without removing
+// it, trimming stale bucket slots left by merges that moved a group. The
+// returned group is the head of its minStep bucket.
+func (t *travelQueue) peek() *group {
 	var best *group
-	bestBucket := int32(-1)
-	bestIdx := -1
-	for _, step := range q.steps {
-		if step > q.gate {
+	for _, step := range t.steps {
+		if step > t.gate {
 			break
 		}
-		list := q.bucket[step]
+		list := t.bucket[step]
 		// Trim stale heads (taken, or relocated to another bucket).
 		i := 0
 		for i < len(list) && (list[i].taken || list[i].minStep != step) {
@@ -187,72 +318,89 @@ func (q *Queue) popLocked() *group {
 		}
 		if i > 0 {
 			list = list[i:]
-			q.bucket[step] = list
+			t.bucket[step] = list
 		}
 		if len(list) == 0 {
 			continue
 		}
 		head := list[0]
-		if q.opts.Priority {
-			best, bestBucket, bestIdx = head, step, 0
-			break // smallest eligible step wins
+		if t.opts.Priority {
+			return head // smallest eligible step wins
 		}
 		if best == nil || head.seq < best.seq {
-			best, bestBucket, bestIdx = head, step, 0
+			best = head
 		}
 	}
-	if best == nil {
-		return nil
-	}
-	q.bucket[bestBucket] = q.bucket[bestBucket][bestIdx+1:]
-	best.taken = true
-	if q.opts.Merge {
-		delete(q.byKey, groupKey{best.Travel, best.Vertex})
-	}
-	q.size -= len(best.Items)
 	return best
 }
 
-// Release raises the gate so items up to and including step become
-// eligible. It is a no-op on ungated queues and never lowers the gate.
-func (q *Queue) Release(step int32) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if !q.opts.Gated || step <= q.gate {
+// take removes a group returned by peek from its bucket.
+func (t *travelQueue) take(g *group) {
+	t.bucket[g.minStep] = t.bucket[g.minStep][1:]
+	g.taken = true
+	if t.opts.Merge {
+		delete(t.byKey, groupKey{g.Travel, g.Vertex})
+	}
+	t.size -= len(g.Items)
+}
+
+// Release raises a traversal's gate so items up to and including step
+// become eligible. It is a no-op on ungated or unknown traversals and
+// never lowers the gate.
+func (m *Multi) Release(travel uint64, step int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.travels[travel]
+	if !ok || !t.opts.Gated || step <= t.gate {
 		return
 	}
-	q.gate = step
-	q.cond.Broadcast()
+	t.gate = step
+	m.cond.Broadcast()
 }
 
-// Gate returns the current gate (MaxInt32 when ungated).
-func (q *Queue) Gate() int32 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.gate
+// Gate returns a traversal's current gate (MaxInt32 when ungated or
+// unknown).
+func (m *Multi) Gate(travel uint64) int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.travels[travel]; ok {
+		return t.gate
+	}
+	return math.MaxInt32
 }
 
-// Len reports the number of buffered items.
-func (q *Queue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.size
+// Len reports the number of buffered items across all traversals.
+func (m *Multi) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.size
 }
 
-// EligibleLen reports the number of buffered items whose step is within the
-// gate — the items a worker could pop right now. The engine flushes its
-// outboxes when this reaches zero; counting gated items would deadlock the
-// synchronous barrier (step-k executions would never report termination
-// while step-k+1 items wait behind the gate).
-func (q *Queue) EligibleLen() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+// HighWater reports the maximum queue depth observed since creation.
+func (m *Multi) HighWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.highWater
+}
+
+// EligibleLen reports the number of a traversal's buffered items whose step
+// is within its gate — the items a worker could pop right now. The engine
+// flushes a traversal's outboxes when this reaches zero; counting gated
+// items would deadlock the synchronous barrier (step-k executions would
+// never report termination while step-k+1 items wait behind the gate).
+func (m *Multi) EligibleLen(travel uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.travels[travel]
+	if !ok {
+		return 0
+	}
 	n := 0
-	for _, step := range q.steps {
-		if step > q.gate {
+	for _, step := range t.steps {
+		if step > t.gate {
 			break
 		}
-		for _, g := range q.bucket[step] {
+		for _, g := range t.bucket[step] {
 			if !g.taken && g.minStep == step {
 				n += len(g.Items)
 			}
@@ -263,9 +411,9 @@ func (q *Queue) EligibleLen() int {
 
 // Close wakes all blocked Pops; they drain remaining eligible work and then
 // return false.
-func (q *Queue) Close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
+func (m *Multi) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
 }

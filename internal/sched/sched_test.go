@@ -13,8 +13,27 @@ func item(travel uint64, step int32, vertex int) Item {
 	return Item{Travel: travel, Step: step, Vertex: model.VertexID(vertex)}
 }
 
-func popAll(q *Queue) []Group {
+// newQueue builds a Multi with one registered traversal — the level-2
+// policy tests all run against a single sub-queue.
+func newQueue(travel uint64, opts Options) *Multi {
+	m := NewMulti(0)
+	m.Register(travel, opts)
+	return m
+}
+
+func push(t testing.TB, m *Multi, items ...Item) {
+	t.Helper()
+	if _, err := m.Push(items); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+}
+
+func popAll(q *Multi) []Group {
 	q.Close()
+	return popAllOpen(q)
+}
+
+func popAllOpen(q *Multi) []Group {
 	var out []Group
 	for {
 		g, ok := q.Pop()
@@ -26,8 +45,8 @@ func popAll(q *Queue) []Group {
 }
 
 func TestFIFOOrder(t *testing.T) {
-	q := New(Options{})
-	q.Push([]Item{item(1, 2, 10), item(1, 0, 11), item(1, 1, 12)})
+	q := newQueue(1, Options{})
+	push(t, q, item(1, 2, 10), item(1, 0, 11), item(1, 1, 12))
 	got := popAll(q)
 	want := []model.VertexID{10, 11, 12}
 	for i, g := range got {
@@ -38,8 +57,8 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestPriorityOrdersBySmallestStep(t *testing.T) {
-	q := New(Options{Priority: true})
-	q.Push([]Item{item(1, 5, 10), item(1, 1, 11), item(1, 3, 12), item(1, 1, 13)})
+	q := newQueue(1, Options{Priority: true})
+	push(t, q, item(1, 5, 10), item(1, 1, 11), item(1, 3, 12), item(1, 1, 13))
 	got := popAll(q)
 	wantSteps := []int32{1, 1, 3, 5}
 	wantVerts := []model.VertexID{11, 13, 12, 10} // FIFO within a step
@@ -52,8 +71,8 @@ func TestPriorityOrdersBySmallestStep(t *testing.T) {
 }
 
 func TestMergeCoalescesSameVertex(t *testing.T) {
-	q := New(Options{Priority: true, Merge: true})
-	q.Push([]Item{item(1, 1, 10), item(1, 2, 10), item(1, 1, 11)})
+	q := newQueue(1, Options{Priority: true, Merge: true})
+	push(t, q, item(1, 1, 10), item(1, 2, 10), item(1, 1, 11))
 	got := popAll(q)
 	if len(got) != 2 {
 		t.Fatalf("groups = %d, want 2", len(got))
@@ -67,8 +86,11 @@ func TestMergeCoalescesSameVertex(t *testing.T) {
 }
 
 func TestMergeDoesNotCrossTravels(t *testing.T) {
-	q := New(Options{Merge: true})
-	q.Push([]Item{item(1, 1, 10), item(2, 1, 10)})
+	q := NewMulti(0)
+	q.Register(1, Options{Merge: true})
+	q.Register(2, Options{Merge: true})
+	push(t, q, item(1, 1, 10))
+	push(t, q, item(2, 1, 10))
 	got := popAll(q)
 	if len(got) != 2 {
 		t.Fatalf("groups = %d, want 2 (no cross-travel merge)", len(got))
@@ -76,10 +98,10 @@ func TestMergeDoesNotCrossTravels(t *testing.T) {
 }
 
 func TestMergeMovesGroupToLowerStep(t *testing.T) {
-	q := New(Options{Priority: true, Merge: true})
-	q.Push([]Item{item(1, 4, 10)})
-	q.Push([]Item{item(1, 2, 11)})
-	q.Push([]Item{item(1, 1, 10)}) // merges; group 10 now has min step 1
+	q := newQueue(1, Options{Priority: true, Merge: true})
+	push(t, q, item(1, 4, 10))
+	push(t, q, item(1, 2, 11))
+	push(t, q, item(1, 1, 10)) // merges; group 10 now has min step 1
 	got := popAll(q)
 	if got[0].Vertex != 10 || len(got[0].Items) != 2 {
 		t.Fatalf("pop 0 = %+v, want vertex 10 popped first after move-down", got[0])
@@ -90,14 +112,14 @@ func TestMergeMovesGroupToLowerStep(t *testing.T) {
 }
 
 func TestNoMergeAfterPop(t *testing.T) {
-	q := New(Options{Merge: true})
-	q.Push([]Item{item(1, 1, 10)})
+	q := newQueue(1, Options{Merge: true})
+	push(t, q, item(1, 1, 10))
 	g, ok := q.Pop()
 	if !ok || len(g.Items) != 1 {
 		t.Fatal("first pop failed")
 	}
 	// The group was taken; a new arrival must form a fresh group.
-	q.Push([]Item{item(1, 2, 10)})
+	push(t, q, item(1, 2, 10))
 	got := popAll(q)
 	if len(got) != 1 || len(got[0].Items) != 1 || got[0].Items[0].Step != 2 {
 		t.Errorf("post-pop arrival = %+v", got)
@@ -105,8 +127,8 @@ func TestNoMergeAfterPop(t *testing.T) {
 }
 
 func TestGatedQueueHoldsFutureSteps(t *testing.T) {
-	q := New(Options{Gated: true})
-	q.Push([]Item{item(1, 1, 10), item(1, 0, 11)})
+	q := newQueue(1, Options{Gated: true})
+	push(t, q, item(1, 1, 10), item(1, 0, 11))
 	g, ok := q.Pop()
 	if !ok || g.Vertex != 11 {
 		t.Fatalf("pop = %+v, want the step-0 item", g)
@@ -122,7 +144,7 @@ func TestGatedQueueHoldsFutureSteps(t *testing.T) {
 		t.Fatalf("gated item popped early: %+v", g)
 	case <-time.After(20 * time.Millisecond):
 	}
-	q.Release(1)
+	q.Release(1, 1)
 	select {
 	case g := <-done:
 		if g.Vertex != 10 {
@@ -135,23 +157,40 @@ func TestGatedQueueHoldsFutureSteps(t *testing.T) {
 }
 
 func TestReleaseNeverLowersGate(t *testing.T) {
-	q := New(Options{Gated: true})
-	q.Release(5)
-	q.Release(3)
-	if q.Gate() != 5 {
-		t.Errorf("gate = %d, want 5", q.Gate())
+	q := newQueue(1, Options{Gated: true})
+	q.Release(1, 5)
+	q.Release(1, 3)
+	if q.Gate(1) != 5 {
+		t.Errorf("gate = %d, want 5", q.Gate(1))
 	}
-	// Ungated queues ignore Release.
-	u := New(Options{})
-	u.Release(1)
-	if u.Gate() <= 1<<30 {
-		t.Errorf("ungated gate = %d", u.Gate())
+	// Ungated traversals ignore Release.
+	u := newQueue(1, Options{})
+	u.Release(1, 1)
+	if u.Gate(1) <= 1<<30 {
+		t.Errorf("ungated gate = %d", u.Gate(1))
 	}
 }
 
+func TestGateIsPerTravel(t *testing.T) {
+	q := NewMulti(0)
+	q.Register(1, Options{Gated: true})
+	q.Register(2, Options{Gated: true})
+	push(t, q, item(1, 1, 10))
+	push(t, q, item(2, 1, 20))
+	q.Release(1, 1)
+	g, ok := q.Pop()
+	if !ok || g.Travel != 1 {
+		t.Fatalf("pop = %+v, want travel 1 (travel 2 still gated)", g)
+	}
+	if q.EligibleLen(2) != 0 {
+		t.Errorf("travel 2 eligible = %d, want 0", q.EligibleLen(2))
+	}
+	q.Close()
+}
+
 func TestLenTracksItems(t *testing.T) {
-	q := New(Options{Merge: true})
-	q.Push([]Item{item(1, 1, 10), item(1, 2, 10), item(1, 1, 11)})
+	q := newQueue(1, Options{Merge: true})
+	push(t, q, item(1, 1, 10), item(1, 2, 10), item(1, 1, 11))
 	if q.Len() != 3 {
 		t.Errorf("Len = %d, want 3", q.Len())
 	}
@@ -162,36 +201,163 @@ func TestLenTracksItems(t *testing.T) {
 }
 
 func TestPushAfterCloseDropped(t *testing.T) {
-	q := New(Options{})
+	q := newQueue(1, Options{})
 	q.Close()
-	q.Push([]Item{item(1, 0, 1)})
+	if _, err := q.Push([]Item{item(1, 0, 1)}); err != nil {
+		t.Fatalf("push after close: %v", err)
+	}
 	if _, ok := q.Pop(); ok {
 		t.Error("closed queue should not yield items pushed after close")
 	}
 }
 
+func TestPushToUnknownTravelDropped(t *testing.T) {
+	q := NewMulti(0)
+	if _, err := q.Push([]Item{item(7, 0, 1)}); err != nil {
+		t.Fatalf("push to unknown travel: %v", err)
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+}
+
 func TestCloseDrainsEligibleWork(t *testing.T) {
-	q := New(Options{})
-	q.Push([]Item{item(1, 0, 1), item(1, 0, 2)})
+	q := newQueue(1, Options{})
+	push(t, q, item(1, 0, 1), item(1, 0, 2))
 	q.Close()
 	if got := len(popAllOpen(q)); got != 2 {
 		t.Errorf("drained %d items, want 2", got)
 	}
 }
 
-func popAllOpen(q *Queue) []Group {
-	var out []Group
-	for {
-		g, ok := q.Pop()
-		if !ok {
-			return out
-		}
-		out = append(out, g)
+func TestDropEvictsPendingGroups(t *testing.T) {
+	q := NewMulti(0)
+	q.Register(1, Options{Merge: true})
+	q.Register(2, Options{})
+	push(t, q, item(1, 0, 10), item(1, 1, 10), item(1, 0, 11))
+	push(t, q, item(2, 0, 20))
+	if n := q.Drop(1); n != 3 {
+		t.Errorf("Drop evicted %d items, want 3", n)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len after drop = %d, want 1", q.Len())
+	}
+	// A push for the dropped traversal is discarded, not resurrected.
+	push(t, q, item(1, 0, 12))
+	got := popAll(q)
+	if len(got) != 1 || got[0].Travel != 2 {
+		t.Errorf("post-drop pops = %+v, want only travel 2", got)
 	}
 }
 
+func TestBackpressureRejectsWholeBatch(t *testing.T) {
+	q := NewMulti(3)
+	q.Register(1, Options{})
+	push(t, q, item(1, 0, 1), item(1, 0, 2))
+	// Admitting two more would exceed the bound: all-or-nothing rejection.
+	if _, err := q.Push([]Item{item(1, 0, 3), item(1, 0, 4)}); err != ErrBackpressure {
+		t.Fatalf("push over limit = %v, want ErrBackpressure", err)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len after rejection = %d, want 2 (batch not partially admitted)", q.Len())
+	}
+	// A batch that fits is still admitted.
+	push(t, q, item(1, 0, 5))
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+	// Draining frees capacity again.
+	q.Pop()
+	push(t, q, item(1, 0, 6))
+	q.Close()
+}
+
+func TestHighWaterTracksPeakDepth(t *testing.T) {
+	q := newQueue(1, Options{})
+	push(t, q, item(1, 0, 1), item(1, 0, 2), item(1, 0, 3))
+	q.Pop()
+	q.Pop()
+	push(t, q, item(1, 0, 4))
+	if hw := q.HighWater(); hw != 3 {
+		t.Errorf("HighWater = %d, want 3", hw)
+	}
+	if d, _ := q.Push([]Item{item(1, 0, 5)}); d != 3 {
+		t.Errorf("Push depth = %d, want 3", d)
+	}
+	q.Close()
+}
+
+// TestFairShareAcrossTravels: with two traversals queued, workers alternate
+// between them instead of draining the first before touching the second.
+func TestFairShareAcrossTravels(t *testing.T) {
+	q := NewMulti(0)
+	q.Register(1, Options{})
+	q.Register(2, Options{})
+	for i := 0; i < 4; i++ {
+		push(t, q, item(1, 0, 10+i))
+	}
+	for i := 0; i < 4; i++ {
+		push(t, q, item(2, 0, 20+i))
+	}
+	got := popAll(q)
+	if len(got) != 8 {
+		t.Fatalf("pops = %d, want 8", len(got))
+	}
+	for i := 0; i < 8; i += 2 {
+		// Served counts tie at each even pop; the older traversal (1) wins
+		// the tie, then traversal 2 is strictly less served.
+		if got[i].Travel != 1 || got[i+1].Travel != 2 {
+			t.Fatalf("pops %d,%d = travels %d,%d, want alternation 1,2",
+				i, i+1, got[i].Travel, got[i+1].Travel)
+		}
+	}
+}
+
+// TestOldestTravelDrainsFirst: on a served-count tie, the scheduler prefers
+// the oldest traversal, so a straggler is not starved by newcomers.
+func TestOldestTravelDrainsFirst(t *testing.T) {
+	q := NewMulti(0)
+	q.Register(5, Options{}) // oldest
+	q.Register(6, Options{})
+	q.Register(7, Options{})
+	push(t, q, item(7, 0, 70))
+	push(t, q, item(6, 0, 60))
+	push(t, q, item(5, 0, 50))
+	g, ok := q.Pop()
+	if !ok || g.Travel != 5 {
+		t.Fatalf("first pop = travel %d, want the oldest (5)", g.Travel)
+	}
+	q.Close()
+}
+
+// TestFairShareWeighsMergedItems: fair share counts items served, so a
+// traversal whose groups merge many requests yields the pool sooner.
+func TestFairShareWeighsMergedItems(t *testing.T) {
+	q := NewMulti(0)
+	q.Register(1, Options{Merge: true})
+	q.Register(2, Options{})
+	// Travel 1: one group of 3 merged items, then another group.
+	push(t, q, item(1, 0, 10), item(1, 1, 10), item(1, 2, 10), item(1, 0, 11))
+	push(t, q, item(2, 0, 20), item(2, 0, 21), item(2, 0, 22))
+	first, _ := q.Pop() // tie at 0 served: oldest (1) wins, serves 3 items
+	if first.Travel != 1 || len(first.Items) != 3 {
+		t.Fatalf("first pop = %+v, want travel 1's merged group", first)
+	}
+	// Travel 1 now has 3 served vs travel 2's 0: the next three pops must
+	// all come from travel 2.
+	for i := 0; i < 3; i++ {
+		g, _ := q.Pop()
+		if g.Travel != 2 {
+			t.Fatalf("pop %d = travel %d, want 2 (fair share by items)", i+1, g.Travel)
+		}
+	}
+	q.Close()
+}
+
 func TestConcurrentProducersConsumers(t *testing.T) {
-	q := New(Options{Priority: true, Merge: true})
+	q := NewMulti(0)
+	q.Register(0, Options{Priority: true, Merge: true})
+	q.Register(1, Options{Priority: true, Merge: true})
 	const producers, perProducer = 4, 500
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -230,30 +396,33 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	}
 }
 
+type testAcc struct{ n int }
+
+func (a *testAcc) ItemDone() bool { a.n--; return a.n == 0 }
+
 func TestExecPointerPreserved(t *testing.T) {
-	q := New(Options{Merge: true})
-	type acc struct{ n int }
-	a1, a2 := &acc{1}, &acc{2}
-	q.Push([]Item{{Travel: 1, Step: 0, Vertex: 9, Exec: a1}})
-	q.Push([]Item{{Travel: 1, Step: 1, Vertex: 9, Exec: a2}})
+	q := newQueue(1, Options{Merge: true})
+	a1, a2 := &testAcc{1}, &testAcc{2}
+	push(t, q, Item{Travel: 1, Step: 0, Vertex: 9, Exec: a1})
+	push(t, q, Item{Travel: 1, Step: 1, Vertex: 9, Exec: a2})
 	g, _ := q.Pop()
-	if len(g.Items) != 2 || g.Items[0].Exec.(*acc) != a1 || g.Items[1].Exec.(*acc) != a2 {
-		t.Errorf("exec pointers lost: %+v", g.Items)
+	if len(g.Items) != 2 || g.Items[0].Exec.(*testAcc) != a1 || g.Items[1].Exec.(*testAcc) != a2 {
+		t.Errorf("exec accumulators lost: %+v", g.Items)
 	}
 	q.Close()
 }
 
 // TestPriorityInvariantQuick: under priority scheduling, a popped group's
 // step is never larger than the smallest step that was eligible in the
-// queue at pop time.
+// traversal's sub-queue at pop time.
 func TestPriorityInvariantQuick(t *testing.T) {
 	r := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 50; trial++ {
-		q := New(Options{Priority: true})
+		q := newQueue(1, Options{Priority: true})
 		pending := map[int32]int{}
 		for i := 0; i < 30; i++ {
 			step := int32(r.Intn(8))
-			q.Push([]Item{item(1, step, 1000+i)})
+			push(t, q, item(1, step, 1000+i))
 			pending[step]++
 		}
 		for i := 0; i < 30; i++ {
@@ -274,14 +443,28 @@ func TestPriorityInvariantQuick(t *testing.T) {
 }
 
 func TestEligibleLenRespectsGate(t *testing.T) {
-	q := New(Options{Gated: true})
-	q.Push([]Item{item(1, 0, 1), item(1, 1, 2), item(1, 1, 3)})
-	if got := q.EligibleLen(); got != 1 {
+	q := newQueue(1, Options{Gated: true})
+	push(t, q, item(1, 0, 1), item(1, 1, 2), item(1, 1, 3))
+	if got := q.EligibleLen(1); got != 1 {
 		t.Fatalf("EligibleLen = %d, want 1 (only step 0)", got)
 	}
-	q.Release(1)
-	if got := q.EligibleLen(); got != 3 {
+	q.Release(1, 1)
+	if got := q.EligibleLen(1); got != 3 {
 		t.Fatalf("EligibleLen after release = %d, want 3", got)
+	}
+	q.Close()
+}
+
+func TestEnqueuedTimestampSet(t *testing.T) {
+	q := newQueue(1, Options{})
+	before := time.Now()
+	push(t, q, item(1, 0, 1))
+	g, ok := q.Pop()
+	if !ok {
+		t.Fatal("pop failed")
+	}
+	if g.Enqueued.Before(before) || g.Enqueued.After(time.Now()) {
+		t.Errorf("Enqueued = %v outside push window", g.Enqueued)
 	}
 	q.Close()
 }
