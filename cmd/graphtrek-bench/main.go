@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	graphtrek-bench [-exp all|table1|fig7|fig8|fig9|fig10|fig11|table2|table3|ablation|concurrent|partition]
+//	graphtrek-bench [-exp all|smoke|table1|fig7|fig8|fig9|fig10|fig11|table2|table3|ablation|concurrent|partition] [-json out.json]
 //
 // The concurrent experiment sweeps K=1/4/16/64 simultaneous traversals over
 // the shared per-server executor and reports per-traversal latency
-// percentiles plus queue-depth and queue-wait executor metrics.
+// percentiles plus queue-depth and queue-wait executor metrics. The smoke
+// experiment is the CI gate: every engine on one small workload, with
+// engine-equivalence and metrics-invariant checks.
+//
+// -json writes a machine-readable report (BENCH_<exp>.json by convention)
+// alongside the human tables and exits nonzero if any recorded check
+// failed, which is how CI blocks on an invariant or equivalence violation.
 //
 // The experiment scale is selected with GRAPHTREK_SCALE
 // (tiny|small|medium|paper; default small). See EXPERIMENTS.md for
@@ -26,10 +32,28 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
+	jsonPath := flag.String("json", "", "write a machine-readable report here (schema v1); exit nonzero if any check failed")
 	flag.Parse()
 
 	scale := bench.GetScale()
 	fmt.Printf("graphtrek-bench: scale=%s (set GRAPHTREK_SCALE=tiny|small|medium|paper)\n\n", scale.Name)
+
+	var rep *bench.Report
+	if *jsonPath != "" {
+		rep = bench.NewReport(scale)
+	}
+	// The report is written even when a runner dies partway: a truncated
+	// run still leaves CI an artifact saying where and why.
+	writeReport := func() {
+		if rep == nil {
+			return
+		}
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "graphtrek-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("graphtrek-bench: report written to %s\n", *jsonPath)
+	}
 
 	switch *exp {
 	case "list":
@@ -41,7 +65,9 @@ func main() {
 		fmt.Println(strings.Join(names, "\n"))
 		return
 	case "all":
-		if err := bench.RunAll(scale, os.Stdout); err != nil {
+		err := bench.RunAll(scale, os.Stdout, rep)
+		writeReport()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "graphtrek-bench:", err)
 			os.Exit(1)
 		}
@@ -51,9 +77,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "graphtrek-bench: unknown experiment %q (try -exp list)\n", *exp)
 			os.Exit(2)
 		}
-		if err := run(scale, os.Stdout); err != nil {
+		sect := rep.Experiment(*exp)
+		err := run(scale, os.Stdout, sect)
+		sect.SetErr(err)
+		writeReport()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "graphtrek-bench:", err)
 			os.Exit(1)
 		}
+	}
+	if rep.Failed() {
+		fmt.Fprintln(os.Stderr, "graphtrek-bench: one or more report checks failed")
+		os.Exit(1)
 	}
 }

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	"graphtrek/internal/core"
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/kv"
+	"graphtrek/internal/obs"
 	"graphtrek/internal/partition"
 	"graphtrek/internal/rpc"
 	"graphtrek/internal/simio"
@@ -41,6 +43,8 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "backend heartbeat interval (0 disables the failure detector)")
 	suspectAfter := flag.Duration("suspect-after", 0, "silence before a peer is suspected dead (0 = 3x heartbeat)")
 	sendTimeout := flag.Duration("send-timeout", 2*time.Second, "bounded wait on a full peer outbox before failing the send")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /debug/pprof and /traces (empty disables)")
+	traceCap := flag.Int("trace-cap", 0, "execution-trace ring capacity (0 = default 8192, negative disables tracing)")
 	flag.Parse()
 
 	if *data == "" || *addrs == "" {
@@ -70,6 +74,7 @@ func main() {
 		TravelTimeout:     *timeout,
 		HeartbeatInterval: *heartbeat,
 		SuspectAfter:      *suspectAfter,
+		TraceCap:          *traceCap,
 	})
 	tr, err := rpc.NewTCPWithOptions(*id, addrList, srv.Handle, rpc.TCPOptions{
 		SendTimeout:   *sendTimeout,
@@ -84,10 +89,21 @@ func main() {
 	fmt.Printf("graphtrek-server: node %d/%d listening on %s, partition %s\n",
 		*id, *servers, tr.Addr(), *data)
 
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		obsSrv = obs.ListenAndServe(*obsAddr, func(err error) {
+			fmt.Fprintln(os.Stderr, "graphtrek-server: obs endpoint:", err)
+		}, srv)
+		fmt.Printf("graphtrek-server: observability endpoint on %s (/metrics, /debug/pprof, /traces, /healthz)\n", *obsAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("graphtrek-server: shutting down")
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 	srv.Close()
 	tr.Close()
 }

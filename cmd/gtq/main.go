@@ -25,6 +25,7 @@ import (
 	"graphtrek/internal/property"
 	"graphtrek/internal/query"
 	"graphtrek/internal/rpc"
+	"graphtrek/internal/trace"
 )
 
 var modes = map[string]core.Mode{
@@ -46,15 +47,16 @@ func main() {
 	modeName := flag.String("mode", "graphtrek", "engine: sync | async | graphtrek | client")
 	timeout := flag.Duration("timeout", 2*time.Minute, "client wait timeout per attempt")
 	retries := flag.Int("retries", 0, "traversal restarts after a failed attempt (rotates coordinator)")
+	profile := flag.Bool("profile", false, "after the traversal, fetch execution traces and print a per-step cost table (server-side modes only)")
 	flag.Parse()
 
-	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries); err != nil {
+	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, "gtq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int) error {
+func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile bool) error {
 	mode, ok := modes[modeName]
 	if !ok {
 		return fmt.Errorf("unknown -mode %q", modeName)
@@ -79,16 +81,73 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 	client.Bind(tcp)
 
 	fmt.Printf("gtq: %s (mode %s)\n", plan, mode)
+	opts := core.SubmitOptions{Mode: mode, Coordinator: -1, Timeout: timeout, Retries: retries}
 	start := time.Now()
-	res, err := client.SubmitPlan(plan, core.SubmitOptions{Mode: mode, Coordinator: -1, Timeout: timeout, Retries: retries})
+	if !profile {
+		res, err := client.SubmitPlan(plan, opts)
+		if err != nil {
+			return err
+		}
+		printResults(res, start)
+		return nil
+	}
+	// Profiling needs the traversal handle to address the trace query, so
+	// run a single async attempt (retries would discard the profiled id).
+	if mode == core.ModeClientSide {
+		return fmt.Errorf("-profile requires a server-side mode (the client mode has no per-execution traces to fetch)")
+	}
+	h, err := client.SubmitPlanAsync(plan, opts)
 	if err != nil {
 		return err
 	}
+	res, err := h.Wait(timeout)
+	if err != nil {
+		return err
+	}
+	printResults(res, start)
+	stats, err := h.Profile(0)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	printProfile(stats)
+	return nil
+}
+
+func printResults(res []model.VertexID, start time.Time) {
 	fmt.Printf("gtq: %d vertices in %v\n", len(res), time.Since(start).Round(time.Millisecond))
 	for _, v := range res {
 		fmt.Println(v)
 	}
-	return nil
+}
+
+// printProfile renders the per-step cost table: one row per traversal step
+// (servers merged), then the per-(step, server) breakdown.
+func printProfile(stats []trace.StepStat) {
+	if len(stats) == 0 {
+		fmt.Println("gtq: no trace spans buffered (tracing disabled, or spans already evicted)")
+		return
+	}
+	const header = "step  srv  execs  frontier  redundant  combined  real  max-wait      wall          errs"
+	row := func(st trace.StepStat) {
+		srv := "all"
+		if st.Server >= 0 {
+			srv = fmt.Sprintf("%d", st.Server)
+		}
+		fmt.Printf("%4d  %3s  %5d  %8d  %9d  %8d  %4d  %-12v  %-12v  %d\n",
+			st.Step, srv, st.Execs, st.Frontier, st.Redundant, st.Combined, st.Real,
+			time.Duration(st.MaxQueueWaitNs).Round(time.Microsecond),
+			time.Duration(st.WallNs).Round(time.Microsecond), st.Errs)
+	}
+	fmt.Println("gtq: per-step profile (servers merged)")
+	fmt.Println(header)
+	for _, st := range trace.MergeSteps(stats) {
+		row(st)
+	}
+	fmt.Println("gtq: per-step profile by server")
+	fmt.Println(header)
+	for _, st := range stats {
+		row(st)
+	}
 }
 
 // buildTravel assembles the GTravel chain from the flag values.

@@ -180,6 +180,10 @@ type Options struct {
 	// with partition.NewBalanced for degree-aware placement. Its N() must
 	// equal Servers.
 	Partitioner partition.Partitioner
+	// TraceCap sizes each server's execution-trace ring buffer (spans per
+	// server). Zero selects the engine default (8192); negative disables
+	// per-execution tracing.
+	TraceCap int
 }
 
 // Cluster is an in-process GraphTrek deployment: N backend servers plus one
@@ -255,6 +259,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 			TravelTimeout:     opts.TravelTimeout,
 			HeartbeatInterval: opts.HeartbeatInterval,
 			SuspectAfter:      opts.SuspectAfter,
+			TraceCap:          opts.TraceCap,
 		})
 		srv.Bind(c.fabric.Endpoint(i))
 		if err := c.fabric.Endpoint(i).Start(srv.Handle); err != nil {
@@ -388,6 +393,10 @@ func (c *Cluster) Client() *core.Client { return c.client }
 
 // Store returns server i's graph partition (e.g. for direct inspection).
 func (c *Cluster) Store(i int) gstore.Graph { return c.stores[i] }
+
+// Server returns backend server i's engine, exposing its metrics, trace
+// buffers and queue gauges (e.g. for an obs.Handler).
+func (c *Cluster) Server(i int) *core.Server { return c.servers[i] }
 
 // ServerMetrics returns each server's engine counters, indexed by server.
 func (c *Cluster) ServerMetrics() []Metrics {

@@ -145,8 +145,9 @@ type seriesRow struct {
 	Times   map[core.Mode]time.Duration
 }
 
-// runSweep measures the given modes across the scale's server counts.
-func runSweep(s Scale, steps int, modes []core.Mode, stragglers func(servers int) *simio.StragglerPlan, runs int, w io.Writer) ([]seriesRow, error) {
+// runSweep measures the given modes across the scale's server counts,
+// printing each row as it lands and mirroring it into the report.
+func runSweep(s Scale, steps int, modes []core.Mode, stragglers func(servers int) *simio.StragglerPlan, runs int, w io.Writer, rep *ExperimentResult) ([]seriesRow, error) {
 	var rows []seriesRow
 	for _, n := range s.ServerCounts {
 		row := seriesRow{Servers: n, Times: make(map[core.Mode]time.Duration)}
@@ -177,6 +178,9 @@ func runSweep(s Scale, steps int, modes []core.Mode, stragglers func(servers int
 		}
 		rows = append(rows, row)
 		printSweepRow(w, row, modes)
+		for _, mode := range modes {
+			rep.AddRow(Row{Series: mode.String(), Servers: n, Runs: runs, ElapsedNs: int64(row.Times[mode])})
+		}
 	}
 	return rows, nil
 }

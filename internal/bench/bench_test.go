@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -44,6 +47,7 @@ func TestEveryExperimentRunsAtMicroScale(t *testing.T) {
 		t.Skip("experiment suite in short mode")
 	}
 	wantText := map[string]string{
+		"smoke":      "SMOKE",
 		"table1":     "TABLE I",
 		"fig7":       "FIGURE 7",
 		"fig8":       "FIGURE 8",
@@ -61,7 +65,7 @@ func TestEveryExperimentRunsAtMicroScale(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := Experiments[name](s, &buf); err != nil {
+			if err := Experiments[name](s, &buf, nil); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 			if !strings.Contains(buf.String(), wantText[name]) {
@@ -94,6 +98,117 @@ func TestHopPlanShape(t *testing.T) {
 		if p.Steps[i].EdgeLabel != "link" {
 			t.Errorf("step %d label = %q", i, p.Steps[i].EdgeLabel)
 		}
+	}
+}
+
+// TestSmokeReport runs the CI gate experiment with a live report and pins
+// the JSON schema: the document round-trips, the schema version and scale
+// are stamped, every engine contributes a row with latency percentiles, and
+// all equivalence/invariant checks pass on a healthy engine.
+func TestSmokeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke experiment in short mode")
+	}
+	s := microScale()
+	rep := NewReport(s)
+	var buf bytes.Buffer
+	if err := Smoke(s, &buf, rep.Experiment("smoke")); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("healthy engine failed the report:\n%+v", rep.Experiments[0].Checks)
+	}
+	if rep.Schema != ReportSchema || rep.Scale != "micro" || rep.GoVersion == "" || rep.StartedAt == "" {
+		t.Errorf("report header = %+v", rep)
+	}
+	e := rep.Experiments[0]
+	if len(e.Rows) != 6 {
+		t.Fatalf("smoke rows = %d, want one per engine", len(e.Rows))
+	}
+	for _, row := range e.Rows {
+		if row.Series == "" || row.P50Ns <= 0 || row.P95Ns < row.P50Ns || row.Results == 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+		if row.Redundant+row.Combined+row.RealIO != row.Received {
+			t.Errorf("row %s violates the accounting identity: %+v", row.Series, row)
+		}
+	}
+	// One equivalence check per non-baseline engine, one invariant check per
+	// engine.
+	var equiv, inv int
+	for _, c := range e.Checks {
+		switch {
+		case strings.HasPrefix(c.Name, "equivalence-"):
+			equiv++
+		case strings.HasPrefix(c.Name, "invariant-"):
+			inv++
+		}
+	}
+	if equiv != 5 || inv != 6 {
+		t.Errorf("checks: %d equivalence, %d invariant: %+v", equiv, inv, e.Checks)
+	}
+
+	path := t.TempDir() + "/BENCH_smoke.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || len(back.Experiments) != 1 || len(back.Experiments[0].Rows) != len(e.Rows) {
+		t.Errorf("report did not round-trip: %+v", back)
+	}
+	// The CI consumer keys on these exact field names; renaming one is a
+	// schema bump.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "scale", "go_version", "started_at", "experiments"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report JSON missing top-level %q", key)
+		}
+	}
+}
+
+// TestReportFailure pins the gate semantics: a failed check or a recorded
+// runner error fails the report, and nil report/section recording is a
+// no-op so human-only runs cost nothing.
+func TestReportFailure(t *testing.T) {
+	rep := NewReport(microScale())
+	e := rep.Experiment("x")
+	e.AddCheck("ok", true, "fine")
+	if rep.Failed() {
+		t.Error("report with passing checks reported failure")
+	}
+	e.AddCheck("bad", false, "broke")
+	if !rep.Failed() {
+		t.Error("failed check did not fail the report")
+	}
+
+	rep = NewReport(microScale())
+	sect := rep.Experiment("y")
+	sect.SetErr(errors.New("boom"))
+	if !rep.Failed() {
+		t.Error("recorded runner error did not fail the report")
+	}
+	sect.SetErr(nil)
+	if sect.Err != "boom" {
+		t.Errorf("SetErr(nil) overwrote the recorded error: %q", sect.Err)
+	}
+
+	var nilRep *Report
+	sect = nilRep.Experiment("z")
+	sect.AddRow(Row{Series: "m"})
+	sect.AddCheck("c", false, "ignored")
+	sect.SetErr(errors.New("ignored"))
+	if nilRep.Failed() {
+		t.Error("nil report reported failure")
 	}
 }
 

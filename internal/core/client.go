@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"graphtrek/internal/model"
 	"graphtrek/internal/partition"
 	"graphtrek/internal/query"
+	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
 
@@ -86,7 +88,7 @@ func (c *Client) Handle(_ int, msg wire.Message) {
 			}
 			close(p.done)
 		}
-	case wire.KindVisitResp, wire.KindProgressResp:
+	case wire.KindVisitResp, wire.KindProgressResp, wire.KindTraceResp:
 		c.mu.Lock()
 		ch, ok := c.reqs[msg.ReqID]
 		if ok {
@@ -281,6 +283,58 @@ func (h *Handle) Progress(timeout time.Duration) (map[int32]int, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("core: progress query for traversal %d timed out", h.travelID)
 	}
+}
+
+// Profile gathers the traversal's execution-trace aggregate from every
+// backend: one StepStat row per (step, server) that ran executions, sorted
+// by step then server. Call it after Wait — spans are buffered in each
+// server's trace ring, so a completed traversal stays profilable until
+// later traversals evict its spans. Servers with tracing disabled (or
+// nothing buffered) contribute no rows; a backend that cannot be reached
+// fails the profile.
+func (h *Handle) Profile(timeout time.Duration) ([]trace.StepStat, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c := h.client
+	deadline := time.Now().Add(timeout)
+	var all []trace.StepStat
+	for srv := 0; srv < c.part.N(); srv++ {
+		reqID := c.reqSeq.Add(1)
+		ch := make(chan wire.Message, 1)
+		c.mu.Lock()
+		c.reqs[reqID] = ch
+		c.mu.Unlock()
+		err := c.tr.Send(srv, wire.Message{
+			Kind: wire.KindTraceReq, TravelID: h.travelID, ReqID: reqID,
+		})
+		if err != nil {
+			c.mu.Lock()
+			delete(c.reqs, reqID)
+			c.mu.Unlock()
+			return nil, err
+		}
+		select {
+		case resp := <-ch:
+			if resp.Err != "" {
+				return nil, errors.New(resp.Err)
+			}
+			if len(resp.Blob) > 0 {
+				var stats []trace.StepStat
+				if err := json.Unmarshal(resp.Blob, &stats); err != nil {
+					return nil, fmt.Errorf("core: bad trace payload from server %d: %v", srv, err)
+				}
+				all = append(all, stats...)
+			}
+		case <-time.After(time.Until(deadline)):
+			c.mu.Lock()
+			delete(c.reqs, reqID)
+			c.mu.Unlock()
+			return nil, fmt.Errorf("core: trace query to server %d timed out", srv)
+		}
+	}
+	trace.Sort(all)
+	return all, nil
 }
 
 func sortedUnique(ids []model.VertexID) []model.VertexID {

@@ -7,6 +7,7 @@ import (
 	"graphtrek/internal/model"
 	"graphtrek/internal/query"
 	"graphtrek/internal/sched"
+	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
 
@@ -18,6 +19,7 @@ import (
 type visitAcc struct {
 	pending atomic.Int32
 	from    int
+	sp      *trace.Builder // nil when tracing is off
 
 	mu   sync.Mutex
 	resp wire.Message
@@ -25,9 +27,12 @@ type visitAcc struct {
 
 func (a *visitAcc) ItemDone() bool { return a.pending.Add(-1) == 0 }
 
+func (a *visitAcc) span() *trace.Builder { return a.sp }
+
 // fail records the first error on the response; the client treats a
 // response error as fatal for the whole traversal attempt.
 func (a *visitAcc) fail(_ *Server, _ *travelState, msg string) {
+	a.sp.Fail(msg)
 	a.mu.Lock()
 	if a.resp.Err == "" {
 		a.resp.Err = msg
@@ -39,6 +44,9 @@ func (a *visitAcc) finished(s *Server, _ *travelState) {
 	a.mu.Lock()
 	resp := a.resp
 	a.mu.Unlock()
+	if a.sp != nil {
+		s.trc.RecordSpan(a.sp.Finish())
+	}
 	s.send(a.from, resp)
 }
 
@@ -78,7 +86,10 @@ func (s *Server) handleVisitReq(from int, msg wire.Message, ts *travelState) {
 		s.send(from, resp)
 		return
 	}
-	acc := &visitAcc{from: from, resp: resp}
+	// Client-mode batches get spans too (Exec = the request id) for
+	// observability; they are not ledger executions, so the coordinator
+	// cross-check ignores them.
+	acc := &visitAcc{from: from, resp: resp, sp: s.beginSpan(ts.id, msg.ReqID, msg.Step, len(msg.Entries))}
 	acc.pending.Store(int32(len(msg.Entries)))
 	items := make([]sched.Item, len(msg.Entries))
 	for i, e := range msg.Entries {

@@ -156,6 +156,12 @@ type Config struct {
 	// SuspectAfter is how long a backend may stay silent before being
 	// suspected dead (default 3 × HeartbeatInterval).
 	SuspectAfter time.Duration
+	// TraceCap sizes the server's execution-trace ring buffer: the last
+	// TraceCap terminated executions keep a span (step, frontier size,
+	// queue wait, cache/merge disposition, wall time) for the observability
+	// endpoints and gtq -profile. Zero selects the default (8192); negative
+	// disables tracing entirely.
+	TraceCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +179,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TravelTimeout == 0 {
 		c.TravelTimeout = 30 * time.Second
+	}
+	if c.TraceCap == 0 {
+		c.TraceCap = 8192
 	}
 	if c.HeartbeatInterval > 0 && c.SuspectAfter <= 0 {
 		c.SuspectAfter = 3 * c.HeartbeatInterval

@@ -7,6 +7,7 @@ import (
 
 	"graphtrek/internal/model"
 	"graphtrek/internal/sched"
+	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
 
@@ -23,6 +24,10 @@ type accumulator interface {
 	// finished runs the accumulator's completion action after its last item
 	// was processed (ItemDone returned true).
 	finished(s *Server, ts *travelState)
+	// span returns the execution's trace builder, nil when tracing is off.
+	// Workers attribute per-item queue wait and cache/merge disposition to
+	// it while processing groups.
+	span() *trace.Builder
 }
 
 // execAcc tracks one traversal execution being processed on this server: a
@@ -37,17 +42,28 @@ type accumulator interface {
 type execAcc struct {
 	id      uint64
 	pending atomic.Int32
+	sp      *trace.Builder // nil when tracing is off
 }
 
 // ItemDone marks one entry of the execution processed; the caller must have
 // already buffered any outputs.
 func (a *execAcc) ItemDone() bool { return a.pending.Add(-1) == 0 }
 
-func (a *execAcc) fail(_ *Server, ts *travelState, msg string) { ts.addErr(msg) }
+func (a *execAcc) span() *trace.Builder { return a.sp }
+
+func (a *execAcc) fail(_ *Server, ts *travelState, msg string) {
+	a.sp.Fail(msg)
+	ts.addErr(msg)
+}
 
 // finished puts the execution on the traversal's pending-termination list
-// for the next flush.
-func (a *execAcc) finished(_ *Server, ts *travelState) { ts.addEnded(a.id) }
+// for the next flush and seals its trace span.
+func (a *execAcc) finished(s *Server, ts *travelState) {
+	ts.addEnded(a.id)
+	if a.sp != nil {
+		s.trc.RecordSpan(a.sp.Finish())
+	}
+}
 
 // finishItems is the single termination point for scheduled items: it
 // records the failure (if any) once per distinct accumulator, counts each

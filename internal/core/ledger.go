@@ -7,6 +7,7 @@ import (
 
 	"graphtrek/internal/model"
 	"graphtrek/internal/query"
+	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
 
@@ -33,6 +34,14 @@ type ledger struct {
 	liveTotal     int
 	unmatchedEnds int
 	rootsSent     bool
+
+	// createdTotal / endedTotal count distinct registered / terminated
+	// executions over the traversal's lifetime (live counters net out to
+	// zero at completion). They feed the coordinator's TravelSummary, where
+	// trace-span counts can be cross-checked against ledger accounting.
+	createdTotal int
+	endedTotal   int
+	started      time.Time
 
 	gate     int32 // Sync-GT barrier position
 	results  map[model.VertexID]bool
@@ -64,6 +73,7 @@ func (s *Server) startCoordination(client int, travelID uint64, ts *travelState)
 		liveByServer: make(map[int32]int),
 		results:      make(map[model.VertexID]bool),
 		activity:     time.Now(),
+		started:      time.Now(),
 		stopWake:     make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -173,6 +183,7 @@ func (l *ledger) registerCreatedLocked(ref wire.ExecRef) {
 		l.liveByStep[ref.Step]++
 		l.liveByServer[ref.Server]++
 		l.liveTotal++
+		l.createdTotal++
 		return
 	}
 	if info.created {
@@ -181,6 +192,7 @@ func (l *ledger) registerCreatedLocked(ref wire.ExecRef) {
 	info.created = true
 	info.step = ref.Step
 	info.server = ref.Server
+	l.createdTotal++
 	if info.ended {
 		l.unmatchedEnds-- // the early termination is now matched
 	}
@@ -193,12 +205,14 @@ func (l *ledger) registerEndedLocked(id uint64) {
 		// Termination raced ahead of registration on another link.
 		l.execs[id] = &execInfo{ended: true}
 		l.unmatchedEnds++
+		l.endedTotal++
 		return
 	}
 	if info.ended {
 		return
 	}
 	info.ended = true
+	l.endedTotal++
 	if info.created {
 		l.liveByStep[info.step]--
 		l.liveByServer[info.server]--
@@ -311,6 +325,18 @@ func (s *Server) finishTravelLocked(led *ledger) {
 	client := led.client
 	travel := led.travel
 	servers := led.servers
+	if s.trc != nil {
+		s.trc.RecordSummary(trace.TravelSummary{
+			Travel:      travel,
+			Mode:        led.mode.String(),
+			Coordinator: int32(s.cfg.ID),
+			Created:     led.createdTotal,
+			Ended:       led.endedTotal,
+			Results:     len(results),
+			Err:         errText,
+			ElapsedNs:   int64(time.Since(led.started)),
+		})
+	}
 	close(led.stopWake)
 	led.mu.Unlock()
 

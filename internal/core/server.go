@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"graphtrek/internal/query"
 	"graphtrek/internal/sched"
 	"graphtrek/internal/simio"
+	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
 
@@ -27,6 +29,9 @@ type Server struct {
 	// exec is the shared executor queue: one two-level scheduler multiplexing
 	// every concurrent traversal over the server's single worker pool.
 	exec *sched.Multi
+	// trc ring-buffers a span per terminated traversal execution, plus
+	// coordinator travel summaries. Nil when Config.TraceCap is negative.
+	trc *trace.Recorder
 
 	mu      sync.Mutex
 	travels map[uint64]*travelState
@@ -68,11 +73,16 @@ func NewServer(cfg Config) *Server {
 	if disk == nil {
 		disk = noopDisk
 	}
+	var trc *trace.Recorder
+	if cfg.TraceCap > 0 {
+		trc = trace.NewRecorder(cfg.TraceCap)
+	}
 	return &Server{
 		cfg:         cfg,
 		disk:        disk,
 		cache:       cache.New(cfg.CacheCap),
 		exec:        sched.NewMulti(cfg.MaxQueueDepth),
+		trc:         trc,
 		travels:     make(map[uint64]*travelState),
 		ledgers:     make(map[uint64]*ledger),
 		pendingMsgs: make(map[uint64][]pendingMsg),
@@ -179,6 +189,55 @@ func (s *Server) ID() int { return s.cfg.ID }
 
 // Metrics returns a snapshot of this server's engine counters.
 func (s *Server) Metrics() Metrics { return s.met.Snapshot() }
+
+// QueueLen reports the shared executor's current buffered item count.
+func (s *Server) QueueLen() int { return s.exec.Len() }
+
+// QueueHighWater reports the executor queue's depth high-water mark.
+func (s *Server) QueueHighWater() int { return s.exec.HighWater() }
+
+// TraceSpans returns this server's buffered execution spans for one
+// traversal (travel == 0: all traversals), oldest first. Empty when
+// tracing is disabled.
+func (s *Server) TraceSpans(travel uint64) []trace.Span { return s.trc.Spans(travel) }
+
+// TraceSummaries returns the travel summaries of traversals this server
+// coordinated, oldest first.
+func (s *Server) TraceSummaries() []trace.TravelSummary { return s.trc.Summaries() }
+
+// TraceSummary returns the coordinator summary for one traversal, if this
+// server coordinated it and the record is still buffered.
+func (s *Server) TraceSummary(travel uint64) (trace.TravelSummary, bool) {
+	return s.trc.Summary(travel)
+}
+
+// TraceStats reports the trace ring's buffering counters.
+func (s *Server) TraceStats() trace.RingStats { return s.trc.Stats() }
+
+// beginSpan starts a span for an execution of `frontier` entries on this
+// server; nil (recorded nowhere, all methods no-ops) when tracing is off.
+func (s *Server) beginSpan(travel, exec uint64, step int32, frontier int) *trace.Builder {
+	if s.trc == nil {
+		return nil
+	}
+	return trace.Begin(travel, exec, int32(s.cfg.ID), step, frontier)
+}
+
+// recordInstantSpan traces an execution that terminated without entering
+// the executor — an empty dispatch, a lightweight return-signal batch, or
+// an admission-rejected batch. Keeping these in the ring preserves the
+// span-per-terminated-execution invariant the ledger cross-check relies
+// on.
+func (s *Server) recordInstantSpan(travel, exec uint64, step int32, frontier int, errMsg string) {
+	if s.trc == nil {
+		return
+	}
+	b := trace.Begin(travel, exec, int32(s.cfg.ID), step, frontier)
+	if errMsg != "" {
+		b.Fail(errMsg)
+	}
+	s.trc.RecordSpan(b.Finish())
+}
 
 // Close stops the worker pool, releases every in-flight traversal's state
 // and waits for the server's goroutines. The transport is owned by the
@@ -293,7 +352,27 @@ func (s *Server) Handle(from int, msg wire.Message) {
 		// Liveness already noted above; heartbeats carry nothing else.
 	case wire.KindPeerDown:
 		s.handlePeerDown(from, msg)
+	case wire.KindTraceReq:
+		s.handleTraceReq(from, msg)
 	}
+}
+
+// handleTraceReq answers a trace query with this server's per-step
+// aggregate for the traversal (TravelID == 0: everything buffered),
+// JSON-encoded in Blob. With tracing disabled the response carries an
+// empty aggregate, not an error — profiling degrades, it never fails.
+func (s *Server) handleTraceReq(from int, msg wire.Message) {
+	resp := wire.Message{Kind: wire.KindTraceResp, TravelID: msg.TravelID, ReqID: msg.ReqID}
+	stats := trace.Aggregate(s.TraceSpans(msg.TravelID))
+	if len(stats) > 0 {
+		blob, err := json.Marshal(stats)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Blob = blob
+		}
+	}
+	s.send(from, resp)
 }
 
 // withTravel resolves the traversal state for a message, buffering the
@@ -392,15 +471,20 @@ func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 			return true
 		})
 	}
-	acc := &execAcc{id: execID}
 	if err != nil {
 		ts.addErr(err.Error())
 	}
 	if len(ids) == 0 || err != nil {
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
 		ts.addEnded(execID)
+		s.recordInstantSpan(ts.id, execID, 0, len(ids), errMsg)
 		s.flushTravel(ts)
 		return
 	}
+	acc := &execAcc{id: execID, sp: s.beginSpan(ts.id, execID, 0, len(ids))}
 	acc.pending.Store(int32(len(ids)))
 	items := make([]sched.Item, len(ids))
 	for i, id := range ids {
@@ -410,8 +494,13 @@ func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 		}
 	}
 	if err := s.enqueue(items); err != nil {
-		ts.addErr(s.admissionError(err))
+		msg := s.admissionError(err)
+		ts.addErr(msg)
 		ts.addEnded(execID)
+		if acc.sp != nil {
+			acc.sp.Fail(msg)
+			s.trc.RecordSpan(acc.sp.Finish())
+		}
 		s.flushTravel(ts)
 	}
 }
@@ -420,10 +509,11 @@ func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 func (s *Server) handleDispatch(_ int, msg wire.Message, ts *travelState) {
 	if len(msg.Entries) == 0 {
 		ts.addEnded(msg.ExecID)
+		s.recordInstantSpan(ts.id, msg.ExecID, msg.Step, 0, "")
 		s.flushTravel(ts)
 		return
 	}
-	acc := &execAcc{id: msg.ExecID}
+	acc := &execAcc{id: msg.ExecID, sp: s.beginSpan(ts.id, msg.ExecID, msg.Step, len(msg.Entries))}
 	acc.pending.Store(int32(len(msg.Entries)))
 	items := make([]sched.Item, len(msg.Entries))
 	for i, e := range msg.Entries {
@@ -435,8 +525,13 @@ func (s *Server) handleDispatch(_ int, msg wire.Message, ts *travelState) {
 	if err := s.enqueue(items); err != nil {
 		// The batch was refused whole; report the execution terminated with
 		// a retryable error so the ledger fails the traversal promptly.
-		ts.addErr(s.admissionError(err))
+		errMsg := s.admissionError(err)
+		ts.addErr(errMsg)
 		ts.addEnded(msg.ExecID)
+		if acc.sp != nil {
+			acc.sp.Fail(errMsg)
+			s.trc.RecordSpan(acc.sp.Finish())
+		}
 		s.flushTravel(ts)
 	}
 }

@@ -1,12 +1,19 @@
 package core
 
 import (
+	"time"
+
 	"graphtrek/internal/cache"
 	"graphtrek/internal/model"
 	"graphtrek/internal/query"
 	"graphtrek/internal/sched"
+	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
+
+// spanOf resolves the trace builder behind a scheduled item; nil (all
+// methods no-ops) when tracing is disabled.
+func spanOf(it sched.Item) *trace.Builder { return it.Exec.(accumulator).span() }
 
 // processGroup serves one scheduler group: every pending request for one
 // vertex of one traversal. This is the server's unit of work from §IV-B —
@@ -19,9 +26,13 @@ import (
 //   - execution merging: all surviving requests in the group share one
 //     disk access.
 func (s *Server) processGroup(ts *travelState, g sched.Group) {
+	now := time.Now()
 	live := g.Items[:0:0]
 	var dropped []sched.Item
 	for _, it := range g.Items {
+		if !it.Enqueued.IsZero() {
+			spanOf(it).ObserveWait(now.Sub(it.Enqueued))
+		}
 		if ts.tun.useCache {
 			k := cache.Key{
 				Travel: ts.id, Step: it.Step, Vertex: it.Vertex,
@@ -29,6 +40,7 @@ func (s *Server) processGroup(ts *travelState, g sched.Group) {
 			}
 			if s.cache.CheckAndInsert(k) {
 				s.met.AddRedundant(1)
+				spanOf(it).AddRedundant(1)
 				dropped = append(dropped, it)
 				continue
 			}
@@ -41,6 +53,13 @@ func (s *Server) processGroup(ts *travelState, g sched.Group) {
 	}
 	s.met.AddRealIO(1)
 	s.met.AddCombined(len(live) - 1)
+	// The first live entry pays the (merged) storage access; the rest ride
+	// along — the same attribution the server counters use, so per-span
+	// dispositions sum to the server totals.
+	spanOf(live[0]).AddReal(1)
+	for _, it := range live[1:] {
+		spanOf(it).AddCombined(1)
+	}
 
 	// One (simulated) disk access serves the whole merged group: the
 	// storage layout keeps a vertex's attributes and typed edge lists
@@ -167,5 +186,6 @@ func (s *Server) handleReturnSig(_ int, msg wire.Message, ts *travelState) {
 		}
 	}
 	ts.addEnded(msg.ExecID)
+	s.recordInstantSpan(ts.id, msg.ExecID, msg.Step, len(msg.Entries), "")
 	s.flushTravel(ts)
 }

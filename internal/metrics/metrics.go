@@ -185,3 +185,39 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 func (a Snapshot) Consistent() bool {
 	return a.Redundant+a.Combined+a.RealIO == a.Received
 }
+
+// Field is one exported counter in the canonical enumeration.
+type Field struct {
+	// Name is the Prometheus-style metric name (snake_case, no prefix).
+	Name string
+	// Help is the one-line exposition comment.
+	Help string
+	// Gauge marks point-in-time values; everything else is a monotonic
+	// counter.
+	Gauge bool
+	// Get reads the field from a snapshot.
+	Get func(Snapshot) int64
+}
+
+// Fields enumerates every Snapshot field in declaration order, with
+// exposition names and help strings. The observability endpoint renders
+// /metrics from this list, so a counter added to Snapshot must be added
+// here too — a reflection test enforces the correspondence, which keeps
+// future counters from silently missing the exposition.
+func Fields() []Field {
+	return []Field{
+		{"received_total", "Vertex requests (frontier entries) accepted.", false, func(s Snapshot) int64 { return s.Received }},
+		{"redundant_total", "Requests dropped by the traversal-affiliate cache.", false, func(s Snapshot) int64 { return s.Redundant }},
+		{"combined_total", "Requests served by an execution-merged disk access.", false, func(s Snapshot) int64 { return s.Combined }},
+		{"real_io_total", "Actual vertex accesses against the storage system.", false, func(s Snapshot) int64 { return s.RealIO }},
+		{"msgs_sent_total", "Engine messages sent to peers.", false, func(s Snapshot) int64 { return s.MsgsSent }},
+		{"execs_total", "Traversal executions processed.", false, func(s Snapshot) int64 { return s.Execs }},
+		{"msgs_failed_total", "Engine messages the transport failed to deliver.", false, func(s Snapshot) int64 { return s.MsgsFailed }},
+		{"reconnects_total", "Transport-level re-dials after a lost peer connection.", false, func(s Snapshot) int64 { return s.Reconnects }},
+		{"peer_down_events_total", "Failure-detector suspicion events.", false, func(s Snapshot) int64 { return s.PeerDownEvents }},
+		{"rejected_total", "Request batches refused by executor admission control.", false, func(s Snapshot) int64 { return s.Rejected }},
+		{"queue_depth_peak", "High-water mark of the shared executor queue depth.", true, func(s Snapshot) int64 { return s.QueueDepthPeak }},
+		{"queue_wait_ns_total", "Cumulative enqueue-to-pop wait of served scheduler groups.", false, func(s Snapshot) int64 { return s.QueueWaitNs }},
+		{"queue_groups_total", "Scheduler groups popped by executor workers.", false, func(s Snapshot) int64 { return s.QueueGroups }},
+	}
+}

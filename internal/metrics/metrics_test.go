@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -105,5 +106,35 @@ func TestConcurrentAdds(t *testing.T) {
 	snap := s.Snapshot()
 	if snap.Received != 8000 || snap.RealIO != 8000 {
 		t.Errorf("lost updates: %+v", snap)
+	}
+}
+
+// TestFieldsCoverSnapshot enforces the Fields()/Snapshot correspondence by
+// reflection: every Snapshot field must appear exactly once in the
+// enumeration, each getter must read its own field, and names must be
+// unique. A counter added to Snapshot without a Fields() entry fails here
+// instead of silently missing the /metrics exposition.
+func TestFieldsCoverSnapshot(t *testing.T) {
+	fields := Fields()
+	typ := reflect.TypeOf(Snapshot{})
+	if len(fields) != typ.NumField() {
+		t.Fatalf("Fields() has %d entries, Snapshot has %d fields", len(fields), typ.NumField())
+	}
+	names := make(map[string]bool)
+	for i, f := range fields {
+		if f.Name == "" || f.Help == "" {
+			t.Errorf("field %d: empty name or help: %+v", i, f)
+		}
+		if names[f.Name] {
+			t.Errorf("duplicate field name %q", f.Name)
+		}
+		names[f.Name] = true
+		// Probe getter i with a snapshot where only struct field i is set:
+		// the getter must read exactly that field.
+		var snap Snapshot
+		reflect.ValueOf(&snap).Elem().Field(i).SetInt(int64(1000 + i))
+		if got := f.Get(snap); got != int64(1000+i) {
+			t.Errorf("field %q (index %d) getter read %d, want %d — enumeration order must match Snapshot declaration order", f.Name, i, got, 1000+i)
+		}
 	}
 }

@@ -1,0 +1,166 @@
+// Package obs serves a GraphTrek backend's operational state over HTTP:
+// Prometheus-style counter exposition (/metrics), Go runtime profiling
+// (/debug/pprof/*), per-execution trace inspection (/traces), and a
+// liveness probe (/healthz). The endpoint is opt-in — a server without an
+// obs listener runs exactly as before — and read-only: nothing served here
+// can mutate engine state.
+//
+// The /metrics exposition is generated from metrics.Fields(), the
+// canonical enumeration of the engine's §VII-A counters, so every counter
+// the engine records is scrapeable without obs needing a per-counter
+// update. Queue gauges and trace-ring statistics ride along.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+
+	"graphtrek/internal/metrics"
+	"graphtrek/internal/trace"
+)
+
+// Target is the engine surface obs exposes; *core.Server implements it.
+type Target interface {
+	// ID is the backend's node id, used as the exposition's server label.
+	ID() int
+	// Metrics snapshots the engine counters.
+	Metrics() metrics.Snapshot
+	// QueueLen is the shared executor's current buffered item count.
+	QueueLen() int
+	// QueueHighWater is the executor queue's depth high-water mark.
+	QueueHighWater() int
+	// TraceSpans returns buffered execution spans (travel 0: all).
+	TraceSpans(travel uint64) []trace.Span
+	// TraceSummaries returns coordinator travel summaries.
+	TraceSummaries() []trace.TravelSummary
+	// TraceStats reports the trace ring's buffering counters.
+	TraceStats() trace.RingStats
+}
+
+// NewMux builds the observability handler for one or more local backends
+// (one in cmd/graphtrek-server; several when a whole simulated cluster
+// runs in-process).
+func NewMux(targets ...Target) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		serveMetrics(w, targets)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		serveTraces(w, r, targets)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveMetrics renders the Prometheus text exposition format (version
+// 0.0.4): every metrics.Fields() counter per target, then the scheduler
+// and trace-ring gauges.
+func serveMetrics(w http.ResponseWriter, targets []Target) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snaps := make([]metrics.Snapshot, len(targets))
+	for i, t := range targets {
+		snaps[i] = t.Metrics()
+	}
+	for _, f := range metrics.Fields() {
+		typ := "counter"
+		if f.Gauge {
+			typ = "gauge"
+		}
+		fmt.Fprintf(w, "# HELP graphtrek_%s %s\n", f.Name, f.Help)
+		fmt.Fprintf(w, "# TYPE graphtrek_%s %s\n", f.Name, typ)
+		for i, t := range targets {
+			fmt.Fprintf(w, "graphtrek_%s{server=%q} %d\n", f.Name, strconv.Itoa(t.ID()), f.Get(snaps[i]))
+		}
+	}
+	extra := []struct {
+		name, help, typ string
+		get             func(Target) int64
+	}{
+		{"queue_len", "Items currently buffered in the shared executor queue.", "gauge",
+			func(t Target) int64 { return int64(t.QueueLen()) }},
+		{"queue_high_water", "Executor queue depth high-water mark.", "gauge",
+			func(t Target) int64 { return int64(t.QueueHighWater()) }},
+		{"trace_spans_recorded_total", "Execution spans recorded since start.", "counter",
+			func(t Target) int64 { return int64(t.TraceStats().SpansRecorded) }},
+		{"trace_spans_buffered", "Execution spans currently held in the trace ring.", "gauge",
+			func(t Target) int64 { return int64(t.TraceStats().SpansBuffered) }},
+		{"trace_spans_evicted_total", "Execution spans evicted from the trace ring.", "counter",
+			func(t Target) int64 { return int64(t.TraceStats().SpansEvicted) }},
+		{"trace_summaries_buffered", "Coordinator travel summaries currently buffered.", "gauge",
+			func(t Target) int64 { return int64(t.TraceStats().Summaries) }},
+	}
+	for _, e := range extra {
+		fmt.Fprintf(w, "# HELP graphtrek_%s %s\n", e.name, e.help)
+		fmt.Fprintf(w, "# TYPE graphtrek_%s %s\n", e.name, e.typ)
+		for _, t := range targets {
+			fmt.Fprintf(w, "graphtrek_%s{server=%q} %d\n", e.name, strconv.Itoa(t.ID()), e.get(t))
+		}
+	}
+}
+
+// TraceReport is the /traces JSON document.
+type TraceReport struct {
+	// Travel is the queried traversal id; 0 means everything buffered.
+	Travel uint64 `json:"travel"`
+	// Summaries holds coordinator records for the queried traversal(s).
+	Summaries []trace.TravelSummary `json:"summaries,omitempty"`
+	// Steps is the per-(step, server) aggregate of the matching spans.
+	Steps []trace.StepStat `json:"steps"`
+	// Spans lists the matching raw spans, oldest first per server.
+	Spans []trace.Span `json:"spans"`
+}
+
+// serveTraces answers /traces?travel=<id> with the buffered spans,
+// their per-step aggregate, and any matching coordinator summaries.
+func serveTraces(w http.ResponseWriter, r *http.Request, targets []Target) {
+	var travel uint64
+	if q := r.URL.Query().Get("travel"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad travel id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		travel = v
+	}
+	rep := TraceReport{Travel: travel}
+	for _, t := range targets {
+		rep.Spans = append(rep.Spans, t.TraceSpans(travel)...)
+		for _, sum := range t.TraceSummaries() {
+			if travel == 0 || sum.Travel == travel {
+				rep.Summaries = append(rep.Summaries, sum)
+			}
+		}
+	}
+	sort.Slice(rep.Summaries, func(i, j int) bool { return rep.Summaries[i].Travel < rep.Summaries[j].Travel })
+	rep.Steps = trace.Aggregate(rep.Spans)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
+// ListenAndServe starts the observability endpoint on addr in a new
+// goroutine and returns the server for shutdown. Errors after startup
+// (including normal shutdown) are reported to errFn if non-nil.
+func ListenAndServe(addr string, errFn func(error), targets ...Target) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: NewMux(targets...)}
+	go func() {
+		err := srv.ListenAndServe()
+		if err != nil && err != http.ErrServerClosed && errFn != nil {
+			errFn(err)
+		}
+	}()
+	return srv
+}

@@ -1,0 +1,232 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphtrek"
+	"graphtrek/internal/metrics"
+	"graphtrek/internal/obs"
+)
+
+// startCluster builds a small cluster, loads the Fig 1-style audit graph,
+// runs one traversal per server-side engine, and serves its backends
+// through an obs mux.
+func startCluster(t *testing.T) (*graphtrek.Cluster, *httptest.Server) {
+	t.Helper()
+	c, err := graphtrek.NewCluster(graphtrek.Options{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	load := func(v graphtrek.Vertex) {
+		if err := c.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load(graphtrek.Vertex{ID: 1, Label: "User"})
+	load(graphtrek.Vertex{ID: 10, Label: "Execution"})
+	load(graphtrek.Vertex{ID: 11, Label: "Execution"})
+	load(graphtrek.Vertex{ID: 20, Label: "File", Props: graphtrek.Props{"type": graphtrek.String("text")}})
+	for _, e := range []graphtrek.Edge{
+		{Src: 1, Dst: 10, Label: "run"},
+		{Src: 1, Dst: 11, Label: "run"},
+		{Src: 10, Dst: 20, Label: "read"},
+		{Src: 11, Dst: 20, Label: "read"},
+	} {
+		if err := c.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, mode := range []graphtrek.Mode{graphtrek.ModeGraphTrek, graphtrek.ModeSync, graphtrek.ModeAsyncPlain} {
+		res, err := c.Run(graphtrek.V(1).E("run").E("read"), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(res) != 1 || res[0] != 20 {
+			t.Fatalf("%v: results = %v", mode, res)
+		}
+	}
+	targets := make([]obs.Target, c.Servers())
+	for i := range targets {
+		targets[i] = c.Server(i)
+	}
+	ts := httptest.NewServer(obs.NewMux(targets...))
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+// parseExposition extracts metric values keyed by name and server label
+// from the Prometheus text format.
+func parseExposition(t *testing.T, body string) map[string]map[string]int64 {
+	t.Helper()
+	out := make(map[string]map[string]int64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest, valStr, ok := strings.Cut(line, "} ")
+		if !ok {
+			t.Fatalf("bad exposition line %q", line)
+		}
+		name, label, ok := strings.Cut(rest, `{server="`)
+		if !ok {
+			t.Fatalf("bad exposition line %q", line)
+		}
+		label = strings.TrimSuffix(label, `"`)
+		val, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if out[name] == nil {
+			out[name] = make(map[string]int64)
+		}
+		out[name][label] = val
+	}
+	return out
+}
+
+// TestMetricsEndpointExposesEveryCounter is the e2e gate: after real
+// traversals, /metrics must expose every metrics.Fields() counter for
+// every server, and the paper's §VII-A identity redundant + combined +
+// real == received must hold from scraped values alone.
+func TestMetricsEndpointExposesEveryCounter(t *testing.T) {
+	c, ts := startCluster(t)
+	body, resp := get(t, ts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	vals := parseExposition(t, body)
+	for _, f := range metrics.Fields() {
+		name := "graphtrek_" + f.Name
+		series, ok := vals[name]
+		if !ok {
+			t.Errorf("counter %s missing from /metrics", name)
+			continue
+		}
+		for i := 0; i < c.Servers(); i++ {
+			if _, ok := series[strconv.Itoa(i)]; !ok {
+				t.Errorf("counter %s missing series for server %d", name, i)
+			}
+		}
+		if !strings.Contains(body, "# HELP "+name+" ") || !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("counter %s missing HELP/TYPE comments", name)
+		}
+	}
+	var received int64
+	for i := 0; i < c.Servers(); i++ {
+		srv := strconv.Itoa(i)
+		got := vals["graphtrek_redundant_total"][srv] +
+			vals["graphtrek_combined_total"][srv] +
+			vals["graphtrek_real_io_total"][srv]
+		if got != vals["graphtrek_received_total"][srv] {
+			t.Errorf("server %s: redundant+combined+real = %d, received = %d", srv, got, vals["graphtrek_received_total"][srv])
+		}
+		received += vals["graphtrek_received_total"][srv]
+	}
+	if received == 0 {
+		t.Error("no requests recorded across the cluster")
+	}
+	for _, gauge := range []string{
+		"graphtrek_queue_len", "graphtrek_queue_high_water",
+		"graphtrek_trace_spans_recorded_total", "graphtrek_trace_spans_buffered",
+		"graphtrek_trace_spans_evicted_total", "graphtrek_trace_summaries_buffered",
+	} {
+		if _, ok := vals[gauge]; !ok {
+			t.Errorf("%s missing from /metrics", gauge)
+		}
+	}
+	if vals["graphtrek_trace_spans_recorded_total"]["0"]+
+		vals["graphtrek_trace_spans_recorded_total"]["1"]+
+		vals["graphtrek_trace_spans_recorded_total"]["2"] == 0 {
+		t.Error("no spans recorded across the cluster")
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	_, ts := startCluster(t)
+	body, resp := get(t, ts.URL+"/traces")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var rep obs.TraceReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Spans) == 0 || len(rep.Steps) == 0 {
+		t.Fatalf("empty trace report: %d spans, %d steps", len(rep.Spans), len(rep.Steps))
+	}
+	if len(rep.Summaries) != 3 {
+		t.Errorf("summaries = %d, want 3 (one per traversal)", len(rep.Summaries))
+	}
+	// Filter by one summarized traversal: only its spans come back, and
+	// their count matches the ledger accounting.
+	sum := rep.Summaries[0]
+	body, _ = get(t, fmt.Sprintf("%s/traces?travel=%d", ts.URL, sum.Travel))
+	var one obs.TraceReport
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Summaries) != 1 || one.Summaries[0].Travel != sum.Travel {
+		t.Errorf("filtered summaries = %+v", one.Summaries)
+	}
+	for _, sp := range one.Spans {
+		if sp.Travel != sum.Travel {
+			t.Errorf("span for travel %d leaked into filter for %d", sp.Travel, sum.Travel)
+		}
+	}
+	if len(one.Spans) != sum.Created {
+		t.Errorf("%d spans for travel %d, ledger created %d", len(one.Spans), sum.Travel, sum.Created)
+	}
+}
+
+func TestTracesBadQuery(t *testing.T) {
+	_, ts := startCluster(t)
+	resp, err := http.Get(ts.URL + "/traces?travel=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthAndPprof(t *testing.T) {
+	_, ts := startCluster(t)
+	body, _ := get(t, ts.URL+"/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz body = %q", body)
+	}
+	body, _ = get(t, ts.URL+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profiles:\n%.200s", body)
+	}
+	body, _ = get(t, ts.URL+"/debug/pprof/goroutine?debug=1")
+	if !strings.Contains(body, "goroutine profile") {
+		t.Errorf("goroutine profile malformed:\n%.200s", body)
+	}
+}

@@ -59,6 +59,11 @@ type Item struct {
 	AncStep int32
 	Dest    int32
 	Exec    Accumulator
+	// Enqueued is stamped by Push on admission. It attributes queue wait to
+	// the individual request: merging can fold late arrivals into a group
+	// whose head enqueued much earlier, so the group-level timestamp alone
+	// would overstate their wait.
+	Enqueued time.Time
 }
 
 // Group is the unit a worker processes: one vertex of one traversal, with
@@ -198,7 +203,9 @@ func (m *Multi) Push(items []Item) (int, error) {
 	if m.maxDepth > 0 && m.size+len(items) > m.maxDepth {
 		return m.size, ErrBackpressure
 	}
-	for _, it := range items {
+	for i := range items {
+		it := items[i]
+		it.Enqueued = now
 		m.size++
 		t.size++
 		if t.opts.Merge {

@@ -1,0 +1,92 @@
+package trace
+
+// summaryCap bounds the per-server history of coordinator travel
+// summaries. Summaries are tiny and one-per-traversal, so a short history
+// suffices for the observability endpoints.
+const summaryCap = 512
+
+// RingStats describes a recorder's buffering state, for the /metrics
+// endpoint: how many spans were ever recorded, how many are still
+// buffered, and how many the ring evicted (a nonzero eviction count warns
+// that aggregations over old traversals may be incomplete).
+type RingStats struct {
+	SpansRecorded uint64 `json:"spans_recorded"`
+	SpansBuffered int    `json:"spans_buffered"`
+	SpansEvicted  uint64 `json:"spans_evicted"`
+	Summaries     int    `json:"summaries"`
+}
+
+// Recorder is one server's trace sink: a span ring plus a travel-summary
+// ring (populated only on servers that coordinate traversals). A nil
+// Recorder is valid and discards everything — the disabled state.
+type Recorder struct {
+	spans     *Ring[Span]
+	summaries *Ring[TravelSummary]
+}
+
+// NewRecorder creates a recorder buffering up to spanCap spans.
+func NewRecorder(spanCap int) *Recorder {
+	return &Recorder{
+		spans:     NewRing[Span](spanCap),
+		summaries: NewRing[TravelSummary](summaryCap),
+	}
+}
+
+// RecordSpan buffers one completed execution's span.
+func (r *Recorder) RecordSpan(s Span) {
+	if r != nil {
+		r.spans.Record(s)
+	}
+}
+
+// RecordSummary buffers one retired traversal's coordinator summary.
+func (r *Recorder) RecordSummary(s TravelSummary) {
+	if r != nil {
+		r.summaries.Record(s)
+	}
+}
+
+// Spans returns the buffered spans for one traversal, oldest first;
+// travel == 0 selects every buffered span.
+func (r *Recorder) Spans(travel uint64) []Span {
+	if r == nil {
+		return nil
+	}
+	if travel == 0 {
+		return r.spans.Snapshot()
+	}
+	return r.spans.Filter(func(s Span) bool { return s.Travel == travel })
+}
+
+// Summaries returns the buffered travel summaries, oldest first.
+func (r *Recorder) Summaries() []TravelSummary {
+	if r == nil {
+		return nil
+	}
+	return r.summaries.Snapshot()
+}
+
+// Summary returns the summary for one traversal, if still buffered.
+func (r *Recorder) Summary(travel uint64) (TravelSummary, bool) {
+	if r == nil {
+		return TravelSummary{}, false
+	}
+	match := r.summaries.Filter(func(s TravelSummary) bool { return s.Travel == travel })
+	if len(match) == 0 {
+		return TravelSummary{}, false
+	}
+	return match[len(match)-1], true
+}
+
+// Stats reports the recorder's buffering counters.
+func (r *Recorder) Stats() RingStats {
+	if r == nil {
+		return RingStats{}
+	}
+	return RingStats{
+		SpansRecorded: r.spans.Total(),
+		SpansBuffered: r.spans.Len(),
+		SpansEvicted:  r.spans.Evicted(),
+		Summaries:     r.summaries.Len(),
+	}
+}

@@ -60,6 +60,12 @@ const (
 	// adopt the suspicion immediately, so one detection propagates
 	// cluster-wide within a message delay instead of a detection period.
 	KindPeerDown
+	// KindTraceReq asks a backend for its per-step execution-trace
+	// aggregate of one traversal (TravelID; 0 means all buffered spans).
+	KindTraceReq
+	// KindTraceResp answers a KindTraceReq; Blob carries JSON-encoded
+	// trace.StepStat rows for the responding server.
+	KindTraceResp
 )
 
 // String names the kind for logs.
@@ -93,6 +99,10 @@ func (k Kind) String() string {
 		return "Heartbeat"
 	case KindPeerDown:
 		return "PeerDown"
+	case KindTraceReq:
+		return "TraceReq"
+	case KindTraceResp:
+		return "TraceResp"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -137,6 +147,9 @@ type Message struct {
 	Verts   []model.VertexID
 	ReqID   uint64
 	Err     string
+	// Blob carries an opaque auxiliary payload; currently JSON-encoded
+	// trace.StepStat rows in KindTraceResp messages.
+	Blob []byte
 }
 
 // Append serializes m, appending to b.
@@ -173,6 +186,8 @@ func Append(b []byte, m *Message) []byte {
 	}
 	b = binary.AppendUvarint(b, uint64(len(m.Err)))
 	b = append(b, m.Err...)
+	b = binary.AppendUvarint(b, uint64(len(m.Blob)))
+	b = append(b, m.Blob...)
 	return b
 }
 
@@ -304,6 +319,9 @@ func Decode(b []byte) (Message, error) {
 	}
 	if n := d.uvarint(); d.err == nil {
 		m.Err = string(d.bytes(n))
+	}
+	if n := d.uvarint(); n > 0 && d.err == nil {
+		m.Blob = append([]byte(nil), d.bytes(n)...)
 	}
 	if d.err != nil {
 		return Message{}, d.err

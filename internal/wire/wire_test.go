@@ -26,6 +26,7 @@ func TestRoundTripAllFields(t *testing.T) {
 		Verts:    []model.VertexID{10, 20},
 		ReqID:    42,
 		Err:      "boom",
+		Blob:     []byte("{\"x\":1}"),
 	}
 	got, err := Decode(Append(nil, &m))
 	if err != nil {
