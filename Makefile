@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build vet test race stress check lint fmt fmtcheck bench benchfull bench-smoke clean
+.PHONY: all build vet test race stress check lint fmt fmtcheck bench benchfull bench-smoke bench-readpath clean
 
 all: build
 
@@ -65,6 +65,11 @@ benchfull:
 # machine-readable report. Exits nonzero if any check fails.
 bench-smoke:
 	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp smoke -json BENCH_smoke.json
+
+# bench-readpath gates the storage read path: scan-vs-index seed selection
+# (SeedScanned == matches when indexed) and cold/warm read-cache hit rate.
+bench-readpath:
+	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp readpath -json BENCH_readpath.json
 
 clean:
 	$(GO) clean ./...

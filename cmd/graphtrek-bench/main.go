@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	graphtrek-bench [-exp all|smoke|table1|fig7|fig8|fig9|fig10|fig11|table2|table3|ablation|concurrent|partition] [-json out.json]
+//	graphtrek-bench [-exp all|smoke|readpath|table1|fig7|fig8|fig9|fig10|fig11|table2|table3|ablation|concurrent|partition] [-json out.json]
 //
 // The concurrent experiment sweeps K=1/4/16/64 simultaneous traversals over
 // the shared per-server executor and reports per-traversal latency
 // percentiles plus queue-depth and queue-wait executor metrics. The smoke
 // experiment is the CI gate: every engine on one small workload, with
-// engine-equivalence and metrics-invariant checks.
+// engine-equivalence and metrics-invariant checks. The readpath experiment
+// measures the storage hot layer: scan-vs-index seed selection (asserting
+// an indexed selective seed enumerates O(matches) candidates) and cold-vs-
+// warm read-cache hit rates.
 //
 // -json writes a machine-readable report (BENCH_<exp>.json by convention)
 // alongside the human tables and exits nonzero if any recorded check

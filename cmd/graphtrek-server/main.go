@@ -45,6 +45,8 @@ func main() {
 	sendTimeout := flag.Duration("send-timeout", 2*time.Second, "bounded wait on a full peer outbox before failing the send")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /debug/pprof and /traces (empty disables)")
 	traceCap := flag.Int("trace-cap", 0, "execution-trace ring capacity (0 = default 8192, negative disables tracing)")
+	indexKeys := flag.String("index", "", "comma-separated property keys to secondary-index at boot (step-0 filters on them seed via the index)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "read-cache budget in bytes for decoded vertices and adjacency lists (0 disables)")
 	flag.Parse()
 
 	if *data == "" || *addrs == "" {
@@ -57,12 +59,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	store, err := gstore.Open(*data, kv.Options{})
+	diskStore, err := gstore.Open(*data, kv.Options{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphtrek-server:", err)
 		os.Exit(1)
 	}
+	var store gstore.Graph = diskStore
+	if *cacheBytes > 0 {
+		store = gstore.NewCachedGraph(store, *cacheBytes)
+	}
 	defer store.Close()
+	if *indexKeys != "" {
+		// Enable explicitly (not via Config.IndexKeys) so a failed backfill
+		// is a loud startup error rather than a silent scan fallback.
+		for _, key := range strings.Split(*indexKeys, ",") {
+			if key = strings.TrimSpace(key); key == "" {
+				continue
+			}
+			if err := store.(gstore.PropertyIndex).EnableIndex(key); err != nil {
+				fmt.Fprintln(os.Stderr, "graphtrek-server: -index:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("graphtrek-server: property index enabled on %q\n", key)
+		}
+	}
 
 	srv := core.NewServer(core.Config{
 		ID:                *id,

@@ -184,6 +184,16 @@ type Options struct {
 	// server). Zero selects the engine default (8192); negative disables
 	// per-execution tracing.
 	TraceCap int
+	// IndexKeys lists property keys to secondary-index on every partition
+	// at boot, so step-0 va() filters on them seed via index pushdown
+	// instead of a label scan. Equivalent to calling EnableIndex for each
+	// key right after NewCluster, but before the engines see traffic.
+	IndexKeys []string
+	// ReadCacheBytes, when positive, wraps each partition in a sharded
+	// LRU read cache of roughly this many bytes (decoded vertices +
+	// materialized adjacency lists), the stand-in for the RocksDB block
+	// cache of §VI. Zero disables the cache.
+	ReadCacheBytes int64
 }
 
 // Cluster is an in-process GraphTrek deployment: N backend servers plus one
@@ -239,6 +249,16 @@ func NewCluster(opts Options) (*Cluster, error) {
 			store = s
 		} else {
 			store = gstore.NewMemStore()
+		}
+		if opts.ReadCacheBytes > 0 {
+			store = gstore.NewCachedGraph(store, opts.ReadCacheBytes)
+		}
+		for _, key := range opts.IndexKeys {
+			if err := store.(gstore.PropertyIndex).EnableIndex(key); err != nil {
+				c.stores = append(c.stores, store) // let Close release it
+				c.Close()
+				return nil, err
+			}
 		}
 		c.stores = append(c.stores, store)
 		disk := simio.NewDisk(opts.DiskService, opts.DiskParallelism)

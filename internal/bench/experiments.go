@@ -478,6 +478,7 @@ func Smoke(s Scale, w io.Writer, rep *ExperimentResult) error {
 // into it for the -json document.
 var Experiments = map[string]func(Scale, io.Writer, *ExperimentResult) error{
 	"smoke":      Smoke,
+	"readpath":   ReadPath,
 	"table1":     Table1,
 	"fig7":       Fig7,
 	"fig8":       func(s Scale, w io.Writer, rep *ExperimentResult) error { return FigSteps(s, 2, w, rep) },
@@ -492,7 +493,7 @@ var Experiments = map[string]func(Scale, io.Writer, *ExperimentResult) error{
 }
 
 // Order is the canonical run order for "all".
-var Order = []string{"smoke", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "ablation", "concurrent", "partition"}
+var Order = []string{"smoke", "readpath", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "table3", "ablation", "concurrent", "partition"}
 
 // RunAll executes every experiment in order, appending one report section
 // per experiment when rep is non-nil. A runner error is recorded on its

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"graphtrek"
+	"graphtrek/internal/core"
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+	"graphtrek/internal/query"
+)
+
+// ReadPath measures the storage hot layer's two read-path optimizations on
+// a metadata-shaped workload (Users → run → Executions):
+//
+//   - Seed selection: the same selective step-0 traversal (va EQ / IN /
+//     RANGE on a User property) runs once on the scan path and once with a
+//     property index enabled. The report asserts the scan path enumerates
+//     the whole label population while the indexed path enumerates exactly
+//     the matches (SeedScanned == matches, the O(matches) claim), and that
+//     both return identical results.
+//   - Read cache: the same traversal runs cold and then warm against a
+//     cache-wrapped cluster; the report asserts the warm run serves most
+//     vertex+adjacency reads from cache and returns identical results.
+func ReadPath(s Scale, w io.Writer, rep *ExperimentResult) error {
+	const (
+		servers     = 4
+		teams       = 32
+		runsPerUser = 4
+	)
+	users := s.MetaVertices
+	if users < teams {
+		users = teams
+	}
+	fmt.Fprintf(w, "READPATH — %d users/%d teams ×%d runs on %d servers (scale=%s)\n",
+		users, teams, runsPerUser, servers, s.Name)
+
+	// --- Prong 1: scan-vs-index seed selection (no read cache, so the
+	// counters isolate seed behavior).
+	c, err := loadUserRuns(graphtrek.Options{Servers: servers, TravelTimeout: 10 * time.Minute},
+		users, teams, runsPerUser)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	team := "team-07"
+	matches := teamPopulation(users, teams, 7)
+	rangeLo, rangeHi := int64(users/4), int64(users/4+users/8)
+	seedPlans := []struct {
+		series  string
+		matches int64
+		travel  *query.Travel
+	}{
+		{"seed-eq", matches,
+			query.VLabel("User").Va("team", property.EQ, team).E("run")},
+		{"seed-in", teamPopulation(users, teams, 3) + teamPopulation(users, teams, 19),
+			query.VLabel("User").Va("team", property.IN, "team-03", "team-19").E("run")},
+		{"seed-range", rangeHi - rangeLo + 1,
+			query.VLabel("User").Va("uid", property.RANGE, rangeLo, rangeHi).E("run")},
+	}
+
+	fmt.Fprintf(w, "%-24s%12s%14s%14s%10s\n", "Series", "Elapsed", "SeedScanned", "SeedIdxHits", "Results")
+	type scanBaseline struct {
+		results []graphtrek.VertexID
+		scanned int64
+	}
+	baselines := make([]scanBaseline, len(seedPlans))
+	for i, sp := range seedPlans {
+		row, res, err := runReadPath(c, sp.travel, sp.series+"/scan")
+		if err != nil {
+			return err
+		}
+		baselines[i] = scanBaseline{results: res, scanned: row.SeedScanned}
+		rep.AddCheck(sp.series+"-scan-population", row.SeedScanned == int64(users),
+			"scan path enumerated %d candidates for %d users", row.SeedScanned, users)
+		rep.AddRow(row)
+		fmt.Fprintf(w, "%-24s%12s%14d%14d%10d\n", row.Series, fmtDur(time.Duration(row.ElapsedNs)), row.SeedScanned, row.SeedIndexHits, row.Results)
+	}
+
+	for _, key := range []string{"team", "uid"} {
+		if err := c.EnableIndex(key); err != nil {
+			return err
+		}
+	}
+
+	for i, sp := range seedPlans {
+		row, res, err := runReadPath(c, sp.travel, sp.series+"/index")
+		if err != nil {
+			return err
+		}
+		rep.AddCheck(sp.series+"-scanned-equals-matches",
+			row.SeedScanned == sp.matches && row.SeedIndexHits == sp.matches,
+			"indexed seed enumerated %d candidates (%d via index) for %d matches; scan path took %d",
+			row.SeedScanned, row.SeedIndexHits, sp.matches, baselines[i].scanned)
+		rep.AddCheck(sp.series+"-equivalence", sameResults(res, baselines[i].results),
+			"%d results vs %d on the scan path", len(res), len(baselines[i].results))
+		rep.AddRow(row)
+		fmt.Fprintf(w, "%-24s%12s%14d%14d%10d\n", row.Series, fmtDur(time.Duration(row.ElapsedNs)), row.SeedScanned, row.SeedIndexHits, row.Results)
+	}
+
+	// --- Prong 2: cold vs warm read cache on a fresh cluster (its cache
+	// starts empty) with the index pre-enabled, traversing every user.
+	cc, err := loadUserRuns(graphtrek.Options{Servers: servers, TravelTimeout: 10 * time.Minute,
+		ReadCacheBytes: 64 << 20, IndexKeys: []string{"team"}}, users, teams, runsPerUser)
+	if err != nil {
+		return err
+	}
+	defer cc.Close()
+	hot := query.VLabel("User").E("run")
+
+	cold, coldRes, err := runReadPath(cc, hot, "cache-cold")
+	if err != nil {
+		return err
+	}
+	rep.AddCheck("cold-cache-populates", cold.VtxCacheMisses > 0 && cold.AdjCacheMisses > 0,
+		"cold run: %d vtx misses, %d adj misses", cold.VtxCacheMisses, cold.AdjCacheMisses)
+	rep.AddRow(cold)
+
+	warm, warmRes, err := runReadPath(cc, hot, "cache-warm")
+	if err != nil {
+		return err
+	}
+	hits := warm.VtxCacheHits + warm.AdjCacheHits
+	total := hits + warm.VtxCacheMisses + warm.AdjCacheMisses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(hits) / float64(total)
+	}
+	rep.AddCheck("warm-cache-hit-rate", rate >= 0.8,
+		"warm run hit rate %.3f (%d hits / %d reads)", rate, hits, total)
+	rep.AddCheck("cache-equivalence", sameResults(coldRes, warmRes),
+		"%d results warm vs %d cold", len(warmRes), len(coldRes))
+	rep.AddRow(warm)
+
+	fmt.Fprintf(w, "%-24s%12s  vtx %d/%d adj %d/%d (hits/misses)\n", "cache-cold",
+		fmtDur(time.Duration(cold.ElapsedNs)), cold.VtxCacheHits, cold.VtxCacheMisses, cold.AdjCacheHits, cold.AdjCacheMisses)
+	fmt.Fprintf(w, "%-24s%12s  vtx %d/%d adj %d/%d — hit rate %.3f\n", "cache-warm",
+		fmtDur(time.Duration(warm.ElapsedNs)), warm.VtxCacheHits, warm.VtxCacheMisses, warm.AdjCacheHits, warm.AdjCacheMisses, rate)
+	return nil
+}
+
+// loadUserRuns builds a cluster holding the experiment's metadata graph:
+// `users` User vertices (props team = "team-NN", uid = ordinal), each with
+// runsPerUser run-edges to private Execution vertices.
+func loadUserRuns(opts graphtrek.Options, users, teams, runsPerUser int) (*graphtrek.Cluster, error) {
+	c, err := graphtrek.NewCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < users; i++ {
+		uid := model.VertexID(i + 1)
+		err := c.AddVertex(model.Vertex{ID: uid, Label: "User", Props: property.Map{
+			"team": property.String(fmt.Sprintf("team-%02d", i%teams)),
+			"uid":  property.Int(int64(i)),
+		}})
+		if err == nil {
+			for r := 0; r < runsPerUser && err == nil; r++ {
+				eid := model.VertexID(users + i*runsPerUser + r + 1)
+				err = c.AddVertex(model.Vertex{ID: eid, Label: "Execution", Props: property.Map{
+					"seq": property.Int(int64(r)),
+				}})
+				if err == nil {
+					err = c.AddEdge(model.Edge{Src: uid, Dst: eid, Label: "run"})
+				}
+			}
+		}
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// teamPopulation counts users assigned (round-robin) to one team ordinal.
+func teamPopulation(users, teams, team int) int64 {
+	n := int64(users / teams)
+	if team < users%teams {
+		n++
+	}
+	return n
+}
+
+// runReadPath times one GraphTrek-mode traversal from cold disks and
+// returns a row carrying the run's read-path counter deltas.
+func runReadPath(c *graphtrek.Cluster, t *query.Travel, series string) (Row, []graphtrek.VertexID, error) {
+	plan, err := t.Compile()
+	if err != nil {
+		return Row{}, nil, err
+	}
+	c.ResetDisks()
+	before := c.ServerMetrics()
+	start := time.Now()
+	res, err := c.RunPlan(plan, core.SubmitOptions{Mode: core.ModeGraphTrek, Coordinator: 0, Timeout: 10 * time.Minute})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Row{}, nil, fmt.Errorf("bench: readpath %s: %w", series, err)
+	}
+	var delta graphtrek.Metrics
+	for i, m := range c.ServerMetrics() {
+		delta = delta.Add(m.Sub(before[i]))
+	}
+	return Row{
+		Series: series, Servers: c.Servers(), ElapsedNs: int64(elapsed), Results: len(res),
+		Received: delta.Received, Redundant: delta.Redundant, Combined: delta.Combined, RealIO: delta.RealIO,
+		SeedScanned: delta.SeedScanned, SeedIndexHits: delta.SeedIndexHits,
+		VtxCacheHits: delta.VtxCacheHits, VtxCacheMisses: delta.VtxCacheMisses,
+		AdjCacheHits: delta.AdjCacheHits, AdjCacheMisses: delta.AdjCacheMisses,
+	}, res, nil
+}
+
+// sameResults compares two sorted, deduplicated result sets.
+func sameResults(a, b []graphtrek.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -58,6 +58,14 @@ type Row struct {
 	Redundant int64 `json:"redundant,omitempty"`
 	Combined  int64 `json:"combined,omitempty"`
 	RealIO    int64 `json:"real_io,omitempty"`
+	// Read-path counters (the readpath experiment): seed-selection
+	// candidates and storage read-cache outcomes for the run.
+	SeedScanned    int64 `json:"seed_scanned,omitempty"`
+	SeedIndexHits  int64 `json:"seed_index_hits,omitempty"`
+	VtxCacheHits   int64 `json:"vtx_cache_hits,omitempty"`
+	VtxCacheMisses int64 `json:"vtx_cache_misses,omitempty"`
+	AdjCacheHits   int64 `json:"adj_cache_hits,omitempty"`
+	AdjCacheMisses int64 `json:"adj_cache_misses,omitempty"`
 }
 
 // Check is one pass/fail assertion recorded by an experiment.

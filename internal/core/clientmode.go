@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 
 	"graphtrek/internal/model"
-	"graphtrek/internal/query"
 	"graphtrek/internal/sched"
 	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
@@ -60,24 +59,14 @@ func (a *visitAcc) finished(s *Server, _ *travelState) {
 func (s *Server) handleVisitReq(from int, msg wire.Message, ts *travelState) {
 	resp := wire.Message{Kind: wire.KindVisitResp, TravelID: msg.TravelID, ReqID: msg.ReqID}
 	if msg.Mode == 1 {
-		// Seed scan: return the local step-0 candidate ids.
-		s.disk.Access(0, scanBlock)
-		s0 := ts.plan.Steps[0]
-		var err error
-		if s0.SourceLabel != "" {
-			err = s.cfg.Store.ScanVerticesByLabel(s0.SourceLabel, func(id model.VertexID) bool {
-				resp.Verts = append(resp.Verts, id)
-				return true
-			})
-		} else {
-			err = s.cfg.Store.ScanVertices(func(v model.Vertex) bool {
-				resp.Verts = append(resp.Verts, v.ID)
-				return true
-			})
-		}
+		// Seed selection: return the local step-0 candidate ids, via index
+		// pushdown when one covers a step-0 filter (same path as the
+		// server-side engines).
+		ids, err := s.selectSeeds(ts.plan.Steps[0])
 		if err != nil {
 			resp.Err = err.Error()
 		}
+		resp.Verts = append(resp.Verts, ids...)
 		s.send(from, resp)
 		return
 	}
@@ -110,9 +99,8 @@ func (s *Server) handleVisitReq(from int, msg wire.Message, ts *travelState) {
 func (s *Server) processVisitItem(ts *travelState, vtx model.Vertex, found bool, it sched.Item) {
 	acc := it.Exec.(*visitAcc)
 	plan := ts.plan
-	step := plan.Steps[it.Step]
 	last := int32(plan.NumSteps() - 1)
-	if !found || !query.VertexMatches(vtx, step.VertexFilters) {
+	if !found || !stepMatches(plan, it.Step, vtx) {
 		return
 	}
 	acc.mu.Lock()

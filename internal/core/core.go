@@ -116,6 +116,11 @@ type Config struct {
 	// Part maps vertices to owning servers. Node ids 0..Part.N()-1 must be
 	// backend servers; higher transport ids are clients.
 	Part partition.Partitioner
+	// IndexKeys lists property keys to secondary-index at boot (best
+	// effort) so step-0 filters on them resolve via index pushdown instead
+	// of a label scan. Requires a Store implementing gstore.PropertyIndex;
+	// keys are silently skipped otherwise.
+	IndexKeys []string
 	// Disk is the simulated storage device; nil means no simulated
 	// latency.
 	Disk *simio.Disk

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+	"graphtrek/internal/query"
+)
+
+// seedPlans are step-0 shapes covering every pushdown case: EQ, IN and
+// RANGE on the indexed key (index-resolvable), an un-indexed filter key, a
+// plain label seed and an explicit id seed (never index-resolved).
+func seedPlans(t *testing.T, r *rand.Rand) []*query.Plan {
+	return []*query.Plan{
+		mustPlan(t, query.V().Va("p", property.EQ, 3).E("run").E("read")),
+		mustPlan(t, query.VLabel("User").Va("p", property.IN, 1, 4, 7).E("run")),
+		mustPlan(t, query.V().Va("p", property.RANGE, 2, 6).E("write").E("read")),
+		mustPlan(t, query.VLabel("Execution").Va("w", property.EQ, 5).E("read")),
+		mustPlan(t, query.VLabel("File").E("write")),
+		mustPlan(t, query.V(model.VertexID(r.Intn(50))).E("run").E("read")),
+	}
+}
+
+// TestIndexAndCacheModesEquivalent is the acceptance matrix for the seed
+// pushdown and the read cache: every engine mode must return identical
+// results with indexes off, indexes on, the read cache on, both on, and
+// both on with an eviction-thrashing tiny cache. Extends the
+// TestTinyCacheStillCorrect principle — both structures are performance
+// paths, never correctness dependencies.
+func TestIndexAndCacheModesEquivalent(t *testing.T) {
+	configs := []struct {
+		name    string
+		indexed bool
+		tweak   func(*Config)
+	}{
+		{"baseline", false, nil},
+		{"index", true, func(cfg *Config) { cfg.IndexKeys = []string{"p"} }},
+		{"cache", false, func(cfg *Config) {
+			cfg.Store = gstore.NewCachedGraph(cfg.Store, 1<<20)
+		}},
+		{"index+cache", true, func(cfg *Config) {
+			cfg.Store = gstore.NewCachedGraph(cfg.Store, 1<<20)
+			cfg.IndexKeys = []string{"p"}
+		}},
+		{"index+tinycache", true, func(cfg *Config) {
+			// 512 bytes over 16 shards: almost nothing stays resident.
+			cfg.Store = gstore.NewCachedGraph(cfg.Store, 512)
+			cfg.IndexKeys = []string{"p"}
+		}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCluster(t, 3, tc.tweak)
+			r := rand.New(rand.NewSource(29))
+			randomGraph(t, c, r, 50, 250)
+			for _, plan := range seedPlans(t, r) {
+				c.runAllModes(t, plan)
+			}
+			var indexHits int64
+			for _, s := range c.servers {
+				indexHits += s.Metrics().SeedIndexHits
+			}
+			if tc.indexed && indexHits == 0 {
+				t.Error("indexed config never resolved a seed via the index")
+			}
+			if !tc.indexed && indexHits != 0 {
+				t.Errorf("un-indexed config reported %d index hits", indexHits)
+			}
+		})
+	}
+}
+
+// TestIndexEnabledMidLife enables the index after a first batch of
+// traversals has already run on the scan path: the same plans must keep
+// returning the same results, now index-resolved. This is the operational
+// shape of adding an index to a live deployment.
+func TestIndexEnabledMidLife(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	r := rand.New(rand.NewSource(31))
+	randomGraph(t, c, r, 50, 250)
+	plans := seedPlans(t, r)
+	for _, plan := range plans {
+		c.runAllModes(t, plan)
+	}
+	for _, s := range c.servers {
+		if hits := s.Metrics().SeedIndexHits; hits != 0 {
+			t.Fatalf("index hits before any index exists: %d", hits)
+		}
+	}
+	// The engine holds the same store instance, so enabling directly on the
+	// backing stores makes HasIndex flip true for in-flight servers.
+	for _, st := range c.stores {
+		if err := st.EnableIndex("p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, plan := range plans {
+		c.runAllModes(t, plan)
+	}
+	var indexHits int64
+	for _, s := range c.servers {
+		indexHits += s.Metrics().SeedIndexHits
+	}
+	if indexHits == 0 {
+		t.Error("mid-life enabled index never resolved a seed")
+	}
+}
+
+// TestSeedScannedCountsBothPaths pins the SeedScanned semantics the
+// readpath benchmark gates on: the counter totals step-0 candidates
+// enumerated whichever way they were produced, so for an indexed EQ seed
+// the cluster-wide total equals the number of matching vertices rather
+// than the scanned population.
+func TestSeedScannedCountsBothPaths(t *testing.T) {
+	const n = 40
+	c := newCluster(t, 3, nil)
+	matches := 0
+	for i := 0; i < n; i++ {
+		v := model.Vertex{ID: model.VertexID(i), Label: "User",
+			Props: property.Map{"p": property.Int(int64(i % 8))}}
+		c.addVertex(t, v)
+		if i%8 == 3 {
+			matches++
+		}
+	}
+	plan := mustPlan(t, query.VLabel("User").Va("p", property.EQ, 3))
+	sum := func(get func(Metrics) int64) int64 {
+		var total int64
+		for _, s := range c.servers {
+			total += get(s.Metrics())
+		}
+		return total
+	}
+
+	if _, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(func(m Metrics) int64 { return m.SeedScanned }); got != n {
+		t.Errorf("scan path SeedScanned = %d, want %d", got, n)
+	}
+
+	for _, st := range c.stores {
+		if err := st.EnableIndex("p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sum(func(m Metrics) int64 { return m.SeedScanned })
+	if _, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(func(m Metrics) int64 { return m.SeedScanned }) - before; got != int64(matches) {
+		t.Errorf("index path SeedScanned delta = %d, want %d", got, matches)
+	}
+	if got := sum(func(m Metrics) int64 { return m.SeedIndexHits }); got != int64(matches) {
+		t.Errorf("SeedIndexHits = %d, want %d", got, matches)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphtrek/internal/cache"
+	"graphtrek/internal/gstore"
 	"graphtrek/internal/metrics"
 	"graphtrek/internal/model"
 	"graphtrek/internal/query"
@@ -76,6 +77,17 @@ func NewServer(cfg Config) *Server {
 	var trc *trace.Recorder
 	if cfg.TraceCap > 0 {
 		trc = trace.NewRecorder(cfg.TraceCap)
+	}
+	if len(cfg.IndexKeys) > 0 {
+		// Best-effort boot-time enable: a store without index support (or a
+		// failed backfill) leaves the key un-indexed and seed selection on
+		// the scan path — slower, never wrong. Deployments that must know
+		// enable explicitly (cmd/graphtrek-server does, and fails loudly).
+		if ix, ok := cfg.Store.(gstore.PropertyIndex); ok {
+			for _, key := range cfg.IndexKeys {
+				_ = ix.EnableIndex(key)
+			}
+		}
 	}
 	return &Server{
 		cfg:         cfg,
@@ -188,7 +200,19 @@ func (s *Server) admissionError(err error) string {
 func (s *Server) ID() int { return s.cfg.ID }
 
 // Metrics returns a snapshot of this server's engine counters.
-func (s *Server) Metrics() Metrics { return s.met.Snapshot() }
+func (s *Server) Metrics() Metrics {
+	m := s.met.Snapshot()
+	// The storage layer owns the read-cache counters; overlay them so one
+	// snapshot carries the whole read path.
+	if cs, ok := s.cfg.Store.(gstore.CacheStatter); ok {
+		st := cs.CacheStats()
+		m.VtxCacheHits = st.VtxHits
+		m.VtxCacheMisses = st.VtxMisses
+		m.AdjCacheHits = st.AdjHits
+		m.AdjCacheMisses = st.AdjMisses
+	}
+	return m
+}
 
 // QueueLen reports the shared executor's current buffered item count.
 func (s *Server) QueueLen() int { return s.exec.Len() }
@@ -453,24 +477,13 @@ func (s *Server) handleStartTravel(from int, msg wire.Message) {
 	}
 }
 
-// runSeedExec performs the local source scan for label / full-scan seeded
-// traversals: every matching local vertex becomes a step-0 request.
+// runSeedExec performs the local source selection for label / full-scan
+// seeded traversals: every candidate local vertex becomes a step-0 request.
+// Candidates come from an index pushdown when one covers a step-0 filter,
+// else from the label (or full) scan — see selectSeeds.
 func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 	s0 := ts.plan.Steps[0]
-	s.disk.Access(0, scanBlock) // one sequential index scan
-	var ids []model.VertexID
-	var err error
-	if s0.SourceLabel != "" {
-		err = s.cfg.Store.ScanVerticesByLabel(s0.SourceLabel, func(id model.VertexID) bool {
-			ids = append(ids, id)
-			return true
-		})
-	} else {
-		err = s.cfg.Store.ScanVertices(func(v model.Vertex) bool {
-			ids = append(ids, v.ID)
-			return true
-		})
-	}
+	ids, err := s.selectSeeds(s0)
 	if err != nil {
 		ts.addErr(err.Error())
 	}

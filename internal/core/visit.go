@@ -80,12 +80,21 @@ func (s *Server) processGroup(ts *travelState, g sched.Group) {
 	s.finishItems(ts, live, nil)
 }
 
+// stepMatches applies one step's vertex predicate. Step 0 uses the full
+// source predicate (label restriction + filters): index-pushed seed
+// candidates are label-agnostic, unlike the label scan they replace.
+func stepMatches(plan *query.Plan, step int32, vtx model.Vertex) bool {
+	if step == 0 {
+		return query.SourceMatches(vtx, plan.Steps[0])
+	}
+	return query.VertexMatches(vtx, plan.Steps[step].VertexFilters)
+}
+
 // processItem evaluates one request against the (already fetched) vertex.
 func (s *Server) processItem(ts *travelState, vtx model.Vertex, found bool, it sched.Item) {
 	plan := ts.plan
-	step := plan.Steps[it.Step]
 	last := int32(plan.NumSteps() - 1)
-	if !found || !query.VertexMatches(vtx, step.VertexFilters) {
+	if !found || !stepMatches(plan, it.Step, vtx) {
 		return // the path dies here
 	}
 

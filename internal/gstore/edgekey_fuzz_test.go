@@ -1,0 +1,49 @@
+package gstore
+
+import (
+	"testing"
+)
+
+// TestParseEdgeKeyBoundsWrap pins the regression: a key whose multi-byte
+// uvarint declares a label longer than the room left used to slip past the
+// bounds guard (the signed subtraction was compared as uint64, wrapping
+// negative room past any declared length) and panic slicing the label out.
+func TestParseEdgeKeyBoundsWrap(t *testing.T) {
+	// 'E' + src8 + uvarint{0x80,0x01}=128 + 7 bytes: room = 9-2-8 = -1.
+	bad := append([]byte{tagEdge}, make([]byte, 8)...)
+	bad = append(bad, 0x80, 0x01)
+	bad = append(bad, make([]byte, 7)...)
+	if _, _, _, err := parseEdgeKey(bad); err == nil {
+		t.Fatal("malformed key with wrapping bounds accepted")
+	}
+}
+
+// FuzzParseEdgeKey asserts parseEdgeKey never panics on arbitrary input and
+// that any accepted key describes a triple that round-trips: re-encoding the
+// triple and re-parsing yields the same triple. (Byte-level round-trip is
+// deliberately not required — Uvarint accepts non-minimal length encodings,
+// which re-encode shorter.)
+func FuzzParseEdgeKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{tagEdge})
+	f.Add(edgeKey(1, "run", 2))
+	f.Add(edgeKey(0, "", 1<<63))
+	f.Add(edgeKey(42, "a-rather-long-edge-label", 7))
+	bad := append([]byte{tagEdge}, make([]byte, 8)...)
+	bad = append(bad, 0x80, 0x01)
+	bad = append(bad, make([]byte, 7)...)
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, key []byte) {
+		src, label, dst, err := parseEdgeKey(key)
+		if err != nil {
+			return
+		}
+		src2, label2, dst2, err := parseEdgeKey(edgeKey(src, label, dst))
+		if err != nil {
+			t.Fatalf("re-encoded key rejected: (%d,%q,%d): %v", src, label, dst, err)
+		}
+		if src2 != src || label2 != label || dst2 != dst {
+			t.Fatalf("round trip changed triple: (%d,%q,%d) -> (%d,%q,%d)", src, label, dst, src2, label2, dst2)
+		}
+	})
+}

@@ -113,7 +113,11 @@ func parseEdgeKey(key []byte) (src model.VertexID, label string, dst model.Verte
 	src = model.VertexID(binary.BigEndian.Uint64(key[1:9]))
 	rest := key[9:]
 	n, sz := binary.Uvarint(rest)
-	if sz <= 0 || uint64(len(rest)-sz-8) < n {
+	// The room left for the label must be computed in signed ints: with a
+	// multi-byte uvarint the subtraction can go negative, and comparing it
+	// as uint64 would wrap past any declared length.
+	room := len(rest) - sz - 8
+	if sz <= 0 || room < 0 || uint64(room) < n {
 		return 0, "", 0, fmt.Errorf("gstore: malformed edge key label")
 	}
 	label = string(rest[sz : sz+int(n)])
@@ -121,13 +125,29 @@ func parseEdgeKey(key []byte) (src model.VertexID, label string, dst model.Verte
 	return src, label, dst, nil
 }
 
+// numStripes is the size of the Store's per-vertex write-lock stripe array.
+const numStripes = 64
+
 // Store is the persistent Graph backed by the kv LSM store.
 type Store struct {
 	db *kv.DB
 
+	// stripes serializes the read-modify-write vertex updates (PutVertex,
+	// DeleteVertex, index backfill) per vertex-id stripe. Without it, two
+	// concurrent writers to the same vertex can interleave their get/delete/
+	// put sequences and strand stale by-label or property-index rows. Edge
+	// writes are single kv operations and bypass the stripes.
+	stripes [numStripes]sync.Mutex
+
 	// idxMu guards the set of property keys with secondary indexes.
 	idxMu   sync.RWMutex
 	indexed map[string]bool
+}
+
+// stripe returns the write lock serializing updates to one vertex.
+func (s *Store) stripe(id model.VertexID) *sync.Mutex {
+	// Fibonacci hashing spreads strided and sequential id patterns evenly.
+	return &s.stripes[(uint64(id)*0x9e3779b97f4a7c15)>>(64-6)]
 }
 
 var _ Graph = (*Store)(nil)
@@ -152,6 +172,9 @@ func (s *Store) Flush() error { return s.db.Flush() }
 
 // PutVertex implements Graph.
 func (s *Store) PutVertex(v model.Vertex) error {
+	mu := s.stripe(v.ID)
+	mu.Lock()
+	defer mu.Unlock()
 	// Replacing a vertex whose label changed must drop the stale index row.
 	old, hadOld, err := s.GetVertex(v.ID)
 	if err != nil {
@@ -186,6 +209,9 @@ func (s *Store) GetVertex(id model.VertexID) (model.Vertex, bool, error) {
 
 // DeleteVertex implements Graph.
 func (s *Store) DeleteVertex(id model.VertexID) error {
+	mu := s.stripe(id)
+	mu.Lock()
+	defer mu.Unlock()
 	v, ok, err := s.GetVertex(id)
 	if err != nil {
 		return err

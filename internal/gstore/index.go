@@ -3,8 +3,10 @@ package gstore
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
+	"graphtrek/internal/kv"
 	"graphtrek/internal/model"
 	"graphtrek/internal/property"
 )
@@ -12,16 +14,26 @@ import (
 // PropertyIndex is the optional secondary-index capability of a Graph: the
 // "searching or indexing mechanisms provided by the underlying graph
 // storage" that §III says GTravel entry points are retrieved with. An
-// enabled index maps one property key's exact values to vertex ids, so
-// v() seeds like "the user named sam" resolve without a scan.
+// enabled index maps one property key's values to vertex ids, so v() seeds
+// like "the user named sam" resolve without a scan, and numeric RANGE seeds
+// resolve as one bounded key-range scan.
 type PropertyIndex interface {
 	// EnableIndex starts indexing the property key, backfilling existing
-	// vertices. Enabling twice is a no-op.
+	// vertices. Enabling twice is a no-op. Safe to call concurrently with
+	// writes: a vertex written while the backfill runs is indexed exactly
+	// once, under its current value.
 	EnableIndex(key string) error
+	// HasIndex reports whether the property key is indexed.
+	HasIndex(key string) bool
 	// LookupVertices returns the ids of vertices whose property `key`
 	// equals v, in ascending order. Looking up a key that was never
 	// enabled is an error.
 	LookupVertices(key string, v property.Value) ([]model.VertexID, error)
+	// LookupVerticesRange returns the ids of vertices whose property `key`
+	// lies in [lo, hi], ascending. lo and hi must share an order-comparable
+	// kind (property.OrderComparable); string ranges are not indexable and
+	// return an error — callers fall back to the scan path.
+	LookupVerticesRange(key string, lo, hi property.Value) ([]model.VertexID, error)
 }
 
 var (
@@ -31,21 +43,41 @@ var (
 
 // Persistent store implementation. Index rows live under their own tag:
 //
-//	'P' <len(key):uvarint> <key> <value encoding> <id:8> -> nil
+//	'P' <len(key):uvarint> <key> <ordered value encoding> <id:8> -> nil
 //
-// The value encoding is property.AppendValue, which is deterministic, so
-// exact-match lookups are one prefix scan.
+// The value encoding is property.AppendOrderedValue: deterministic and
+// prefix-free, so exact-match lookups are one prefix scan, and
+// order-preserving for numeric kinds, so RANGE lookups are one bounded
+// [lo, hi] key-range scan instead of a full-index sweep.
 func propIndexKey(key string, v property.Value, id model.VertexID) []byte {
 	b := propIndexPrefix(key, v)
 	return binary.BigEndian.AppendUint64(b, uint64(id))
 }
 
 func propIndexPrefix(key string, v property.Value) []byte {
+	return property.AppendOrderedValue(propIndexKeyPrefix(key), v)
+}
+
+// propIndexKeyPrefix covers every index row of one property key.
+func propIndexKeyPrefix(key string) []byte {
 	b := make([]byte, 0, 2+len(key)+16)
 	b = append(b, 'P')
 	b = binary.AppendUvarint(b, uint64(len(key)))
-	b = append(b, key...)
-	return property.AppendValue(b, v)
+	return append(b, key...)
+}
+
+// prefixSuccessor returns the smallest key greater than every key having b
+// as a prefix — the exclusive upper bound for a prefix-closed range scan.
+// Nil means no bound (b was all 0xFF).
+func prefixSuccessor(b []byte) []byte {
+	end := append([]byte(nil), b...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
 }
 
 // indexedKeys returns the Store's enabled index keys (guarded by idxMu).
@@ -54,6 +86,9 @@ func (s *Store) indexEnabled(key string) bool {
 	defer s.idxMu.RUnlock()
 	return s.indexed[key]
 }
+
+// HasIndex implements PropertyIndex.
+func (s *Store) HasIndex(key string) bool { return s.indexEnabled(key) }
 
 // EnableIndex implements PropertyIndex.
 func (s *Store) EnableIndex(key string) error {
@@ -70,24 +105,32 @@ func (s *Store) EnableIndex(key string) error {
 	}
 	s.indexed[key] = true
 	s.idxMu.Unlock()
-	// Backfill: one pass over existing vertices. Collect first — writing
-	// during iteration is not allowed.
-	type row struct {
-		v  property.Value
-		id model.VertexID
-	}
-	var rows []row
+	// Backfill: one pass over existing vertices. Collect ids first —
+	// writing during iteration is not allowed — then index each vertex
+	// under its stripe lock, re-reading the current value so a PutVertex
+	// racing the backfill can't strand a row for an overwritten value:
+	// whichever of the two runs second sees the other's effect.
+	var ids []model.VertexID
 	err := s.ScanVertices(func(v model.Vertex) bool {
-		if val, ok := v.Props[key]; ok {
-			rows = append(rows, row{val, v.ID})
+		if _, ok := v.Props[key]; ok {
+			ids = append(ids, v.ID)
 		}
 		return true
 	})
 	if err != nil {
 		return err
 	}
-	for _, r := range rows {
-		if err := s.db.Put(propIndexKey(key, r.v, r.id), nil); err != nil {
+	for _, id := range ids {
+		mu := s.stripe(id)
+		mu.Lock()
+		v, ok, err := s.GetVertex(id)
+		if err == nil && ok {
+			if val, has := v.Props[key]; has {
+				err = s.db.Put(propIndexKey(key, val, id), nil)
+			}
+		}
+		mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
@@ -105,6 +148,51 @@ func (s *Store) LookupVertices(key string, v property.Value) ([]model.VertexID, 
 		return true
 	})
 	return ids, err
+}
+
+// LookupVerticesRange implements PropertyIndex. The ordered value encoding
+// makes [lo, hi] one contiguous key interval: rows of other kinds sort
+// entirely before or after it (the kind tag leads), so the scan touches
+// exactly the matching rows.
+func (s *Store) LookupVerticesRange(key string, lo, hi property.Value) ([]model.VertexID, error) {
+	if !s.indexEnabled(key) {
+		return nil, fmt.Errorf("gstore: property %q is not indexed", key)
+	}
+	if err := checkRangeBounds(lo, hi); err != nil {
+		return nil, err
+	}
+	start := propIndexPrefix(key, lo)
+	end := prefixSuccessor(propIndexPrefix(key, hi))
+	it, err := s.db.NewIterator(kv.IterOptions{Start: start, End: end})
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var ids []model.VertexID
+	for ; it.Valid(); it.Next() {
+		k := it.Key()
+		ids = append(ids, model.VertexID(binary.BigEndian.Uint64(k[len(k)-8:])))
+	}
+	// Rows sort by value first, id second; a multi-value range needs an
+	// id-order result like LookupVertices. A vertex carries one value per
+	// key, so there are no duplicates to drop.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// checkRangeBounds validates an index range request: bounds must share an
+// order-comparable kind and satisfy lo <= hi.
+func checkRangeBounds(lo, hi property.Value) error {
+	if lo.Kind() != hi.Kind() {
+		return fmt.Errorf("gstore: range bounds have different kinds (%s, %s)", lo.Kind(), hi.Kind())
+	}
+	if !property.OrderComparable(lo.Kind()) {
+		return fmt.Errorf("gstore: %s values are not range-indexable", lo.Kind())
+	}
+	if lo.Compare(hi) > 0 {
+		return fmt.Errorf("gstore: range has lo > hi")
+	}
+	return nil
 }
 
 // updatePropIndexes maintains index rows across a vertex write. old holds
@@ -164,6 +252,13 @@ func valueToken(v property.Value) string {
 	return string(property.AppendValue(nil, v))
 }
 
+// HasIndex implements PropertyIndex.
+func (m *MemStore) HasIndex(key string) bool {
+	m.idx.mu.RLock()
+	defer m.idx.mu.RUnlock()
+	return m.idx.enabled[key]
+}
+
 // EnableIndex implements PropertyIndex.
 func (m *MemStore) EnableIndex(key string) error {
 	if key == "" {
@@ -181,12 +276,27 @@ func (m *MemStore) EnableIndex(key string) error {
 	m.idx.enabled[key] = true
 	m.idx.byKey[key] = make(map[string][]model.VertexID)
 	m.idx.mu.Unlock()
-	return m.ScanVertices(func(v model.Vertex) bool {
-		if val, ok := v.Props[key]; ok {
-			m.idx.insert(key, val, v.ID)
+	// Backfill the population existing at this point; anything written
+	// after the enabled flag above indexes itself through PutVertex. Each
+	// vertex is read and indexed under the store lock so a racing write
+	// can't leave a row for an overwritten value (the write path holds the
+	// same lock across its vertex + index update).
+	m.mu.RLock()
+	ids := make([]model.VertexID, 0, len(m.vertices))
+	for id := range m.vertices {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	for _, id := range ids {
+		m.mu.RLock()
+		if v, ok := m.vertices[id]; ok {
+			if val, has := v.Props[key]; has {
+				m.idx.insert(key, val, v.ID)
+			}
 		}
-		return true
-	})
+		m.mu.RUnlock()
+	}
+	return nil
 }
 
 // LookupVertices implements PropertyIndex.
@@ -198,6 +308,34 @@ func (m *MemStore) LookupVertices(key string, v property.Value) ([]model.VertexI
 	}
 	ids := m.idx.byKey[key][valueToken(v)]
 	return append([]model.VertexID(nil), ids...), nil
+}
+
+// LookupVerticesRange implements PropertyIndex. The in-memory index is an
+// exact-match map, so the range walks the key's distinct values, keeping the
+// same bound semantics (and errors) as the persistent store.
+func (m *MemStore) LookupVerticesRange(key string, lo, hi property.Value) ([]model.VertexID, error) {
+	m.idx.mu.RLock()
+	defer m.idx.mu.RUnlock()
+	if !m.idx.enabled[key] {
+		return nil, fmt.Errorf("gstore: property %q is not indexed", key)
+	}
+	if err := checkRangeBounds(lo, hi); err != nil {
+		return nil, err
+	}
+	var ids []model.VertexID
+	for tok, bucket := range m.idx.byKey[key] {
+		v, _, err := property.ConsumeValue([]byte(tok))
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind() == lo.Kind() && v.Compare(lo) >= 0 && v.Compare(hi) <= 0 {
+			ids = append(ids, bucket...)
+		}
+	}
+	// One value per vertex per key, so buckets are disjoint: sorting alone
+	// yields the ascending, duplicate-free contract.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
 }
 
 func (ix *memIndex) insert(key string, v property.Value, id model.VertexID) {

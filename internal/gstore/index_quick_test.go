@@ -1,0 +1,189 @@
+package gstore
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+// TestIndexStoreMemEquivalenceQuick drives both PropertyIndex
+// implementations through the same randomized write history — puts,
+// overwrites that change or drop the indexed value, deletes, with one key
+// enabled before the load and one enabled after (exercising both the
+// incremental and the backfill path) — then checks every EQ and RANGE
+// lookup against a brute-force oracle over the final vertex set. The two
+// stores index with different machinery (ordered key rows vs an
+// exact-match map), so agreement here is what lets tests and simulations
+// swap one for the other.
+func TestIndexStoreMemEquivalenceQuick(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		stores := indexedStores(t)
+		r := rand.New(rand.NewSource(seed))
+		oracle := make(map[model.VertexID]model.Vertex)
+
+		if err := stores["disk"].EnableIndex("num"); err != nil {
+			t.Fatal(err)
+		}
+		if err := stores["mem"].EnableIndex("num"); err != nil {
+			t.Fatal(err)
+		}
+
+		const nIDs = 40
+		for op := 0; op < 300; op++ {
+			id := model.VertexID(r.Intn(nIDs))
+			if r.Intn(10) == 0 {
+				delete(oracle, id)
+				for _, g := range stores {
+					if err := g.DeleteVertex(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+				continue
+			}
+			props := property.Map{}
+			if r.Intn(4) != 0 { // sometimes the indexed key is absent
+				props["num"] = property.Int(int64(r.Intn(20) - 10))
+			}
+			if r.Intn(2) == 0 {
+				props["f"] = property.Float(float64(r.Intn(40))/4 - 5)
+			}
+			if r.Intn(3) == 0 {
+				props["name"] = property.String(string(rune('a' + r.Intn(5))))
+			}
+			v := model.Vertex{ID: id, Label: []string{"User", "File"}[r.Intn(2)], Props: props}
+			oracle[id] = v
+			for _, g := range stores {
+				if err := g.PutVertex(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		// "f" and "name" only get enabled now: pure backfill.
+		for _, key := range []string{"f", "name"} {
+			for _, g := range stores {
+				if err := g.EnableIndex(key); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		expectEQ := func(key string, want property.Value) []model.VertexID {
+			var ids []model.VertexID
+			for id, v := range oracle {
+				if got, ok := v.Props[key]; ok && got.Equal(want) {
+					ids = append(ids, id)
+				}
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		}
+		expectRange := func(key string, lo, hi property.Value) []model.VertexID {
+			var ids []model.VertexID
+			for id, v := range oracle {
+				got, ok := v.Props[key]
+				if ok && got.Kind() == lo.Kind() && got.Compare(lo) >= 0 && got.Compare(hi) <= 0 {
+					ids = append(ids, id)
+				}
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		}
+		same := func(got, want []model.VertexID) bool {
+			return len(got) == len(want) && (len(got) == 0 || reflect.DeepEqual(got, want))
+		}
+
+		for q := 0; q < 60; q++ {
+			var key string
+			var val property.Value
+			switch r.Intn(3) {
+			case 0:
+				key, val = "num", property.Int(int64(r.Intn(24)-12))
+			case 1:
+				key, val = "f", property.Float(float64(r.Intn(48))/4-6)
+			default:
+				key, val = "name", property.String(string(rune('a'+r.Intn(6))))
+			}
+			want := expectEQ(key, val)
+			for name, g := range stores {
+				got, err := g.LookupVertices(key, val)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !same(got, want) {
+					t.Fatalf("seed %d %s: EQ %s=%v = %v, oracle %v", seed, name, key, val, got, want)
+				}
+			}
+
+			var lo, hi property.Value
+			if key == "name" { // strings are not range-indexable; range on "num"
+				key = "num"
+			}
+			if key == "num" {
+				a, b := int64(r.Intn(24)-12), int64(r.Intn(24)-12)
+				if a > b {
+					a, b = b, a
+				}
+				lo, hi = property.Int(a), property.Int(b)
+			} else {
+				a, b := float64(r.Intn(48))/4-6, float64(r.Intn(48))/4-6
+				if a > b {
+					a, b = b, a
+				}
+				lo, hi = property.Float(a), property.Float(b)
+			}
+			want = expectRange(key, lo, hi)
+			for name, g := range stores {
+				got, err := g.LookupVerticesRange(key, lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !same(got, want) {
+					t.Fatalf("seed %d %s: RANGE %s in [%v,%v] = %v, oracle %v", seed, name, key, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLookupRangeErrorContract pins the error cases both implementations
+// must share, so the seed-selection fallback behaves identically over
+// either store: un-enabled keys, string ranges, mixed-kind bounds and
+// inverted bounds all refuse rather than return empty.
+func TestLookupRangeErrorContract(t *testing.T) {
+	for name, g := range indexedStores(t) {
+		t.Run(name, func(t *testing.T) {
+			g.PutVertex(model.Vertex{ID: 1, Label: "User",
+				Props: property.Map{"n": property.Int(3), "s": property.String("x")}})
+			if _, err := g.LookupVertices("n", property.Int(3)); err == nil {
+				t.Error("EQ lookup on un-enabled key should error")
+			}
+			if _, err := g.LookupVerticesRange("n", property.Int(0), property.Int(9)); err == nil {
+				t.Error("RANGE lookup on un-enabled key should error")
+			}
+			for _, key := range []string{"n", "s"} {
+				if err := g.EnableIndex(key); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := g.LookupVerticesRange("s", property.String("a"), property.String("z")); err == nil {
+				t.Error("string RANGE should error (encoding is not order-preserving)")
+			}
+			if _, err := g.LookupVerticesRange("n", property.Int(0), property.Float(9)); err == nil {
+				t.Error("mixed-kind bounds should error")
+			}
+			if _, err := g.LookupVerticesRange("n", property.Int(9), property.Int(0)); err == nil {
+				t.Error("inverted bounds should error")
+			}
+			// The contract is refusal, not silent emptiness — the scan
+			// fallback in the engine depends on seeing the error.
+			if ids, err := g.LookupVerticesRange("n", property.Int(0), property.Int(9)); err != nil || len(ids) != 1 {
+				t.Errorf("valid range after errors: ids=%v err=%v", ids, err)
+			}
+		})
+	}
+}

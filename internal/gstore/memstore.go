@@ -32,9 +32,13 @@ func NewMemStore() *MemStore {
 // Close implements Graph; a MemStore has nothing to release.
 func (m *MemStore) Close() error { return nil }
 
-// PutVertex implements Graph.
+// PutVertex implements Graph. The index update happens inside the store
+// lock: with it outside, two racing writers to one id could apply their
+// index transitions in the opposite order of their vertex writes and
+// strand a row for an overwritten value.
 func (m *MemStore) PutVertex(v model.Vertex) error {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	old, hadOld := m.vertices[v.ID]
 	if hadOld {
 		if old.Label != v.Label {
@@ -45,7 +49,6 @@ func (m *MemStore) PutVertex(v model.Vertex) error {
 		m.byLabel[v.Label] = insertID(m.byLabel[v.Label], v.ID)
 	}
 	m.vertices[v.ID] = v
-	m.mu.Unlock()
 	m.idx.update(old, hadOld, v, true)
 	return nil
 }
@@ -77,18 +80,18 @@ func (m *MemStore) GetVertex(id model.VertexID) (model.Vertex, bool, error) {
 	return v, ok, nil
 }
 
-// DeleteVertex implements Graph.
+// DeleteVertex implements Graph. Index maintenance stays inside the store
+// lock for the same write-write ordering reason as PutVertex.
 func (m *MemStore) DeleteVertex(id model.VertexID) error {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	v, ok := m.vertices[id]
 	if !ok {
-		m.mu.Unlock()
 		return nil
 	}
 	delete(m.vertices, id)
 	m.byLabel[v.Label] = removeID(m.byLabel[v.Label], id)
 	delete(m.edges, id)
-	m.mu.Unlock()
 	m.idx.update(v, true, model.Vertex{}, false)
 	return nil
 }

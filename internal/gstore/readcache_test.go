@@ -1,0 +1,235 @@
+package gstore
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+func collectEdges(t *testing.T, g Graph, src model.VertexID, label string) []model.Edge {
+	t.Helper()
+	var edges []model.Edge
+	if err := g.ScanEdges(src, label, func(e model.Edge) bool {
+		edges = append(edges, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCachedGraph(NewMemStore(), 1<<20)
+	v := model.Vertex{ID: 7, Label: "User", Props: property.Map{"name": property.String("sam")}}
+	if err := c.PutVertex(v); err != nil {
+		t.Fatal(err)
+	}
+	c.PutEdge(model.Edge{Src: 7, Dst: 8, Label: "run"})
+	c.PutEdge(model.Edge{Src: 7, Dst: 9, Label: "run"})
+
+	for i := 0; i < 3; i++ {
+		got, ok, err := c.GetVertex(7)
+		if err != nil || !ok || !reflect.DeepEqual(got, v) {
+			t.Fatalf("read %d: %+v ok=%v err=%v", i, got, ok, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if edges := collectEdges(t, c, 7, "run"); len(edges) != 2 {
+			t.Fatalf("scan %d: %v", i, edges)
+		}
+	}
+	// Negative vertex reads are never cached: both count as misses.
+	for i := 0; i < 2; i++ {
+		if _, ok, _ := c.GetVertex(999); ok {
+			t.Fatal("ghost vertex found")
+		}
+	}
+	st := c.CacheStats()
+	want := CacheStats{VtxHits: 2, VtxMisses: 3, AdjHits: 2, AdjMisses: 1, Bytes: st.Bytes}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("cached bytes = %d, want > 0", st.Bytes)
+	}
+}
+
+// TestCacheInvalidation checks every write shape drops exactly the entries
+// it makes stale: a read issued after the write returns must see the new
+// version.
+func TestCacheInvalidation(t *testing.T) {
+	c := NewCachedGraph(NewMemStore(), 1<<20)
+	c.PutVertex(model.Vertex{ID: 1, Label: "User", Props: property.Map{"n": property.Int(1)}})
+	c.PutEdge(model.Edge{Src: 1, Dst: 2, Label: "run"})
+
+	c.GetVertex(1) // populate both shapes
+	collectEdges(t, c, 1, "run")
+
+	// Overwrite the vertex: the cached copy must not survive.
+	c.PutVertex(model.Vertex{ID: 1, Label: "User", Props: property.Map{"n": property.Int(2)}})
+	if got, _, _ := c.GetVertex(1); got.Props["n"].I64() != 2 {
+		t.Errorf("after PutVertex: read %v", got.Props["n"])
+	}
+
+	// Add an edge under the cached label: the slice must refresh.
+	c.PutEdge(model.Edge{Src: 1, Dst: 3, Label: "run"})
+	if edges := collectEdges(t, c, 1, "run"); len(edges) != 2 {
+		t.Errorf("after PutEdge: %v", edges)
+	}
+
+	// Remove one edge: the refreshed slice must shrink.
+	collectEdges(t, c, 1, "run") // re-populate
+	c.DeleteEdge(1, "run", 2)
+	if edges := collectEdges(t, c, 1, "run"); len(edges) != 1 || edges[0].Dst != 3 {
+		t.Errorf("after DeleteEdge: %v", edges)
+	}
+
+	// Delete the vertex: both the vertex and its adjacency must go.
+	c.GetVertex(1)
+	collectEdges(t, c, 1, "run")
+	c.DeleteVertex(1)
+	if _, ok, _ := c.GetVertex(1); ok {
+		t.Error("after DeleteVertex: vertex still readable")
+	}
+	if edges := collectEdges(t, c, 1, "run"); len(edges) != 0 {
+		t.Errorf("after DeleteVertex: edges %v", edges)
+	}
+}
+
+// TestCacheDifferentialQuick runs the same randomized op sequence against a
+// cached store and a plain MemStore oracle, comparing every read. Three
+// capacities: ample (everything fits), tiny (constant eviction pressure on
+// a handful of entries) and zero (nothing is ever cached) — correctness
+// must not depend on what happens to be resident.
+func TestCacheDifferentialQuick(t *testing.T) {
+	for _, maxBytes := range []int64{1 << 20, 4096, 0} {
+		c := NewCachedGraph(NewMemStore(), maxBytes)
+		oracle := NewMemStore()
+		r := rand.New(rand.NewSource(maxBytes + 1))
+		const nIDs = 30
+		labels := []string{"run", "read", "write"}
+		for op := 0; op < 2000; op++ {
+			id := model.VertexID(r.Intn(nIDs))
+			label := labels[r.Intn(len(labels))]
+			switch r.Intn(8) {
+			case 0:
+				v := model.Vertex{ID: id, Label: "User",
+					Props: property.Map{"n": property.Int(int64(op))}}
+				c.PutVertex(v)
+				oracle.PutVertex(v)
+			case 1:
+				e := model.Edge{Src: id, Dst: model.VertexID(r.Intn(nIDs)), Label: label,
+					Props: property.Map{"w": property.Int(int64(op % 7))}}
+				c.PutEdge(e)
+				oracle.PutEdge(e)
+			case 2:
+				dst := model.VertexID(r.Intn(nIDs))
+				c.DeleteEdge(id, label, dst)
+				oracle.DeleteEdge(id, label, dst)
+			case 3:
+				if r.Intn(4) == 0 { // rare: deletes drop adjacency too
+					c.DeleteVertex(id)
+					oracle.DeleteVertex(id)
+				}
+			case 4, 5:
+				got, okGot, _ := c.GetVertex(id)
+				want, okWant, _ := oracle.GetVertex(id)
+				if okGot != okWant || !reflect.DeepEqual(got, want) {
+					t.Fatalf("cap %d op %d: GetVertex(%d) = %+v/%v, want %+v/%v",
+						maxBytes, op, id, got, okGot, want, okWant)
+				}
+			default:
+				got := collectEdges(t, c, id, label)
+				want := collectEdges(t, oracle, id, label)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("cap %d op %d: ScanEdges(%d,%s) = %v, want %v",
+						maxBytes, op, id, label, got, want)
+				}
+			}
+		}
+		st := c.CacheStats()
+		if maxBytes == 0 && st.Bytes != 0 {
+			t.Errorf("zero-capacity cache holds %d bytes", st.Bytes)
+		}
+		if st.Bytes > maxBytes {
+			t.Errorf("cap %d: cache holds %d bytes over budget", maxBytes, st.Bytes)
+		}
+		if maxBytes == 1<<20 && st.VtxHits+st.AdjHits == 0 {
+			t.Error("ample cache never hit")
+		}
+	}
+}
+
+// TestCacheConcurrentReadsAndWrites is a -race exercise of the gen-guarded
+// miss path: readers and writers race on a small id set, then a quiesced
+// final pass must observe exactly the underlying state (a stale insert
+// published over a newer write would survive to this point).
+func TestCacheConcurrentReadsAndWrites(t *testing.T) {
+	c := NewCachedGraph(NewMemStore(), 1<<18)
+	const (
+		nIDs    = 8
+		writers = 4
+		readers = 4
+		rounds  = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := model.VertexID(i % nIDs)
+				c.PutVertex(model.Vertex{ID: id, Label: "User",
+					Props: property.Map{"n": property.Int(int64(w*rounds + i))}})
+				c.PutEdge(model.Edge{Src: id, Dst: model.VertexID((i + 1) % nIDs), Label: "run"})
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.GetVertex(model.VertexID(i % nIDs))
+				c.ScanEdges(model.VertexID(i%nIDs), "run", func(model.Edge) bool { return true })
+			}
+		}()
+	}
+	wg.Wait()
+	for id := model.VertexID(0); id < nIDs; id++ {
+		got, okGot, _ := c.GetVertex(id)
+		want, okWant, _ := c.Unwrap().GetVertex(id)
+		if okGot != okWant || !reflect.DeepEqual(got, want) {
+			t.Errorf("quiesced GetVertex(%d) = %+v/%v, underlying %+v/%v", id, got, okGot, want, okWant)
+		}
+		if got, want := collectEdges(t, c, id, "run"), collectEdges(t, c.Unwrap(), id, "run"); !reflect.DeepEqual(got, want) {
+			t.Errorf("quiesced ScanEdges(%d) = %v, underlying %v", id, got, want)
+		}
+	}
+}
+
+// TestCacheOversizeEntryNotCached pins the budget rule: an entry larger
+// than one shard's budget passes through without being cached (and without
+// evicting the whole shard to make room for something that cannot fit).
+func TestCacheOversizeEntryNotCached(t *testing.T) {
+	c := NewCachedGraph(NewMemStore(), 16*200) // 200 bytes per shard
+	big := model.Vertex{ID: 1, Label: "User",
+		Props: property.Map{"blob": property.String(string(make([]byte, 4096)))}}
+	c.PutVertex(big)
+	for i := 0; i < 2; i++ {
+		if _, ok, _ := c.GetVertex(1); !ok {
+			t.Fatal("oversize vertex unreadable")
+		}
+	}
+	st := c.CacheStats()
+	if st.VtxHits != 0 || st.VtxMisses != 2 {
+		t.Errorf("oversize entry was cached: %+v", st)
+	}
+	if st.Bytes != 0 {
+		t.Errorf("oversize entry charged %d bytes", st.Bytes)
+	}
+}

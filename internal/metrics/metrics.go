@@ -30,6 +30,12 @@ type Server struct {
 	queuePeak   atomic.Int64
 	queueWaitNs atomic.Int64
 	queueGroups atomic.Int64
+
+	// Seed-selection instrumentation. The read-cache counters have no
+	// atomics here: the storage layer owns them and the server overlays
+	// them into its snapshots.
+	seedScanned   atomic.Int64
+	seedIndexHits atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -71,6 +77,23 @@ type Snapshot struct {
 	QueueWaitNs int64
 	// QueueGroups counts scheduler groups popped by executor workers.
 	QueueGroups int64
+	// SeedScanned counts step-0 source candidates enumerated by seed
+	// selection, on either path: the label population when seeding by
+	// scan, or the index matches when a filter was pushed down. With an
+	// index covering a selective seed this equals the match count instead
+	// of the label population — the benefit the readpath bench asserts.
+	SeedScanned int64
+	// SeedIndexHits counts seed candidates resolved via a property index
+	// lookup instead of a label scan.
+	SeedIndexHits int64
+	// VtxCacheHits / VtxCacheMisses count decoded-vertex read-cache
+	// outcomes in the storage layer (zero when no cache is configured).
+	VtxCacheHits   int64
+	VtxCacheMisses int64
+	// AdjCacheHits / AdjCacheMisses count materialized-adjacency read-cache
+	// outcomes in the storage layer.
+	AdjCacheHits   int64
+	AdjCacheMisses int64
 }
 
 // AddReceived records n accepted vertex requests.
@@ -113,6 +136,12 @@ func (s *Server) ObserveQueueDepth(depth int64) {
 	}
 }
 
+// AddSeedScanned records n step-0 source candidates enumerated.
+func (s *Server) AddSeedScanned(n int) { s.seedScanned.Add(int64(n)) }
+
+// AddSeedIndexHits records n seed candidates resolved via a property index.
+func (s *Server) AddSeedIndexHits(n int) { s.seedIndexHits.Add(int64(n)) }
+
 // AddQueueWait records one popped scheduler group's enqueue→pop wait.
 func (s *Server) AddQueueWait(d time.Duration) {
 	s.queueWaitNs.Add(int64(d))
@@ -135,6 +164,8 @@ func (s *Server) Snapshot() Snapshot {
 		QueueDepthPeak: s.queuePeak.Load(),
 		QueueWaitNs:    s.queueWaitNs.Load(),
 		QueueGroups:    s.queueGroups.Load(),
+		SeedScanned:    s.seedScanned.Load(),
+		SeedIndexHits:  s.seedIndexHits.Load(),
 	}
 }
 
@@ -156,6 +187,12 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		QueueDepthPeak: a.QueueDepthPeak,
 		QueueWaitNs:    a.QueueWaitNs - b.QueueWaitNs,
 		QueueGroups:    a.QueueGroups - b.QueueGroups,
+		SeedScanned:    a.SeedScanned - b.SeedScanned,
+		SeedIndexHits:  a.SeedIndexHits - b.SeedIndexHits,
+		VtxCacheHits:   a.VtxCacheHits - b.VtxCacheHits,
+		VtxCacheMisses: a.VtxCacheMisses - b.VtxCacheMisses,
+		AdjCacheHits:   a.AdjCacheHits - b.AdjCacheHits,
+		AdjCacheMisses: a.AdjCacheMisses - b.AdjCacheMisses,
 	}
 }
 
@@ -177,6 +214,12 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		QueueDepthPeak: max(a.QueueDepthPeak, b.QueueDepthPeak),
 		QueueWaitNs:    a.QueueWaitNs + b.QueueWaitNs,
 		QueueGroups:    a.QueueGroups + b.QueueGroups,
+		SeedScanned:    a.SeedScanned + b.SeedScanned,
+		SeedIndexHits:  a.SeedIndexHits + b.SeedIndexHits,
+		VtxCacheHits:   a.VtxCacheHits + b.VtxCacheHits,
+		VtxCacheMisses: a.VtxCacheMisses + b.VtxCacheMisses,
+		AdjCacheHits:   a.AdjCacheHits + b.AdjCacheHits,
+		AdjCacheMisses: a.AdjCacheMisses + b.AdjCacheMisses,
 	}
 }
 
@@ -219,5 +262,11 @@ func Fields() []Field {
 		{"queue_depth_peak", "High-water mark of the shared executor queue depth.", true, func(s Snapshot) int64 { return s.QueueDepthPeak }},
 		{"queue_wait_ns_total", "Cumulative enqueue-to-pop wait of served scheduler groups.", false, func(s Snapshot) int64 { return s.QueueWaitNs }},
 		{"queue_groups_total", "Scheduler groups popped by executor workers.", false, func(s Snapshot) int64 { return s.QueueGroups }},
+		{"seed_scanned_total", "Step-0 source candidates enumerated by seed selection.", false, func(s Snapshot) int64 { return s.SeedScanned }},
+		{"seed_index_hits_total", "Seed candidates resolved via a property index lookup.", false, func(s Snapshot) int64 { return s.SeedIndexHits }},
+		{"vtx_cache_hits_total", "Decoded-vertex read-cache hits in the storage layer.", false, func(s Snapshot) int64 { return s.VtxCacheHits }},
+		{"vtx_cache_misses_total", "Decoded-vertex read-cache misses in the storage layer.", false, func(s Snapshot) int64 { return s.VtxCacheMisses }},
+		{"adj_cache_hits_total", "Materialized-adjacency read-cache hits in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheHits }},
+		{"adj_cache_misses_total", "Materialized-adjacency read-cache misses in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheMisses }},
 	}
 }

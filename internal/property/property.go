@@ -64,8 +64,16 @@ func String(s string) Value { return Value{kind: KindString, str: s} }
 // Int returns a Value holding i.
 func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
 
-// Float returns a Value holding f.
-func Float(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
+// Float returns a Value holding f. Negative zero is normalized to positive
+// zero so that Equal, Compare and the ordered index encoding agree on the
+// pair (Compare already treats them as equal; distinct bit patterns would
+// let an exact-match index lookup and a byte-range scan disagree).
+func Float(f float64) Value {
+	if f == 0 {
+		f = 0
+	}
+	return Value{kind: KindFloat, num: math.Float64bits(f)}
+}
 
 // Bool returns a Value holding b.
 func Bool(b bool) Value {
@@ -244,6 +252,43 @@ func AppendValue(b []byte, v Value) []byte {
 		b = binary.LittleEndian.AppendUint64(b, v.num)
 	}
 	return b
+}
+
+// AppendOrderedValue appends an order-preserving encoding of v to b: a one
+// byte kind tag followed by a payload whose byte order matches Compare for
+// every kind OrderComparable reports true for. Ints are big-endian with the
+// sign bit flipped, floats use the IEEE-754 total-order bit trick, bools are
+// a big-endian 0/1 word. Strings keep the uvarint-length prefix of
+// AppendValue — prefix-free (required for exact-match scans) but not
+// order-preserving across different lengths. Secondary indexes use this
+// encoding so RANGE lookups over numeric keys become one bounded key-range
+// scan.
+func AppendOrderedValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		b = appendString(b, v.str)
+	case KindInt:
+		b = binary.BigEndian.AppendUint64(b, v.num^(1<<63))
+	case KindFloat:
+		bits := v.num
+		if bits>>63 == 1 {
+			bits = ^bits // negative: flip everything so magnitude order reverses
+		} else {
+			bits |= 1 << 63 // positive: above all negatives
+		}
+		b = binary.BigEndian.AppendUint64(b, bits)
+	case KindBool:
+		b = binary.BigEndian.AppendUint64(b, v.num)
+	}
+	return b
+}
+
+// OrderComparable reports whether AppendOrderedValue preserves Compare
+// order for values of kind k, i.e. whether a byte-range scan over the
+// encoding implements a RANGE filter exactly.
+func OrderComparable(k Kind) bool {
+	return k == KindInt || k == KindFloat || k == KindBool
 }
 
 // ConsumeValue decodes one value from the front of b, returning the value

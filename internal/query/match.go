@@ -15,6 +15,18 @@ const LabelKey = "label"
 // reserved LabelKey against the vertex label. Every engine and the
 // reference evaluator share this single definition so their semantics
 // cannot drift.
+// SourceMatches applies a traversal's full step-0 predicate to a candidate
+// source vertex: the SourceLabel restriction (when the plan seeds from a
+// label) plus the vertex filters. Engines that resolve seed candidates
+// through a property index need this — index matches are label-agnostic, so
+// the label restriction the scan path gets for free must be re-checked.
+func SourceMatches(v model.Vertex, s0 Step) bool {
+	if s0.SourceLabel != "" && v.Label != s0.SourceLabel {
+		return false
+	}
+	return VertexMatches(v, s0.VertexFilters)
+}
+
 func VertexMatches(v model.Vertex, fs property.Filters) bool {
 	for _, f := range fs {
 		if f.Key == LabelKey {
