@@ -61,10 +61,11 @@ benchfull:
 	$(GO) test -bench=. -run=^$$ ./internal/...
 
 # bench-smoke is the CI benchmark gate: every engine on one tiny workload,
-# with engine-equivalence and §VII-A invariant checks recorded in the
-# machine-readable report. Exits nonzero if any check fails.
+# with engine-equivalence, §VII-A invariant and trace-completeness checks
+# recorded in the machine-readable report, plus a sample Chrome timeline of
+# the traced traversal. Exits nonzero if any check fails.
 bench-smoke:
-	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp smoke -json BENCH_smoke.json
+	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp smoke -json BENCH_smoke.json -chrome travel.chrome.json
 
 # bench-readpath gates the storage read path: scan-vs-index seed selection
 # (SeedScanned == matches when indexed) and cold/warm read-cache hit rate.

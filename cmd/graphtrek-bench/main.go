@@ -36,7 +36,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
 	jsonPath := flag.String("json", "", "write a machine-readable report here (schema v1); exit nonzero if any check failed")
+	chromePath := flag.String("chrome", "", "write the smoke experiment's traced traversal as Chrome trace_event JSON here")
 	flag.Parse()
+	bench.ChromeOut = *chromePath
 
 	scale := bench.GetScale()
 	fmt.Printf("graphtrek-bench: scale=%s (set GRAPHTREK_SCALE=tiny|small|medium|paper)\n\n", scale.Name)

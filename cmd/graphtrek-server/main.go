@@ -45,6 +45,7 @@ func main() {
 	sendTimeout := flag.Duration("send-timeout", 2*time.Second, "bounded wait on a full peer outbox before failing the send")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /debug/pprof and /traces (empty disables)")
 	traceCap := flag.Int("trace-cap", 0, "execution-trace ring capacity (0 = default 8192, negative disables tracing)")
+	slowTravel := flag.Duration("slow-travel", 0, "capture the full causal trace DAG of traversals at least this slow (served at /traces/slow; 0 disables)")
 	indexKeys := flag.String("index", "", "comma-separated property keys to secondary-index at boot (step-0 filters on them seed via the index)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "read-cache budget in bytes for decoded vertices and adjacency lists (0 disables)")
 	flag.Parse()
@@ -95,6 +96,7 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		SuspectAfter:      *suspectAfter,
 		TraceCap:          *traceCap,
+		SlowTravelNs:      int64(*slowTravel),
 	})
 	tr, err := rpc.NewTCPWithOptions(*id, addrList, srv.Handle, rpc.TCPOptions{
 		SendTimeout:   *sendTimeout,
@@ -114,7 +116,7 @@ func main() {
 		obsSrv = obs.ListenAndServe(*obsAddr, func(err error) {
 			fmt.Fprintln(os.Stderr, "graphtrek-server: obs endpoint:", err)
 		}, srv)
-		fmt.Printf("graphtrek-server: observability endpoint on %s (/metrics, /debug/pprof, /traces, /healthz)\n", *obsAddr)
+		fmt.Printf("graphtrek-server: observability endpoint on %s (/metrics, /debug/pprof, /traces, /traces/dag, /traces/chrome, /traces/slow, /healthz)\n", *obsAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

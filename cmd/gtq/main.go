@@ -48,15 +48,17 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "client wait timeout per attempt")
 	retries := flag.Int("retries", 0, "traversal restarts after a failed attempt (rotates coordinator)")
 	profile := flag.Bool("profile", false, "after the traversal, fetch execution traces and print a per-step cost table (server-side modes only)")
+	critPath := flag.Bool("critical-path", false, "after the traversal, assemble the causal trace DAG and print the slowest hop chains (server-side modes only)")
+	topK := flag.Int("top", 3, "with -critical-path, how many chains to print")
 	flag.Parse()
 
-	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile); err != nil {
+	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile, *critPath, *topK); err != nil {
 		fmt.Fprintln(os.Stderr, "gtq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile bool) error {
+func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile, critPath bool, topK int) error {
 	mode, ok := modes[modeName]
 	if !ok {
 		return fmt.Errorf("unknown -mode %q", modeName)
@@ -83,7 +85,7 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 	fmt.Printf("gtq: %s (mode %s)\n", plan, mode)
 	opts := core.SubmitOptions{Mode: mode, Coordinator: -1, Timeout: timeout, Retries: retries}
 	start := time.Now()
-	if !profile {
+	if !profile && !critPath {
 		res, err := client.SubmitPlan(plan, opts)
 		if err != nil {
 			return err
@@ -91,10 +93,11 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 		printResults(res, start)
 		return nil
 	}
-	// Profiling needs the traversal handle to address the trace query, so
-	// run a single async attempt (retries would discard the profiled id).
+	// Profiling and DAG assembly need the traversal handle to address the
+	// trace queries, so run a single async attempt (retries would discard
+	// the profiled id).
 	if mode == core.ModeClientSide {
-		return fmt.Errorf("-profile requires a server-side mode (the client mode has no per-execution traces to fetch)")
+		return fmt.Errorf("-profile/-critical-path require a server-side mode (the client mode has no per-execution traces to fetch)")
 	}
 	h, err := client.SubmitPlanAsync(plan, opts)
 	if err != nil {
@@ -105,11 +108,20 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 		return err
 	}
 	printResults(res, start)
-	stats, err := h.Profile(0)
-	if err != nil {
-		return fmt.Errorf("profile: %w", err)
+	if profile {
+		stats, err := h.Profile(0)
+		if err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		printProfile(stats)
 	}
-	printProfile(stats)
+	if critPath {
+		dag, err := h.FetchDAG(0)
+		if err != nil {
+			return fmt.Errorf("critical-path: %w", err)
+		}
+		printCriticalPath(dag, topK)
+	}
 	return nil
 }
 
@@ -147,6 +159,43 @@ func printProfile(stats []trace.StepStat) {
 	fmt.Println(header)
 	for _, st := range stats {
 		row(st)
+	}
+}
+
+// printCriticalPath renders the assembled DAG's ledger cross-check and the
+// top-K slowest root→leaf chains with per-hop attribution: where each
+// chain's time went — queued behind other work, computing, or in the
+// network/batching gap after the parent dispatched.
+func printCriticalPath(dag *trace.DAG, topK int) {
+	if len(dag.Nodes) == 0 {
+		fmt.Println("gtq: no trace spans buffered (tracing disabled, or spans already evicted)")
+		return
+	}
+	status := "incomplete"
+	if dag.Complete() {
+		status = "complete"
+	}
+	fmt.Printf("gtq: causal DAG for travel %d: %d execs, %d roots, %d orphans, %d duplicates (%s)\n",
+		dag.Travel, len(dag.Nodes), len(dag.Roots), len(dag.Orphans), len(dag.Duplicates), status)
+	if dag.Summary != nil {
+		fmt.Printf("gtq: ledger created %d, ended %d, elapsed %v\n",
+			dag.Summary.Created, dag.Summary.Ended, time.Duration(dag.Summary.ElapsedNs).Round(time.Microsecond))
+	}
+	if dag.SpansDropped > 0 {
+		fmt.Printf("gtq: warning: %d spans evicted from trace rings — orphans may be ring churn\n", dag.SpansDropped)
+	}
+	chains := dag.TopChains(topK)
+	for i, ch := range chains {
+		fmt.Printf("gtq: chain %d: %v over %d hops (root %d -> leaf %d)\n",
+			i+1, time.Duration(ch.DurationNs).Round(time.Microsecond), len(ch.Hops), ch.Root, ch.Leaf)
+		fmt.Println("  step  srv        queue      compute          gap  exec")
+		for _, h := range ch.Hops {
+			fmt.Printf("  %4d  %3d  %11v  %11v  %11v  %d\n",
+				h.Step, h.Server,
+				time.Duration(h.QueueNs).Round(time.Microsecond),
+				time.Duration(h.ComputeNs).Round(time.Microsecond),
+				time.Duration(h.GapNs).Round(time.Microsecond), h.Exec)
+		}
 	}
 }
 

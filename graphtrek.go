@@ -184,6 +184,12 @@ type Options struct {
 	// server). Zero selects the engine default (8192); negative disables
 	// per-execution tracing.
 	TraceCap int
+	// SlowTravelNs makes coordinators capture the full causal trace DAG of
+	// any traversal at least this slow end-to-end (nanoseconds): spans are
+	// pulled from every server, assembled with critical-path attribution,
+	// and retained in a bounded ring per server — see core.Server.SlowTravels
+	// and the obs /traces/slow endpoint. Zero or negative disables capture.
+	SlowTravelNs int64
 	// IndexKeys lists property keys to secondary-index on every partition
 	// at boot, so step-0 va() filters on them seed via index pushdown
 	// instead of a label scan. Equivalent to calling EnableIndex for each
@@ -280,6 +286,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 			HeartbeatInterval: opts.HeartbeatInterval,
 			SuspectAfter:      opts.SuspectAfter,
 			TraceCap:          opts.TraceCap,
+			SlowTravelNs:      opts.SlowTravelNs,
 		})
 		srv.Bind(c.fabric.Endpoint(i))
 		if err := c.fabric.Endpoint(i).Start(srv.Handle); err != nil {

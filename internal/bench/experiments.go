@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -468,6 +469,60 @@ func Smoke(s Scale, w io.Writer, rep *ExperimentResult) error {
 			ElapsedNs: int64(p50), P50Ns: int64(p50), P95Ns: int64(p95), Results: len(res),
 			Received: delta.Received, Redundant: delta.Redundant, Combined: delta.Combined, RealIO: delta.RealIO})
 		fmt.Fprintf(w, "%-16s%12s%12s%12d%12d\n", mode, fmtDur(p50), fmtDur(p95), len(res), delta.RealIO)
+	}
+	return smokeTraceDAG(c, plan, w, rep)
+}
+
+// ChromeOut, when non-empty, makes the smoke experiment write its traced
+// traversal's Chrome trace_event JSON to this path (graphtrek-bench
+// -chrome). CI uploads the file as a browsable timeline artifact.
+var ChromeOut string
+
+// smokeTraceDAG runs one more traced GraphTrek traversal and gates on
+// trace completeness: the causal DAG assembled from every server's spans
+// must match the coordinator ledger exactly — node count == Created, zero
+// orphans, zero duplicates — on a fault-free transport. This is the
+// end-to-end cross-check that span linkage (ParentExec on the wire) and
+// the §IV-C quiescence accounting describe the same execution population.
+func smokeTraceDAG(c *graphtrek.Cluster, plan *graphtrek.Plan, w io.Writer, rep *ExperimentResult) error {
+	c.ResetDisks()
+	h, err := c.Client().SubmitPlanAsync(plan, core.SubmitOptions{Mode: core.ModeGraphTrek, Coordinator: 0, Timeout: 10 * time.Minute})
+	if err != nil {
+		return fmt.Errorf("bench: smoke trace run: %w", err)
+	}
+	if _, err := h.Wait(10 * time.Minute); err != nil {
+		return fmt.Errorf("bench: smoke trace run: %w", err)
+	}
+	dag, err := h.FetchDAG(0)
+	if err != nil {
+		return fmt.Errorf("bench: smoke trace fetch: %w", err)
+	}
+	created := -1
+	if dag.Summary != nil {
+		created = dag.Summary.Created
+	}
+	rep.AddCheck("trace-completeness", dag.Complete(),
+		"dag execs %d vs ledger created %d, orphans %d, duplicates %d, spans dropped %d",
+		len(dag.Nodes), created, len(dag.Orphans), len(dag.Duplicates), dag.SpansDropped)
+	critNs := int64(0)
+	if dag.CriticalPath != nil {
+		critNs = dag.CriticalPath.DurationNs
+	}
+	hops := 0
+	if dag.CriticalPath != nil {
+		hops = len(dag.CriticalPath.Hops)
+	}
+	fmt.Fprintf(w, "trace DAG: %d execs, %d roots, critical path %s over %d hops\n",
+		len(dag.Nodes), len(dag.Roots), fmtDur(time.Duration(critNs)), hops)
+	if ChromeOut != "" {
+		buf, err := dag.ChromeTrace()
+		if err != nil {
+			return fmt.Errorf("bench: chrome export: %w", err)
+		}
+		if err := os.WriteFile(ChromeOut, buf, 0o644); err != nil {
+			return fmt.Errorf("bench: chrome export: %w", err)
+		}
+		fmt.Fprintf(w, "chrome trace written to %s\n", ChromeOut)
 	}
 	return nil
 }

@@ -337,6 +337,65 @@ func (h *Handle) Profile(timeout time.Duration) ([]trace.StepStat, error) {
 	return all, nil
 }
 
+// FetchDAG pulls every backend's raw spans for the traversal and joins
+// them into its causal execution DAG: span linkage across servers, ledger
+// cross-check against the coordinator summary, and critical-path
+// attribution (see trace.Assemble). Call it after Wait — like Profile, it
+// reads the servers' trace rings, so the DAG stays fetchable until later
+// traversals evict the spans (DAG.SpansDropped reports ring churn).
+func (h *Handle) FetchDAG(timeout time.Duration) (*trace.DAG, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c := h.client
+	deadline := time.Now().Add(timeout)
+	var spans []trace.Span
+	var summary *trace.TravelSummary
+	var dropped uint64
+	for srv := 0; srv < c.part.N(); srv++ {
+		reqID := c.reqSeq.Add(1)
+		ch := make(chan wire.Message, 1)
+		c.mu.Lock()
+		c.reqs[reqID] = ch
+		c.mu.Unlock()
+		err := c.tr.Send(srv, wire.Message{
+			Kind: wire.KindTraceReq, TravelID: h.travelID, ReqID: reqID, Mode: traceModeRaw,
+		})
+		if err != nil {
+			c.mu.Lock()
+			delete(c.reqs, reqID)
+			c.mu.Unlock()
+			return nil, err
+		}
+		select {
+		case resp := <-ch:
+			if resp.Err != "" {
+				return nil, errors.New(resp.Err)
+			}
+			if len(resp.Blob) == 0 {
+				continue
+			}
+			var dump trace.SpanDump
+			if err := json.Unmarshal(resp.Blob, &dump); err != nil {
+				return nil, fmt.Errorf("core: bad span payload from server %d: %v", srv, err)
+			}
+			spans = append(spans, dump.Spans...)
+			dropped += dump.Dropped
+			if dump.Summary != nil {
+				summary = dump.Summary
+			}
+		case <-time.After(time.Until(deadline)):
+			c.mu.Lock()
+			delete(c.reqs, reqID)
+			c.mu.Unlock()
+			return nil, fmt.Errorf("core: span query to server %d timed out", srv)
+		}
+	}
+	d := trace.Assemble(h.travelID, spans, summary)
+	d.SpansDropped = dropped
+	return d, nil
+}
+
 func sortedUnique(ids []model.VertexID) []model.VertexID {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := ids[:0]
@@ -382,7 +441,7 @@ func (c *Client) runClientSide(plan *query.Plan, travelID uint64, opts SubmitOpt
 		}
 	} else {
 		for srv := 0; srv < c.part.N(); srv++ {
-			resp, err := c.visit(srv, travelID, 0, nil, true, deadline)
+			resp, err := c.visit(srv, travelID, 0, 0, nil, true, deadline)
 			if err != nil {
 				return nil, err
 			}
@@ -392,6 +451,13 @@ func (c *Client) runClientSide(plan *query.Plan, travelID uint64, opts SubmitOpt
 		}
 	}
 
+	// Client-mode spans chain at step granularity: each step's requests
+	// carry the previous step's first request id as ParentExec (scan and
+	// step-0 requests are roots). Coarser than the per-execution lineage of
+	// the server-side engines — the client aggregates frontiers, erasing
+	// which request produced which candidate — but enough to assemble the
+	// per-step timeline into one rooted DAG.
+	var stepParent uint64
 	for step := 0; step < numSteps; step++ {
 		byOwner := make(map[int][]wire.Entry)
 		for v := range candidates {
@@ -399,10 +465,14 @@ func (c *Client) runClientSide(plan *query.Plan, travelID uint64, opts SubmitOpt
 		}
 		survivors[step] = make(map[model.VertexID]bool)
 		next := map[model.VertexID]bool{}
+		var firstReq uint64
 		for owner, entries := range byOwner {
-			resp, err := c.visit(owner, travelID, int32(step), entries, false, deadline)
+			resp, err := c.visit(owner, travelID, int32(step), stepParent, entries, false, deadline)
 			if err != nil {
 				return nil, err
+			}
+			if firstReq == 0 {
+				firstReq = resp.ReqID
 			}
 			for _, v := range resp.Verts {
 				survivors[step][v] = true
@@ -414,6 +484,7 @@ func (c *Client) runClientSide(plan *query.Plan, travelID uint64, opts SubmitOpt
 				next[e.Vertex] = true
 			}
 		}
+		stepParent = firstReq
 		candidates = next
 	}
 
@@ -444,8 +515,9 @@ func (c *Client) runClientSide(plan *query.Plan, travelID uint64, opts SubmitOpt
 	return sortedUnique(out), nil
 }
 
-// visit performs one synchronous VisitReq round trip.
-func (c *Client) visit(srv int, travelID uint64, step int32, entries []wire.Entry, scan bool, deadline time.Time) (wire.Message, error) {
+// visit performs one synchronous VisitReq round trip. parent is the
+// ParentExec stamped on the request (zero for roots).
+func (c *Client) visit(srv int, travelID uint64, step int32, parent uint64, entries []wire.Entry, scan bool, deadline time.Time) (wire.Message, error) {
 	reqID := c.reqSeq.Add(1)
 	ch := make(chan wire.Message, 1)
 	c.mu.Lock()
@@ -453,7 +525,7 @@ func (c *Client) visit(srv int, travelID uint64, step int32, entries []wire.Entr
 	c.mu.Unlock()
 	msg := wire.Message{
 		Kind: wire.KindVisitReq, TravelID: travelID,
-		Step: step, ReqID: reqID, Entries: entries,
+		Step: step, ReqID: reqID, ParentExec: parent, Entries: entries,
 	}
 	if scan {
 		msg.Mode = 1 // scan request marker

@@ -18,7 +18,10 @@ import (
 type visitAcc struct {
 	pending atomic.Int32
 	from    int
-	sp      *trace.Builder // nil when tracing is off
+	// reqID is the client request id, doubling as the batch's exec identity
+	// in trace spans (client-mode batches are not ledger executions).
+	reqID uint64
+	sp    *trace.Builder // nil when tracing is off
 
 	mu   sync.Mutex
 	resp wire.Message
@@ -27,6 +30,8 @@ type visitAcc struct {
 func (a *visitAcc) ItemDone() bool { return a.pending.Add(-1) == 0 }
 
 func (a *visitAcc) span() *trace.Builder { return a.sp }
+
+func (a *visitAcc) execID() uint64 { return a.reqID }
 
 // fail records the first error on the response; the client treats a
 // response error as fatal for the whole traversal attempt.
@@ -77,8 +82,10 @@ func (s *Server) handleVisitReq(from int, msg wire.Message, ts *travelState) {
 	}
 	// Client-mode batches get spans too (Exec = the request id) for
 	// observability; they are not ledger executions, so the coordinator
-	// cross-check ignores them.
-	acc := &visitAcc{from: from, resp: resp, sp: s.beginSpan(ts.id, msg.ReqID, msg.Step, len(msg.Entries))}
+	// cross-check ignores them. The client chains ParentExec across steps,
+	// so even client-driven traversals assemble into a causal DAG.
+	acc := &visitAcc{from: from, reqID: msg.ReqID, resp: resp,
+		sp: s.beginSpan(ts.id, msg.ReqID, msg.ParentExec, msg.Step, len(msg.Entries))}
 	acc.pending.Store(int32(len(msg.Entries)))
 	items := make([]sched.Item, len(msg.Entries))
 	for i, e := range msg.Entries {

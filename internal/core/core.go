@@ -167,6 +167,13 @@ type Config struct {
 	// endpoints and gtq -profile. Zero selects the default (8192); negative
 	// disables tracing entirely.
 	TraceCap int
+	// SlowTravelNs makes a coordinator capture the full causal trace DAG of
+	// any traversal whose end-to-end latency reaches this many nanoseconds:
+	// it pulls every server's raw spans, assembles them, and retains the
+	// result in a small bounded ring (see Server.SlowTravels and the obs
+	// /traces/slow endpoint). Zero or negative disables capture. Requires
+	// tracing (TraceCap >= 0) to observe anything.
+	SlowTravelNs int64
 }
 
 func (c Config) withDefaults() Config {

@@ -28,6 +28,10 @@ type accumulator interface {
 	// Workers attribute per-item queue wait and cache/merge disposition to
 	// it while processing groups.
 	span() *trace.Builder
+	// execID is the accumulator's causal identity: the ledger execution id
+	// (or, for client-mode batches, the request id) stamped as ParentExec
+	// on every dispatch its items produce.
+	execID() uint64
 }
 
 // execAcc tracks one traversal execution being processed on this server: a
@@ -50,6 +54,8 @@ type execAcc struct {
 func (a *execAcc) ItemDone() bool { return a.pending.Add(-1) == 0 }
 
 func (a *execAcc) span() *trace.Builder { return a.sp }
+
+func (a *execAcc) execID() uint64 { return a.id }
 
 func (a *execAcc) fail(_ *Server, ts *travelState, msg string) {
 	a.sp.Fail(msg)
@@ -113,58 +119,71 @@ type outKey struct {
 type outboxSet struct {
 	seen map[wire.Entry]struct{}
 	list []wire.Entry
+	// parent is the causal attribution of the current batch: the exec id of
+	// the first execution that contributed to it since the last take. Batches
+	// merge the outputs of many executions, so one parent per message is an
+	// approximation — the trace DAG documents it as "first contributor wins".
+	parent uint64
 }
 
-func (o *outboxSet) add(e wire.Entry) bool {
+func (o *outboxSet) add(e wire.Entry, parent uint64) bool {
 	if o.seen == nil {
 		o.seen = make(map[wire.Entry]struct{})
 	}
 	if _, dup := o.seen[e]; dup {
 		return false
 	}
+	if len(o.list) == 0 {
+		o.parent = parent
+	}
 	o.seen[e] = struct{}{}
 	o.list = append(o.list, e)
 	return true
 }
 
-// take drains the pending entries, keeping the seen set so repeats are
-// suppressed for the traversal's lifetime.
-func (o *outboxSet) take() []wire.Entry {
-	list := o.list
-	o.list = nil
-	return list
+// take drains the pending entries and the batch's parent attribution,
+// keeping the seen set so repeats are suppressed for the traversal's
+// lifetime.
+func (o *outboxSet) take() ([]wire.Entry, uint64) {
+	list, parent := o.list, o.parent
+	o.list, o.parent = nil, 0
+	return list, parent
 }
 
 // bufferDispatch adds a next-step entry to the target server's outbox,
-// flushing that outbox early if it reached the batch threshold.
-func (s *Server) bufferDispatch(ts *travelState, target int, step int32, e wire.Entry) {
+// flushing that outbox early if it reached the batch threshold. parent is
+// the exec id of the execution producing the entry, carried onto the wire
+// as the child's ParentExec.
+func (s *Server) bufferDispatch(ts *travelState, parent uint64, target int, step int32, e wire.Entry) {
 	k := outKey{target, step}
 	var full []wire.Entry
+	var fullParent uint64
 	ts.flushMu.Lock()
 	box := ts.outbox[k]
 	if box == nil {
 		box = &outboxSet{}
 		ts.outbox[k] = box
 	}
-	if box.add(e) && len(box.list) >= s.cfg.BatchSize {
-		full = box.take()
+	if box.add(e, parent) && len(box.list) >= s.cfg.BatchSize {
+		full, fullParent = box.take()
 	}
 	ts.flushMu.Unlock()
 	if full != nil {
-		s.sendDispatch(ts, target, step, full)
+		s.sendDispatch(ts, fullParent, target, step, full)
 	}
 }
 
 // bufferSig adds an end-of-chain signal for an rtn()-marked ancestor,
-// deduplicated per batch.
-func (s *Server) bufferSig(ts *travelState, target int, e wire.Entry) {
+// deduplicated per batch. parent attributes the resulting return-signal
+// execution to the execution that reached the chain's end.
+func (s *Server) bufferSig(ts *travelState, parent uint64, target int, e wire.Entry) {
 	ts.flushMu.Lock()
 	box := ts.sigbox[target]
 	if box == nil {
 		box = &outboxSet{}
 		ts.sigbox[target] = box
 	}
-	box.add(e)
+	box.add(e, parent)
 	ts.flushMu.Unlock()
 }
 
@@ -182,7 +201,7 @@ func (s *Server) bufferResult(ts *travelState, v model.VertexID) {
 // terminated sets coincide). A failed send is recorded as a traversal error
 // — the next flush carries it to the coordinator, which fails the
 // traversal instead of waiting for the watchdog to notice the lost work.
-func (s *Server) sendDispatch(ts *travelState, target int, step int32, entries []wire.Entry) {
+func (s *Server) sendDispatch(ts *travelState, parent uint64, target int, step int32, entries []wire.Entry) {
 	id := s.newExecID()
 	if err := s.send(int(ts.coord), wire.Message{
 		Kind: wire.KindExecEvents, TravelID: ts.id,
@@ -192,7 +211,7 @@ func (s *Server) sendDispatch(ts *travelState, target int, step int32, entries [
 	}
 	if err := s.send(target, wire.Message{
 		Kind: wire.KindDispatch, TravelID: ts.id,
-		Step: step, ExecID: id, Entries: entries,
+		Step: step, ExecID: id, ParentExec: parent, Entries: entries,
 	}); err != nil {
 		ts.addErr(fmt.Sprintf("core: dispatch to server %d failed: %v", target, err))
 	}
@@ -212,7 +231,7 @@ func (s *Server) flushTravel(ts *travelState) {
 
 	ts.flushMu.Lock()
 	for k, box := range ts.outbox {
-		entries := box.take()
+		entries, parent := box.take()
 		if len(entries) == 0 {
 			continue
 		}
@@ -220,11 +239,11 @@ func (s *Server) flushTravel(ts *travelState) {
 		created = append(created, wire.ExecRef{ID: id, Server: int32(k.target), Step: k.step})
 		msgs = append(msgs, outMsg{k.target, wire.Message{
 			Kind: wire.KindDispatch, TravelID: ts.id,
-			Step: k.step, ExecID: id, Entries: entries,
+			Step: k.step, ExecID: id, ParentExec: parent, Entries: entries,
 		}})
 	}
 	for target, box := range ts.sigbox {
-		entries := box.take()
+		entries, parent := box.take()
 		if len(entries) == 0 {
 			continue
 		}
@@ -232,7 +251,7 @@ func (s *Server) flushTravel(ts *travelState) {
 		created = append(created, wire.ExecRef{ID: id, Server: int32(target), Step: numSteps})
 		msgs = append(msgs, outMsg{target, wire.Message{
 			Kind: wire.KindReturnSig, TravelID: ts.id,
-			Step: numSteps, ExecID: id, Entries: entries,
+			Step: numSteps, ExecID: id, ParentExec: parent, Entries: entries,
 		}})
 	}
 	results := ts.results

@@ -15,10 +15,10 @@ var errForTest = errors.New("simulated storage failure")
 func TestOutboxSetDedupsWithinBatch(t *testing.T) {
 	box := &outboxSet{}
 	e := wire.Entry{Vertex: 7, Anc: 1, AncStep: 0, Dest: 2}
-	if !box.add(e) {
+	if !box.add(e, 1) {
 		t.Fatal("first add should be fresh")
 	}
-	if box.add(e) {
+	if box.add(e, 2) {
 		t.Fatal("second add of identical entry should be suppressed")
 	}
 	if len(box.list) != 1 {
@@ -35,9 +35,9 @@ func TestOutboxSetDistinguishesProvenance(t *testing.T) {
 		{Vertex: 7, Anc: 1, AncStep: 1, Dest: 2},  // different ancestor step
 		{Vertex: 7, Anc: 1, AncStep: 0, Dest: -1}, // different destination
 	}
-	box.add(base)
+	box.add(base, 1)
 	for i, v := range variants {
-		if !box.add(v) {
+		if !box.add(v, 1) {
 			t.Errorf("variant %d wrongly suppressed: rtn provenance must not collapse", i)
 		}
 	}
@@ -49,22 +49,25 @@ func TestOutboxSetSeenSurvivesTake(t *testing.T) {
 	box := &outboxSet{}
 	e1 := wire.Entry{Vertex: 1}
 	e2 := wire.Entry{Vertex: 2}
-	box.add(e1)
-	got := box.take()
+	box.add(e1, 11)
+	got, parent := box.take()
 	if len(got) != 1 || got[0] != e1 {
 		t.Fatalf("take = %v", got)
 	}
-	if box.add(e1) {
+	if parent != 11 {
+		t.Fatalf("parent = %d, want the first contributor", parent)
+	}
+	if box.add(e1, 12) {
 		t.Fatal("re-adding a flushed entry must be suppressed")
 	}
-	if !box.add(e2) {
+	if !box.add(e2, 13) {
 		t.Fatal("a genuinely new entry must pass after take")
 	}
-	if got := box.take(); len(got) != 1 || got[0] != e2 {
-		t.Fatalf("second take = %v", got)
+	if got, parent := box.take(); len(got) != 1 || got[0] != e2 || parent != 13 {
+		t.Fatalf("second take = %v parent %d", got, parent)
 	}
-	if got := box.take(); len(got) != 0 {
-		t.Fatalf("empty take = %v", got)
+	if got, parent := box.take(); len(got) != 0 || parent != 0 {
+		t.Fatalf("empty take = %v parent %d", got, parent)
 	}
 }
 

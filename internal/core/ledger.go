@@ -325,17 +325,18 @@ func (s *Server) finishTravelLocked(led *ledger) {
 	client := led.client
 	travel := led.travel
 	servers := led.servers
+	sum := trace.TravelSummary{
+		Travel:      travel,
+		Mode:        led.mode.String(),
+		Coordinator: int32(s.cfg.ID),
+		Created:     led.createdTotal,
+		Ended:       led.endedTotal,
+		Results:     len(results),
+		Err:         errText,
+		ElapsedNs:   int64(time.Since(led.started)),
+	}
 	if s.trc != nil {
-		s.trc.RecordSummary(trace.TravelSummary{
-			Travel:      travel,
-			Mode:        led.mode.String(),
-			Coordinator: int32(s.cfg.ID),
-			Created:     led.createdTotal,
-			Ended:       led.endedTotal,
-			Results:     len(results),
-			Err:         errText,
-			ElapsedNs:   int64(time.Since(led.started)),
-		})
+		s.trc.RecordSummary(sum)
 	}
 	close(led.stopWake)
 	led.mu.Unlock()
@@ -363,6 +364,9 @@ func (s *Server) finishTravelLocked(led *ledger) {
 	s.mu.Lock()
 	s.dropTravelLocked(travel)
 	s.mu.Unlock()
+	// Trace rings outlive travel state, so the capture can still join every
+	// server's spans after the release broadcast above.
+	s.maybeCaptureSlow(sum)
 }
 
 // watchdog fails the traversal if the ledger stops making progress — the

@@ -40,6 +40,13 @@ type Server struct {
 	// pendingMsgs buffers messages that raced ahead of their StartTravel
 	// broadcast (possible across independent links).
 	pendingMsgs map[uint64][]pendingMsg
+	// traceReqs routes KindTraceResp replies to in-flight raw-span pulls
+	// (slow-traversal capture), keyed by request id.
+	traceReqs map[uint64]chan wire.Message
+	traceSeq  atomic.Uint64
+	// slowMu guards the bounded ring of captured slow-traversal DAGs.
+	slowMu   sync.Mutex
+	slowDAGs []*trace.DAG
 	// doneTravels remembers recently finished traversals so late messages
 	// are dropped instead of buffered forever.
 	doneTravels map[uint64]bool
@@ -98,6 +105,7 @@ func NewServer(cfg Config) *Server {
 		travels:     make(map[uint64]*travelState),
 		ledgers:     make(map[uint64]*ledger),
 		pendingMsgs: make(map[uint64][]pendingMsg),
+		traceReqs:   make(map[uint64]chan wire.Message),
 		doneTravels: make(map[uint64]bool),
 		lastSeen:    make([]atomic.Int64, cfg.Part.N()),
 		suspected:   make([]atomic.Bool, cfg.Part.N()),
@@ -137,7 +145,9 @@ func (s *Server) worker() {
 			continue // traversal torn down between pop and lookup
 		}
 		ts.inProcess.Add(int64(len(g.Items)))
-		s.met.AddQueueWait(time.Since(g.Enqueued))
+		// Popped is stamped by the scheduler's pop, so the metric and the
+		// span-level wait attribution downstream share one clock read.
+		s.met.AddQueueWait(g.Popped.Sub(g.Enqueued))
 		s.processGroup(ts, g)
 		s.maybeFlush(ts)
 	}
@@ -211,6 +221,9 @@ func (s *Server) Metrics() Metrics {
 		m.AdjCacheHits = st.AdjHits
 		m.AdjCacheMisses = st.AdjMisses
 	}
+	// The trace layer owns the span-eviction counter; overlay it the same
+	// way so DAG assemblers can tell wrapped rings from tracing bugs.
+	m.SpansDropped = int64(s.trc.Stats().SpansEvicted)
 	return m
 }
 
@@ -240,11 +253,12 @@ func (s *Server) TraceStats() trace.RingStats { return s.trc.Stats() }
 
 // beginSpan starts a span for an execution of `frontier` entries on this
 // server; nil (recorded nowhere, all methods no-ops) when tracing is off.
-func (s *Server) beginSpan(travel, exec uint64, step int32, frontier int) *trace.Builder {
+// parent is the exec id of the dispatching execution (zero for roots).
+func (s *Server) beginSpan(travel, exec, parent uint64, step int32, frontier int) *trace.Builder {
 	if s.trc == nil {
 		return nil
 	}
-	return trace.Begin(travel, exec, int32(s.cfg.ID), step, frontier)
+	return trace.Begin(travel, exec, parent, int32(s.cfg.ID), step, frontier)
 }
 
 // recordInstantSpan traces an execution that terminated without entering
@@ -252,11 +266,11 @@ func (s *Server) beginSpan(travel, exec uint64, step int32, frontier int) *trace
 // an admission-rejected batch. Keeping these in the ring preserves the
 // span-per-terminated-execution invariant the ledger cross-check relies
 // on.
-func (s *Server) recordInstantSpan(travel, exec uint64, step int32, frontier int, errMsg string) {
+func (s *Server) recordInstantSpan(travel, exec, parent uint64, step int32, frontier int, errMsg string) {
 	if s.trc == nil {
 		return
 	}
-	b := trace.Begin(travel, exec, int32(s.cfg.ID), step, frontier)
+	b := trace.Begin(travel, exec, parent, int32(s.cfg.ID), step, frontier)
 	if errMsg != "" {
 		b.Fail(errMsg)
 	}
@@ -378,25 +392,60 @@ func (s *Server) Handle(from int, msg wire.Message) {
 		s.handlePeerDown(from, msg)
 	case wire.KindTraceReq:
 		s.handleTraceReq(from, msg)
+	case wire.KindTraceResp:
+		s.handleTraceResp(msg)
 	}
 }
 
-// handleTraceReq answers a trace query with this server's per-step
-// aggregate for the traversal (TravelID == 0: everything buffered),
-// JSON-encoded in Blob. With tracing disabled the response carries an
-// empty aggregate, not an error — profiling degrades, it never fails.
+// handleTraceReq answers a trace query, JSON-encoded in Blob. Mode 0
+// returns this server's per-step aggregate for the traversal (TravelID ==
+// 0: everything buffered); Mode traceModeRaw returns the raw spans as a
+// trace.SpanDump — the input the DAG assembler joins across servers — plus
+// the ledger summary when this server coordinated the traversal. With
+// tracing disabled the response carries an empty payload, not an error —
+// profiling degrades, it never fails.
 func (s *Server) handleTraceReq(from int, msg wire.Message) {
-	resp := wire.Message{Kind: wire.KindTraceResp, TravelID: msg.TravelID, ReqID: msg.ReqID}
-	stats := trace.Aggregate(s.TraceSpans(msg.TravelID))
-	if len(stats) > 0 {
-		blob, err := json.Marshal(stats)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Blob = blob
+	resp := wire.Message{Kind: wire.KindTraceResp, TravelID: msg.TravelID, ReqID: msg.ReqID, Mode: msg.Mode}
+	var payload any
+	if msg.Mode == traceModeRaw {
+		dump := trace.SpanDump{
+			Server:  int32(s.cfg.ID),
+			Spans:   s.TraceSpans(msg.TravelID),
+			Dropped: s.trc.Stats().SpansEvicted,
 		}
+		if sum, ok := s.TraceSummary(msg.TravelID); ok {
+			dump.Summary = &sum
+		}
+		payload = dump
+	} else {
+		stats := trace.Aggregate(s.TraceSpans(msg.TravelID))
+		if len(stats) == 0 {
+			s.send(from, resp)
+			return
+		}
+		payload = stats
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Blob = blob
 	}
 	s.send(from, resp)
+}
+
+// handleTraceResp routes a raw-span reply to the slow-traversal capture
+// that requested it; unmatched responses (capture timed out) are dropped.
+func (s *Server) handleTraceResp(msg wire.Message) {
+	s.mu.Lock()
+	ch := s.traceReqs[msg.ReqID]
+	s.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
 }
 
 // withTravel resolves the traversal state for a message, buffering the
@@ -493,11 +542,12 @@ func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 			errMsg = err.Error()
 		}
 		ts.addEnded(execID)
-		s.recordInstantSpan(ts.id, execID, 0, len(ids), errMsg)
+		s.recordInstantSpan(ts.id, execID, 0, 0, len(ids), errMsg)
 		s.flushTravel(ts)
 		return
 	}
-	acc := &execAcc{id: execID, sp: s.beginSpan(ts.id, execID, 0, len(ids))}
+	// Seed executions are DAG roots: no dispatching execution created them.
+	acc := &execAcc{id: execID, sp: s.beginSpan(ts.id, execID, 0, 0, len(ids))}
 	acc.pending.Store(int32(len(ids)))
 	items := make([]sched.Item, len(ids))
 	for i, id := range ids {
@@ -522,11 +572,11 @@ func (s *Server) runSeedExec(ts *travelState, execID uint64) {
 func (s *Server) handleDispatch(_ int, msg wire.Message, ts *travelState) {
 	if len(msg.Entries) == 0 {
 		ts.addEnded(msg.ExecID)
-		s.recordInstantSpan(ts.id, msg.ExecID, msg.Step, 0, "")
+		s.recordInstantSpan(ts.id, msg.ExecID, msg.ParentExec, msg.Step, 0, "")
 		s.flushTravel(ts)
 		return
 	}
-	acc := &execAcc{id: msg.ExecID, sp: s.beginSpan(ts.id, msg.ExecID, msg.Step, len(msg.Entries))}
+	acc := &execAcc{id: msg.ExecID, sp: s.beginSpan(ts.id, msg.ExecID, msg.ParentExec, msg.Step, len(msg.Entries))}
 	acc.pending.Store(int32(len(msg.Entries)))
 	items := make([]sched.Item, len(msg.Entries))
 	for i, e := range msg.Entries {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"graphtrek/internal/trace"
+	"graphtrek/internal/wire"
+)
+
+// Slow-traversal capture: when a traversal's end-to-end latency crosses
+// Config.SlowTravelNs, its coordinator pulls every server's raw spans for
+// it (KindTraceReq in raw mode), assembles the causal DAG, and keeps the
+// result in a small bounded ring. The evidence for "why was that one slow"
+// thus survives the per-server trace rings' churn and stays inspectable
+// later through Server.SlowTravels and the obs /traces/slow endpoint.
+
+// traceModeRaw selects the raw-span trace.SpanDump payload on a
+// KindTraceReq, as opposed to the default per-step aggregate.
+const traceModeRaw = 1
+
+// slowTravelCap bounds the retained slow-traversal DAGs (oldest evicted).
+const slowTravelCap = 32
+
+// slowPullTimeout bounds how long the capture waits for each peer's spans.
+const slowPullTimeout = 2 * time.Second
+
+// maybeCaptureSlow spawns the slow-traversal capture when a finished
+// traversal crossed the configured latency threshold. Asynchronous and
+// best-effort: a peer that never answers costs one timeout and shows up as
+// orphans in the assembled DAG, never as a stuck coordinator.
+func (s *Server) maybeCaptureSlow(sum trace.TravelSummary) {
+	if s.cfg.SlowTravelNs <= 0 || s.trc == nil || sum.ElapsedNs < s.cfg.SlowTravelNs {
+		return
+	}
+	s.wg.Add(1)
+	go s.captureSlowTravel(sum)
+}
+
+func (s *Server) captureSlowTravel(sum trace.TravelSummary) {
+	defer s.wg.Done()
+	spans := s.TraceSpans(sum.Travel)
+	dropped := s.trc.Stats().SpansEvicted
+	for peer := 0; peer < s.cfg.Part.N(); peer++ {
+		if peer == s.cfg.ID {
+			continue
+		}
+		dump, err := s.pullSpans(peer, sum.Travel, slowPullTimeout)
+		if err != nil {
+			continue // missing servers surface as orphans in the DAG
+		}
+		spans = append(spans, dump.Spans...)
+		dropped += dump.Dropped
+	}
+	d := trace.Assemble(sum.Travel, spans, &sum)
+	d.SpansDropped = dropped
+	s.slowMu.Lock()
+	s.slowDAGs = append(s.slowDAGs, d)
+	if len(s.slowDAGs) > slowTravelCap {
+		s.slowDAGs = s.slowDAGs[len(s.slowDAGs)-slowTravelCap:]
+	}
+	s.slowMu.Unlock()
+}
+
+// pullSpans fetches one peer's raw spans for a traversal, blocking until
+// the reply, the timeout, or server shutdown.
+func (s *Server) pullSpans(peer int, travel uint64, timeout time.Duration) (trace.SpanDump, error) {
+	req := s.traceSeq.Add(1)
+	ch := make(chan wire.Message, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return trace.SpanDump{}, fmt.Errorf("core: server closed")
+	}
+	s.traceReqs[req] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.traceReqs, req)
+		s.mu.Unlock()
+	}()
+	if err := s.send(peer, wire.Message{
+		Kind: wire.KindTraceReq, TravelID: travel, ReqID: req, Mode: traceModeRaw,
+	}); err != nil {
+		return trace.SpanDump{}, err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case msg := <-ch:
+		if msg.Err != "" {
+			return trace.SpanDump{}, fmt.Errorf("core: trace pull from server %d: %s", peer, msg.Err)
+		}
+		var dump trace.SpanDump
+		if err := json.Unmarshal(msg.Blob, &dump); err != nil {
+			return trace.SpanDump{}, fmt.Errorf("core: trace pull from server %d: %w", peer, err)
+		}
+		return dump, nil
+	case <-t.C:
+		return trace.SpanDump{}, fmt.Errorf("core: trace pull from server %d timed out", peer)
+	case <-s.stop:
+		return trace.SpanDump{}, fmt.Errorf("core: server closing")
+	}
+}
+
+// SlowTravels returns the captured slow-traversal DAGs, oldest first.
+func (s *Server) SlowTravels() []*trace.DAG {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	out := make([]*trace.DAG, len(s.slowDAGs))
+	copy(out, s.slowDAGs)
+	return out
+}

@@ -26,7 +26,12 @@ func spanOf(it sched.Item) *trace.Builder { return it.Exec.(accumulator).span() 
 //   - execution merging: all surviving requests in the group share one
 //     disk access.
 func (s *Server) processGroup(ts *travelState, g sched.Group) {
-	now := time.Now()
+	// The scheduler stamped the pop time; reusing it keeps span-level wait
+	// attribution consistent with the server's queue-wait metric.
+	now := g.Popped
+	if now.IsZero() {
+		now = time.Now()
+	}
 	live := g.Items[:0:0]
 	var dropped []sched.Item
 	for _, it := range g.Items {
@@ -63,9 +68,18 @@ func (s *Server) processGroup(ts *travelState, g sched.Group) {
 
 	// One (simulated) disk access serves the whole merged group: the
 	// storage layout keeps a vertex's attributes and typed edge lists
-	// contiguous, so this is a single sequential read.
+	// contiguous, so this is a single sequential read. The fetch phase is
+	// attributed to the span paying the access, like the real-IO counter.
+	headSp := spanOf(live[0])
+	var fetchStart time.Time
+	if headSp != nil {
+		fetchStart = time.Now()
+	}
 	s.disk.Access(int(live[0].Step), uint64(g.Vertex))
 	vtx, found, err := s.cfg.Store.GetVertex(g.Vertex)
+	if headSp != nil {
+		headSp.AddFetch(time.Since(fetchStart))
+	}
 	if err != nil {
 		s.finishItems(ts, live, err)
 		return
@@ -94,7 +108,17 @@ func stepMatches(plan *query.Plan, step int32, vtx model.Vertex) bool {
 func (s *Server) processItem(ts *travelState, vtx model.Vertex, found bool, it sched.Item) {
 	plan := ts.plan
 	last := int32(plan.NumSteps() - 1)
-	if !found || !stepMatches(plan, it.Step, vtx) {
+	exec := it.Exec.(accumulator).execID()
+	sp := spanOf(it)
+	var phaseStart time.Time
+	if sp != nil {
+		phaseStart = time.Now()
+	}
+	match := found && stepMatches(plan, it.Step, vtx)
+	if sp != nil {
+		sp.AddFilter(time.Since(phaseStart))
+	}
+	if !match {
 		return // the path dies here
 	}
 
@@ -109,30 +133,46 @@ func (s *Server) processItem(ts *travelState, vtx model.Vertex, found bool, it s
 			// Intermediate rtn(): this server becomes the reporting
 			// destination for everything downstream of this vertex
 			// (Fig 4), and remembers how to propagate success upstream.
-			s.recordRtn(ts, it.Vertex, it.Step, anc, ancStep, dest)
+			s.recordRtn(ts, exec, it.Vertex, it.Step, anc, ancStep, dest)
 			anc, ancStep, dest = it.Vertex, it.Step, int32(s.cfg.ID)
 		}
 	}
 	if it.Step == last {
 		if it.Dest >= 0 {
 			// Signal the previous rtn level that a path survived.
-			s.bufferSig(ts, int(it.Dest), wire.Entry{Vertex: it.Anc, AncStep: it.AncStep})
+			s.bufferSig(ts, exec, int(it.Dest), wire.Entry{Vertex: it.Anc, AncStep: it.AncStep})
 		}
 		return
 	}
 
 	// Expand the next step's typed edges; destinations go to their owners.
+	// Dispatch time (outbox buffering, possibly an early batch flush) is
+	// carved out of the scan interval so the two phases report separably.
 	next := plan.Steps[it.Step+1]
+	var scanStart time.Time
+	var dispatchNs int64
+	if sp != nil {
+		scanStart = time.Now()
+	}
 	err := s.cfg.Store.ScanEdges(it.Vertex, next.EdgeLabel, func(e model.Edge) bool {
 		if !next.EdgeFilters.MatchAll(e.Props) {
 			return true
 		}
 		owner := s.cfg.Part.Owner(e.Dst)
-		s.bufferDispatch(ts, owner, it.Step+1, wire.Entry{
-			Vertex: e.Dst, Anc: anc, AncStep: ancStep, Dest: dest,
-		})
+		entry := wire.Entry{Vertex: e.Dst, Anc: anc, AncStep: ancStep, Dest: dest}
+		if sp != nil {
+			d0 := time.Now()
+			s.bufferDispatch(ts, exec, owner, it.Step+1, entry)
+			dispatchNs += int64(time.Since(d0))
+		} else {
+			s.bufferDispatch(ts, exec, owner, it.Step+1, entry)
+		}
 		return true
 	})
+	if sp != nil {
+		sp.AddScan(time.Since(scanStart))
+		sp.AddDispatch(time.Duration(dispatchNs))
+	}
 	if err != nil {
 		ts.addErr(err.Error())
 	}
@@ -142,7 +182,7 @@ func (s *Server) processItem(ts *travelState, vtx model.Vertex, found bool, it s
 // signal, remembering the upstream reference to notify when it arrives. If
 // the vertex already received its signal via an earlier path, the new
 // upstream learns of the success immediately.
-func (s *Server) recordRtn(ts *travelState, v model.VertexID, step int32, anc model.VertexID, ancStep, dest int32) {
+func (s *Server) recordRtn(ts *travelState, exec uint64, v model.VertexID, step int32, anc model.VertexID, ancStep, dest int32) {
 	up := upRef{anc: anc, ancStep: ancStep, dest: dest}
 	ts.rtnMu.Lock()
 	rec, ok := ts.rtn[rtnKey{v, step}]
@@ -152,7 +192,7 @@ func (s *Server) recordRtn(ts *travelState, v model.VertexID, step int32, anc mo
 	}
 	if rec.returned {
 		ts.rtnMu.Unlock()
-		s.notifyUp(ts, up)
+		s.notifyUp(ts, exec, up)
 		return
 	}
 	for _, u := range rec.ups {
@@ -166,9 +206,11 @@ func (s *Server) recordRtn(ts *travelState, v model.VertexID, step int32, anc mo
 }
 
 // notifyUp propagates an end-of-chain success one rtn level upstream.
-func (s *Server) notifyUp(ts *travelState, up upRef) {
+// parent is the execution observing the success, attributed to the
+// resulting signal batch.
+func (s *Server) notifyUp(ts *travelState, parent uint64, up upRef) {
 	if up.dest >= 0 {
-		s.bufferSig(ts, int(up.dest), wire.Entry{Vertex: up.anc, AncStep: up.ancStep})
+		s.bufferSig(ts, parent, int(up.dest), wire.Entry{Vertex: up.anc, AncStep: up.ancStep})
 	}
 }
 
@@ -191,10 +233,10 @@ func (s *Server) handleReturnSig(_ int, msg wire.Message, ts *travelState) {
 		ts.rtnMu.Unlock()
 		s.bufferResult(ts, e.Vertex)
 		for _, up := range ups {
-			s.notifyUp(ts, up)
+			s.notifyUp(ts, msg.ExecID, up)
 		}
 	}
 	ts.addEnded(msg.ExecID)
-	s.recordInstantSpan(ts.id, msg.ExecID, msg.Step, len(msg.Entries), "")
+	s.recordInstantSpan(ts.id, msg.ExecID, msg.ParentExec, msg.Step, len(msg.Entries), "")
 	s.flushTravel(ts)
 }

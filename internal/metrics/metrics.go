@@ -94,6 +94,12 @@ type Snapshot struct {
 	// outcomes in the storage layer.
 	AdjCacheHits   int64
 	AdjCacheMisses int64
+	// SpansDropped counts execution spans the trace ring evicted to admit
+	// newer ones. The trace layer owns the counter (the server overlays it
+	// into snapshots, like the cache counters); a nonzero value tells the
+	// DAG assembler that missing parent spans may be wrapped-ring
+	// artifacts rather than causality bugs.
+	SpansDropped int64
 }
 
 // AddReceived records n accepted vertex requests.
@@ -193,6 +199,7 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		VtxCacheMisses: a.VtxCacheMisses - b.VtxCacheMisses,
 		AdjCacheHits:   a.AdjCacheHits - b.AdjCacheHits,
 		AdjCacheMisses: a.AdjCacheMisses - b.AdjCacheMisses,
+		SpansDropped:   a.SpansDropped - b.SpansDropped,
 	}
 }
 
@@ -220,6 +227,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		VtxCacheMisses: a.VtxCacheMisses + b.VtxCacheMisses,
 		AdjCacheHits:   a.AdjCacheHits + b.AdjCacheHits,
 		AdjCacheMisses: a.AdjCacheMisses + b.AdjCacheMisses,
+		SpansDropped:   a.SpansDropped + b.SpansDropped,
 	}
 }
 
@@ -268,5 +276,6 @@ func Fields() []Field {
 		{"vtx_cache_misses_total", "Decoded-vertex read-cache misses in the storage layer.", false, func(s Snapshot) int64 { return s.VtxCacheMisses }},
 		{"adj_cache_hits_total", "Materialized-adjacency read-cache hits in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheHits }},
 		{"adj_cache_misses_total", "Materialized-adjacency read-cache misses in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheMisses }},
+		{"trace_spans_dropped_total", "Execution spans evicted from the trace ring to admit newer ones.", false, func(s Snapshot) int64 { return s.SpansDropped }},
 	}
 }

@@ -39,6 +39,8 @@ type Target interface {
 	TraceSummaries() []trace.TravelSummary
 	// TraceStats reports the trace ring's buffering counters.
 	TraceStats() trace.RingStats
+	// SlowTravels returns captured slow-traversal DAGs, oldest first.
+	SlowTravels() []*trace.DAG
 }
 
 // NewMux builds the observability handler for one or more local backends
@@ -51,6 +53,15 @@ func NewMux(targets ...Target) *http.ServeMux {
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		serveTraces(w, r, targets)
+	})
+	mux.HandleFunc("/traces/dag", func(w http.ResponseWriter, r *http.Request) {
+		serveDAG(w, r, targets, false)
+	})
+	mux.HandleFunc("/traces/chrome", func(w http.ResponseWriter, r *http.Request) {
+		serveDAG(w, r, targets, true)
+	})
+	mux.HandleFunc("/traces/slow", func(w http.ResponseWriter, r *http.Request) {
+		serveSlow(w, targets)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -122,17 +133,40 @@ type TraceReport struct {
 	Spans []trace.Span `json:"spans"`
 }
 
+// jsonError writes an error as a JSON body with the right Content-Type —
+// machine consumers of these endpoints should never have to sniff
+// text/plain error pages out of an otherwise-JSON API.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// travelParam parses the travel query parameter; ok is false after an
+// error response has been written.
+func travelParam(w http.ResponseWriter, r *http.Request) (travel uint64, ok bool) {
+	q := r.URL.Query().Get("travel")
+	if q == "" {
+		return 0, true
+	}
+	v, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad travel id: "+err.Error())
+		return 0, false
+	}
+	return v, true
+}
+
 // serveTraces answers /traces?travel=<id> with the buffered spans,
-// their per-step aggregate, and any matching coordinator summaries.
+// their per-step aggregate, and any matching coordinator summaries. A
+// specific travel id that matches nothing — no spans, no summary on any
+// target — is a 404, not an empty 200: the traversal either never ran
+// here or its trace has been evicted, and callers should be able to tell
+// that apart from a traced traversal that produced no work.
 func serveTraces(w http.ResponseWriter, r *http.Request, targets []Target) {
-	var travel uint64
-	if q := r.URL.Query().Get("travel"); q != "" {
-		v, err := strconv.ParseUint(q, 10, 64)
-		if err != nil {
-			http.Error(w, "bad travel id: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		travel = v
+	travel, ok := travelParam(w, r)
+	if !ok {
+		return
 	}
 	rep := TraceReport{Travel: travel}
 	for _, t := range targets {
@@ -143,12 +177,86 @@ func serveTraces(w http.ResponseWriter, r *http.Request, targets []Target) {
 			}
 		}
 	}
+	if travel != 0 && len(rep.Spans) == 0 && len(rep.Summaries) == 0 {
+		jsonError(w, http.StatusNotFound, fmt.Sprintf("no trace data for travel %d (never traced here, or evicted)", travel))
+		return
+	}
 	sort.Slice(rep.Summaries, func(i, j int) bool { return rep.Summaries[i].Travel < rep.Summaries[j].Travel })
 	rep.Steps = trace.Aggregate(rep.Spans)
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(rep)
+}
+
+// assembleDAG joins the targets' spans for one traversal into its causal
+// DAG, using the coordinator summary when one of the targets holds it.
+func assembleDAG(targets []Target, travel uint64) *trace.DAG {
+	var spans []trace.Span
+	var summary *trace.TravelSummary
+	var dropped uint64
+	for _, t := range targets {
+		spans = append(spans, t.TraceSpans(travel)...)
+		dropped += t.TraceStats().SpansEvicted
+		for _, sum := range t.TraceSummaries() {
+			if sum.Travel == travel {
+				s := sum
+				summary = &s
+			}
+		}
+	}
+	if len(spans) == 0 && summary == nil {
+		return nil
+	}
+	d := trace.Assemble(travel, spans, summary)
+	d.SpansDropped = dropped
+	return d
+}
+
+// serveDAG answers /traces/dag?travel=<id> with the traversal's assembled
+// causal DAG (ledger cross-check, critical path), or — with chrome set —
+// /traces/chrome?travel=<id> with the same DAG rendered in Chrome
+// trace_event format for about:tracing / Perfetto.
+func serveDAG(w http.ResponseWriter, r *http.Request, targets []Target, chrome bool) {
+	travel, ok := travelParam(w, r)
+	if !ok {
+		return
+	}
+	if travel == 0 {
+		jsonError(w, http.StatusBadRequest, "travel parameter required (a DAG is per-traversal)")
+		return
+	}
+	d := assembleDAG(targets, travel)
+	if d == nil {
+		jsonError(w, http.StatusNotFound, fmt.Sprintf("no trace data for travel %d (never traced here, or evicted)", travel))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if chrome {
+		buf, err := d.ChromeTrace()
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Write(buf)
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(d)
+}
+
+// serveSlow answers /traces/slow with every captured slow-traversal DAG
+// across the targets, oldest first per target.
+func serveSlow(w http.ResponseWriter, targets []Target) {
+	slow := make([]*trace.DAG, 0, 8)
+	for _, t := range targets {
+		slow = append(slow, t.SlowTravels()...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(slow)
 }
 
 // ListenAndServe starts the observability endpoint on addr in a new

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"graphtrek"
 	"graphtrek/internal/metrics"
@@ -212,6 +213,192 @@ func TestTracesBadQuery(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// getError expects a non-200 answer and returns its decoded JSON error
+// body, pinning both the status and the machine-readable error contract.
+func getError(t *testing.T, url string, wantCode int) map[string]string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d\n%s", url, resp.StatusCode, wantCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: error content type %q, want application/json", url, ct)
+	}
+	var msg map[string]string
+	if err := json.Unmarshal(body, &msg); err != nil {
+		t.Fatalf("GET %s: error body is not JSON: %v\n%s", url, err, body)
+	}
+	if msg["error"] == "" {
+		t.Fatalf("GET %s: error body has no error field: %s", url, body)
+	}
+	return msg
+}
+
+// firstTravel pulls a summarized traversal id off /traces.
+func firstTravel(t *testing.T, ts *httptest.Server) obs.TraceReport {
+	t.Helper()
+	body, _ := get(t, ts.URL+"/traces")
+	var rep obs.TraceReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Summaries) == 0 {
+		t.Fatal("no traversal summaries buffered")
+	}
+	return rep
+}
+
+// TestDAGEndpoint checks /traces/dag end to end: the assembled DAG for a
+// completed traversal passes the ledger cross-check, and its node count,
+// roots and critical path come back in the JSON document.
+func TestDAGEndpoint(t *testing.T) {
+	_, ts := startCluster(t)
+	sum := firstTravel(t, ts).Summaries[0]
+	body, resp := get(t, fmt.Sprintf("%s/traces/dag?travel=%d", ts.URL, sum.Travel))
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var dag struct {
+		Travel  uint64           `json:"travel"`
+		Summary *json.RawMessage `json:"summary"`
+		Nodes   []struct {
+			Exec   uint64 `json:"exec"`
+			Parent uint64 `json:"parent"`
+		} `json:"nodes"`
+		Roots    []uint64 `json:"roots"`
+		Orphans  []uint64 `json:"orphans"`
+		Critical *struct {
+			DurationNs int64 `json:"duration_ns"`
+		} `json:"critical_path"`
+	}
+	if err := json.Unmarshal([]byte(body), &dag); err != nil {
+		t.Fatal(err)
+	}
+	if dag.Travel != sum.Travel {
+		t.Errorf("dag travel = %d, want %d", dag.Travel, sum.Travel)
+	}
+	if len(dag.Nodes) != sum.Created {
+		t.Errorf("dag nodes = %d, ledger created %d", len(dag.Nodes), sum.Created)
+	}
+	if len(dag.Orphans) != 0 {
+		t.Errorf("orphans = %v on a fault-free fabric", dag.Orphans)
+	}
+	if len(dag.Roots) == 0 || dag.Summary == nil {
+		t.Errorf("dag missing roots (%v) or summary", dag.Roots)
+	}
+	if dag.Critical == nil || dag.Critical.DurationNs <= 0 {
+		t.Errorf("dag critical path = %+v", dag.Critical)
+	}
+	if dag.Critical != nil && dag.Critical.DurationNs > sum.ElapsedNs {
+		t.Errorf("critical path %dns exceeds traversal elapsed %dns", dag.Critical.DurationNs, sum.ElapsedNs)
+	}
+}
+
+// TestChromeEndpoint checks /traces/chrome emits parseable trace_event
+// JSON with one slice per execution.
+func TestChromeEndpoint(t *testing.T) {
+	_, ts := startCluster(t)
+	sum := firstTravel(t, ts).Summaries[0]
+	body, resp := get(t, fmt.Sprintf("%s/traces/chrome?travel=%d", ts.URL, sum.Travel))
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	var slices int
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			slices++
+		}
+	}
+	if slices != sum.Created {
+		t.Errorf("chrome export has %d slices, ledger created %d", slices, sum.Created)
+	}
+}
+
+// TestDAGEndpointErrors pins the error contract of the DAG endpoints:
+// missing travel parameter is a 400, an unknown travel a 404, and both
+// carry JSON bodies.
+func TestDAGEndpointErrors(t *testing.T) {
+	_, ts := startCluster(t)
+	getError(t, ts.URL+"/traces/dag", http.StatusBadRequest)
+	getError(t, ts.URL+"/traces/dag?travel=banana", http.StatusBadRequest)
+	getError(t, ts.URL+"/traces/dag?travel=999999", http.StatusNotFound)
+	getError(t, ts.URL+"/traces/chrome?travel=999999", http.StatusNotFound)
+	msg := getError(t, ts.URL+"/traces?travel=999999", http.StatusNotFound)
+	if !strings.Contains(msg["error"], "999999") {
+		t.Errorf("404 body does not name the travel: %q", msg["error"])
+	}
+}
+
+// TestSlowEndpoint drives the slow-traversal recorder through HTTP: with a
+// 1ns threshold every traversal is captured, and /traces/slow serves the
+// assembled, ledger-complete DAGs.
+func TestSlowEndpoint(t *testing.T) {
+	c, err := graphtrek.NewCluster(graphtrek.Options{Servers: 2, SlowTravelNs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, v := range []graphtrek.Vertex{{ID: 1, Label: "User"}, {ID: 10, Label: "Execution"}} {
+		if err := c.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddEdge(graphtrek.Edge{Src: 1, Dst: 10, Label: "run"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(graphtrek.V(1).E("run"), graphtrek.ModeGraphTrek); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(obs.NewMux(c.Server(0), c.Server(1)))
+	t.Cleanup(ts.Close)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body, resp := get(t, ts.URL+"/traces/slow")
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type = %q", ct)
+		}
+		var slow []struct {
+			Travel uint64 `json:"travel"`
+			Nodes  []struct {
+				Exec uint64 `json:"exec"`
+			} `json:"nodes"`
+			Summary *struct {
+				Created int `json:"created"`
+			} `json:"summary"`
+		}
+		if err := json.Unmarshal([]byte(body), &slow); err != nil {
+			t.Fatal(err)
+		}
+		if len(slow) > 0 {
+			d := slow[0]
+			if d.Summary == nil || len(d.Nodes) != d.Summary.Created {
+				t.Fatalf("captured DAG inconsistent: %s", body)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no slow-traversal DAG served before deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

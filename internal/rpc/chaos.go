@@ -269,13 +269,21 @@ func (c *Chaos) linkLocked(to int) *chaosLink {
 
 // enqueue adds a message to a link's queue, dropping it if the queue is
 // saturated (an overloaded chaotic link loses messages — like a real one).
+// It holds c.mu across the send so Close cannot close the channel between
+// the closed check and the send: Send's entry check is not enough, because
+// delivering one enqueued copy can unblock the caller's shutdown path
+// while a duplicate's enqueue is still in flight.
 func (c *Chaos) enqueue(l *chaosLink, d delayed) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.stats.Dropped++
+		return
+	}
 	select {
 	case l.ch <- d:
 	default:
-		c.mu.Lock()
 		c.stats.Dropped++
-		c.mu.Unlock()
 	}
 }
 

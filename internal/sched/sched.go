@@ -76,6 +76,10 @@ type Group struct {
 	// Enqueued is when the group's first item arrived; the executor derives
 	// its enqueue→pop wait metric from it.
 	Enqueued time.Time
+	// Popped is when a worker took the group — stamped by Pop, so wait and
+	// per-phase span attribution downstream share one clock read instead of
+	// each call site sampling its own.
+	Popped time.Time
 }
 
 // Options selects a traversal's level-2 policies.
@@ -305,6 +309,7 @@ func (m *Multi) popLocked() *group {
 	best.take(bestG)
 	best.served += len(bestG.Items)
 	m.size -= len(bestG.Items)
+	bestG.Popped = time.Now()
 	return bestG
 }
 

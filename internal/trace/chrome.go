@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// Chrome trace_event export: an assembled DAG rendered as the JSON object
+// format consumed by about:tracing and Perfetto. Each server becomes a
+// process row, each traversal step a thread row within it, each execution
+// a complete ("X") slice, and each parent→child edge a flow arrow
+// ("s"/"f" pair) from the parent's end to the child's start — the causal
+// fan-out drawn over the timeline.
+//
+// Timestamps and durations are microseconds (the format's unit), rebased
+// to the earliest span so the viewer opens at t=0.
+
+// chromeEvent is one trace_event record. Fields follow the Trace Event
+// Format's short names; Dur/TS are float64 so sub-microsecond spans do not
+// collapse to zero-width slices.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Meta        map[string]any `json:"otherData,omitempty"`
+}
+
+// ChromeTrace renders the DAG as trace_event JSON.
+func (d *DAG) ChromeTrace() ([]byte, error) {
+	doc := chromeDoc{
+		TraceEvents: make([]chromeEvent, 0, 3*len(d.Nodes)),
+		Meta:        map[string]any{"travel": d.Travel},
+	}
+	if d.Summary != nil {
+		doc.Meta["mode"] = d.Summary.Mode
+		doc.Meta["created"] = d.Summary.Created
+		doc.Meta["elapsed_ns"] = d.Summary.ElapsedNs
+	}
+	var base int64
+	seenProc := make(map[int32]bool)
+	for i, n := range d.Nodes {
+		if i == 0 || n.StartNs < base {
+			base = n.StartNs
+		}
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	onPath := make(map[uint64]bool)
+	if d.CriticalPath != nil {
+		for _, h := range d.CriticalPath.Hops {
+			onPath[h.Exec] = true
+		}
+	}
+	for _, n := range d.Nodes {
+		if !seenProc[n.Server] {
+			seenProc[n.Server] = true
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "process_name", Phase: "M", PID: int64(n.Server),
+				Args: map[string]any{"name": "server " + itoa(int64(n.Server))},
+			})
+		}
+		cat := "exec"
+		if onPath[n.Exec] {
+			cat = "exec,critical"
+		}
+		dur := us(n.WallNs)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "step " + itoa(int64(n.Step)), Phase: "X", Cat: cat,
+			TS: us(n.StartNs - base), Dur: &dur,
+			PID: int64(n.Server), TID: int64(n.Step),
+			Args: map[string]any{
+				"exec": n.Exec, "parent": n.Parent,
+				"frontier": n.Frontier, "redundant": n.Redundant,
+				"combined": n.Combined, "real": n.Real,
+				"queue_wait_ns": n.QueueWaitNs, "err": n.Err,
+			},
+		})
+	}
+	// Flow arrows need the parent's coordinates, so a second pass over the
+	// joined map.
+	byExec := make(map[uint64]*DAGNode, len(d.Nodes))
+	for i := range d.Nodes {
+		byExec[d.Nodes[i].Exec] = &d.Nodes[i]
+	}
+	for _, n := range d.Nodes {
+		p, ok := byExec[n.Parent]
+		if n.Parent == 0 || !ok {
+			continue
+		}
+		id := strconv.FormatUint(n.Exec, 10)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "dispatch", Phase: "s", Cat: "flow", ID: id,
+			TS: us(p.EndNs() - base), PID: int64(p.Server), TID: int64(p.Step),
+		}, chromeEvent{
+			Name: "dispatch", Phase: "f", Cat: "flow", ID: id, BP: "e",
+			TS: us(max(n.StartNs, p.EndNs()) - base), PID: int64(n.Server), TID: int64(n.Step),
+		})
+	}
+	return json.Marshal(doc)
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// dagSpans is a small hand-built traversal: one root fanning out to two
+// children on another server, one of which dispatches a grandchild.
+//
+//	100 (srv 0, step 0, 1000..1050)
+//	├── 200 (srv 1, step 1, 1100..1130, queue wait 10)
+//	│    └── 400 (srv 0, step 2, 1150..1190)
+//	└── 300 (srv 1, step 1, 1060..1260)   <- slowest chain end
+func dagSpans() []Span {
+	return []Span{
+		{Travel: 7, Exec: 100, Parent: 0, Server: 0, Step: 0, StartNs: 1000, WallNs: 50},
+		{Travel: 7, Exec: 200, Parent: 100, Server: 1, Step: 1, StartNs: 1100, WallNs: 30, QueueWaitNs: 10},
+		{Travel: 7, Exec: 300, Parent: 100, Server: 1, Step: 1, StartNs: 1060, WallNs: 200},
+		{Travel: 7, Exec: 400, Parent: 200, Server: 0, Step: 2, StartNs: 1150, WallNs: 40},
+	}
+}
+
+func TestAssembleJoinsSpans(t *testing.T) {
+	spans := append(dagSpans(),
+		Span{Travel: 9, Exec: 555, Parent: 0, Server: 0, StartNs: 1, WallNs: 1}, // other travel: ignored
+	)
+	d := Assemble(7, spans, &TravelSummary{Travel: 7, Created: 4, Ended: 4, ElapsedNs: 400})
+	if len(d.Nodes) != 4 {
+		t.Fatalf("nodes = %d, want 4", len(d.Nodes))
+	}
+	if len(d.Roots) != 1 || d.Roots[0] != 100 {
+		t.Fatalf("roots = %v, want [100]", d.Roots)
+	}
+	if len(d.Orphans) != 0 || len(d.Duplicates) != 0 {
+		t.Fatalf("orphans %v duplicates %v, want none", d.Orphans, d.Duplicates)
+	}
+	if !d.Complete() {
+		t.Fatal("Complete() = false for a clean 4-exec trace with Created=4")
+	}
+	// Nodes sort by StartNs: 100, 300, 200, 400.
+	wantOrder := []uint64{100, 300, 200, 400}
+	for i, w := range wantOrder {
+		if d.Nodes[i].Exec != w {
+			t.Fatalf("node[%d] = %d, want %d", i, d.Nodes[i].Exec, w)
+		}
+	}
+	// Root 100's children sorted ascending.
+	for _, n := range d.Nodes {
+		if n.Exec == 100 {
+			if len(n.Children) != 2 || n.Children[0] != 200 || n.Children[1] != 300 {
+				t.Fatalf("children of 100 = %v, want [200 300]", n.Children)
+			}
+		}
+	}
+}
+
+func TestCriticalPathPicksSlowestChain(t *testing.T) {
+	d := Assemble(7, dagSpans(), nil)
+	cp := d.CriticalPath
+	if cp == nil {
+		t.Fatal("no critical path")
+	}
+	// Slowest endpoint is 300: end 1260 - root start 1000 = 260. (Exec 400
+	// ends at 1190; exec 200 at 1130.)
+	if cp.Root != 100 || cp.Leaf != 300 || cp.DurationNs != 260 {
+		t.Fatalf("critical path root=%d leaf=%d dur=%d, want 100/300/260", cp.Root, cp.Leaf, cp.DurationNs)
+	}
+	if len(cp.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2", len(cp.Hops))
+	}
+	// Hop attribution: root has no gap; 300 starts at 1060, 10ns after the
+	// parent's end (1050).
+	if h := cp.Hops[0]; h.Exec != 100 || h.GapNs != 0 || h.ComputeNs != 50 {
+		t.Fatalf("hop[0] = %+v, want exec 100, gap 0, compute 50", h)
+	}
+	if h := cp.Hops[1]; h.Exec != 300 || h.GapNs != 10 || h.ComputeNs != 200 {
+		t.Fatalf("hop[1] = %+v, want exec 300, gap 10, compute 200", h)
+	}
+	// Every chain is at least as long as its own node's wall time, and the
+	// critical path dominates them all.
+	for _, ch := range d.TopChains(0) {
+		if ch.DurationNs > cp.DurationNs {
+			t.Fatalf("chain to %d (%dns) exceeds critical path (%dns)", ch.Leaf, ch.DurationNs, cp.DurationNs)
+		}
+	}
+}
+
+func TestHopComputeNetOfQueueWait(t *testing.T) {
+	d := Assemble(7, dagSpans(), nil)
+	for _, ch := range d.TopChains(0) {
+		for _, h := range ch.Hops {
+			if h.Exec == 200 {
+				if h.QueueNs != 10 || h.ComputeNs != 20 {
+					t.Fatalf("hop 200 queue=%d compute=%d, want 10/20", h.QueueNs, h.ComputeNs)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no chain visited exec 200")
+}
+
+func TestAssembleReportsOrphansAndDuplicates(t *testing.T) {
+	spans := dagSpans()
+	spans = append(spans,
+		Span{Travel: 7, Exec: 500, Parent: 999, Server: 1, Step: 3, StartNs: 1300, WallNs: 5}, // parent unknown
+		Span{Travel: 7, Exec: 200, Parent: 100, Server: 1, Step: 1, StartNs: 2000, WallNs: 1}, // duplicate exec id
+	)
+	d := Assemble(7, spans, &TravelSummary{Travel: 7, Created: 5, Ended: 5})
+	if len(d.Orphans) != 1 || d.Orphans[0] != 500 {
+		t.Fatalf("orphans = %v, want [500]", d.Orphans)
+	}
+	if len(d.Duplicates) != 1 || d.Duplicates[0] != 200 {
+		t.Fatalf("duplicates = %v, want [200]", d.Duplicates)
+	}
+	// The orphan still anchors a subtree: it is also a root.
+	if len(d.Roots) != 2 {
+		t.Fatalf("roots = %v, want [100 500]", d.Roots)
+	}
+	if d.Complete() {
+		t.Fatal("Complete() = true despite orphan and duplicate")
+	}
+	// Duplicate keeps the first span seen.
+	for _, n := range d.Nodes {
+		if n.Exec == 200 && n.StartNs != 1100 {
+			t.Fatalf("duplicate resolution kept StartNs %d, want first span's 1100", n.StartNs)
+		}
+	}
+}
+
+func TestCompleteRequiresSummaryMatch(t *testing.T) {
+	if d := Assemble(7, dagSpans(), nil); d.Complete() {
+		t.Fatal("Complete() without a summary")
+	}
+	if d := Assemble(7, dagSpans(), &TravelSummary{Travel: 7, Created: 9}); d.Complete() {
+		t.Fatal("Complete() with Created=9 but only 4 spans")
+	}
+}
+
+func TestTopChainsOrderAndLimit(t *testing.T) {
+	d := Assemble(7, dagSpans(), nil)
+	all := d.TopChains(0)
+	if len(all) != 4 {
+		t.Fatalf("TopChains(0) = %d chains, want one per node", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].DurationNs > all[i-1].DurationNs {
+			t.Fatalf("chains not descending at %d: %d > %d", i, all[i].DurationNs, all[i-1].DurationNs)
+		}
+	}
+	top2 := d.TopChains(2)
+	if len(top2) != 2 || top2[0].Leaf != 300 || top2[1].Leaf != 400 {
+		t.Fatalf("TopChains(2) leaves = %v, want [300 400]", []uint64{top2[0].Leaf, top2[1].Leaf})
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	d := Assemble(7, nil, nil)
+	if len(d.Nodes) != 0 || d.CriticalPath != nil || d.Complete() {
+		t.Fatalf("empty assemble produced nodes=%d critical=%v", len(d.Nodes), d.CriticalPath)
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	d := Assemble(7, dagSpans(), &TravelSummary{Travel: 7, Mode: "GraphTrek", Created: 4, Ended: 4, ElapsedNs: 400})
+	buf, err := d.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Meta        map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.Meta["mode"] != "GraphTrek" {
+		t.Fatalf("otherData.mode = %v", doc.Meta["mode"])
+	}
+	var slices, meta, flowStarts, flowEnds int
+	minTS := 1e18
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			slices++
+			ts := ev["ts"].(float64)
+			if ts < minTS {
+				minTS = ts
+			}
+		case "M":
+			meta++
+		case "s":
+			flowStarts++
+		case "f":
+			flowEnds++
+		default:
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
+		}
+	}
+	if slices != 4 {
+		t.Fatalf("slices = %d, want 4", slices)
+	}
+	if meta != 2 { // two servers -> two process_name records
+		t.Fatalf("metadata events = %d, want 2", meta)
+	}
+	// Three parent->child edges, one s/f pair each.
+	if flowStarts != 3 || flowEnds != 3 {
+		t.Fatalf("flow events = %d/%d, want 3/3", flowStarts, flowEnds)
+	}
+	if minTS != 0 {
+		t.Fatalf("earliest slice ts = %v, want rebased to 0", minTS)
+	}
+}

@@ -33,6 +33,11 @@ type Span struct {
 	Travel uint64 `json:"travel"`
 	// Exec is the execution id registered in the coordinator ledger.
 	Exec uint64 `json:"exec"`
+	// Parent is the ledger id of the execution whose outputs created this
+	// one — the causal edge the DAG assembler joins on. Zero marks a root
+	// execution (client submission or seed scan): real execution ids carry
+	// a nonzero server tag, so zero is unambiguous.
+	Parent uint64 `json:"parent,omitempty"`
 	// Server ran the execution.
 	Server int32 `json:"server"`
 	// Step is the traversal step the execution served.
@@ -51,9 +56,30 @@ type Span struct {
 	// WallNs is the execution's creation→termination time on this server,
 	// queue wait included.
 	WallNs int64 `json:"wall_ns"`
+	// StartNs is the execution's creation time as unix nanoseconds, so
+	// spans gathered from several servers order on one timeline (the
+	// in-process fabric and single-host TCP deployments share a clock;
+	// cross-host skew shows up as negative parent→child gaps, which the
+	// assembler clamps).
+	StartNs int64 `json:"start_ns"`
+	// FetchNs is time spent in storage vertex fetches (the merged disk
+	// access of §V-B), attributed to the group head that paid it.
+	FetchNs int64 `json:"fetch_ns,omitempty"`
+	// FilterNs is time spent evaluating step predicates.
+	FilterNs int64 `json:"filter_ns,omitempty"`
+	// ScanNs is time spent iterating next-step edges, dispatch buffering
+	// included (DispatchNs is the contained sub-phase).
+	ScanNs int64 `json:"scan_ns,omitempty"`
+	// DispatchNs is time spent buffering frontier dispatches toward their
+	// owners — the fan-out cost. A sub-interval of ScanNs, not additive
+	// with it.
+	DispatchNs int64 `json:"dispatch_ns,omitempty"`
 	// Err is the first failure the execution observed, if any.
 	Err string `json:"err,omitempty"`
 }
+
+// EndNs is the span's termination time as unix nanoseconds.
+func (s Span) EndNs() int64 { return s.StartNs + s.WallNs }
 
 // Builder accumulates one in-flight execution's span. All methods are safe
 // for concurrent use — merged scheduler groups let several workers touch
@@ -62,23 +88,29 @@ type Span struct {
 type Builder struct {
 	travel   uint64
 	exec     uint64
+	parent   uint64
 	server   int32
 	step     int32
 	frontier int
 	start    time.Time
 
-	redundant atomic.Int64
-	combined  atomic.Int64
-	real      atomic.Int64
-	waitNs    atomic.Int64
-	err       atomic.Pointer[string]
+	redundant  atomic.Int64
+	combined   atomic.Int64
+	real       atomic.Int64
+	waitNs     atomic.Int64
+	fetchNs    atomic.Int64
+	filterNs   atomic.Int64
+	scanNs     atomic.Int64
+	dispatchNs atomic.Int64
+	err        atomic.Pointer[string]
 }
 
-// Begin starts a span for an execution of `frontier` entries.
-func Begin(travel, exec uint64, server, step int32, frontier int) *Builder {
+// Begin starts a span for an execution of `frontier` entries created by
+// `parent` (zero for roots).
+func Begin(travel, exec, parent uint64, server, step int32, frontier int) *Builder {
 	return &Builder{
-		travel: travel, exec: exec, server: server, step: step,
-		frontier: frontier, start: time.Now(),
+		travel: travel, exec: exec, parent: parent, server: server,
+		step: step, frontier: frontier, start: time.Now(),
 	}
 }
 
@@ -116,6 +148,35 @@ func (b *Builder) ObserveWait(d time.Duration) {
 	}
 }
 
+// AddFetch accumulates storage vertex-fetch time.
+func (b *Builder) AddFetch(d time.Duration) {
+	if b != nil {
+		b.fetchNs.Add(int64(d))
+	}
+}
+
+// AddFilter accumulates step-predicate evaluation time.
+func (b *Builder) AddFilter(d time.Duration) {
+	if b != nil {
+		b.filterNs.Add(int64(d))
+	}
+}
+
+// AddScan accumulates next-step edge-scan time (dispatch buffering
+// included).
+func (b *Builder) AddScan(d time.Duration) {
+	if b != nil {
+		b.scanNs.Add(int64(d))
+	}
+}
+
+// AddDispatch accumulates dispatch fan-out (outbox buffering) time.
+func (b *Builder) AddDispatch(d time.Duration) {
+	if b != nil {
+		b.dispatchNs.Add(int64(d))
+	}
+}
+
 // Fail records the execution's failure; the first recorded message wins.
 func (b *Builder) Fail(msg string) {
 	if b != nil {
@@ -127,13 +188,19 @@ func (b *Builder) Fail(msg string) {
 // when the execution terminates.
 func (b *Builder) Finish() Span {
 	s := Span{
-		Travel: b.travel, Exec: b.exec, Server: b.server, Step: b.step,
+		Travel: b.travel, Exec: b.exec, Parent: b.parent,
+		Server: b.server, Step: b.step,
 		Frontier:    b.frontier,
 		Redundant:   int(b.redundant.Load()),
 		Combined:    int(b.combined.Load()),
 		Real:        int(b.real.Load()),
 		QueueWaitNs: b.waitNs.Load(),
 		WallNs:      int64(time.Since(b.start)),
+		StartNs:     b.start.UnixNano(),
+		FetchNs:     b.fetchNs.Load(),
+		FilterNs:    b.filterNs.Load(),
+		ScanNs:      b.scanNs.Load(),
+		DispatchNs:  b.dispatchNs.Load(),
 	}
 	if e := b.err.Load(); e != nil {
 		s.Err = *e

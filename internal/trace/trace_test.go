@@ -8,7 +8,7 @@ import (
 )
 
 func TestBuilderLifecycle(t *testing.T) {
-	b := Begin(7, 42, 3, 2, 10)
+	b := Begin(7, 42, 9, 3, 2, 10)
 	b.AddRedundant(4)
 	b.AddCombined(5)
 	b.AddReal(1)
@@ -17,7 +17,7 @@ func TestBuilderLifecycle(t *testing.T) {
 	b.ObserveWait(time.Millisecond) // smaller: must not lower the max
 	s := b.Finish()
 
-	if s.Travel != 7 || s.Exec != 42 || s.Server != 3 || s.Step != 2 {
+	if s.Travel != 7 || s.Exec != 42 || s.Parent != 9 || s.Server != 3 || s.Step != 2 {
 		t.Errorf("identity fields wrong: %+v", s)
 	}
 	if s.Frontier != 10 || s.Redundant != 4 || s.Combined != 5 || s.Real != 1 {
@@ -38,7 +38,7 @@ func TestBuilderLifecycle(t *testing.T) {
 }
 
 func TestBuilderFailFirstWins(t *testing.T) {
-	b := Begin(1, 1, 0, 0, 1)
+	b := Begin(1, 1, 0, 0, 0, 1)
 	b.Fail("first")
 	b.Fail("second")
 	if s := b.Finish(); s.Err != "first" {
@@ -56,7 +56,7 @@ func TestNilBuilderIsSafe(t *testing.T) {
 }
 
 func TestBuilderConcurrentAttribution(t *testing.T) {
-	b := Begin(1, 1, 0, 0, 64)
+	b := Begin(1, 1, 0, 0, 0, 64)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)

@@ -146,7 +146,14 @@ type Message struct {
 	Ended   []uint64
 	Verts   []model.VertexID
 	ReqID   uint64
-	Err     string
+	// ParentExec is the ledger id of the execution whose outputs produced
+	// this message's payload: the causal parent of the execution a
+	// KindDispatch / KindReturnSig creates, or of a client-mode
+	// KindVisitReq's span. Zero marks a root (client submission or seed
+	// scan) — execution ids are minted with a nonzero server tag, so zero
+	// is never a real id.
+	ParentExec uint64
+	Err        string
 	// Blob carries an opaque auxiliary payload; currently JSON-encoded
 	// trace.StepStat rows in KindTraceResp messages.
 	Blob []byte
@@ -161,6 +168,7 @@ func Append(b []byte, m *Message) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.Peer))
 	b = binary.LittleEndian.AppendUint64(b, m.ExecID)
 	b = binary.LittleEndian.AppendUint64(b, m.ReqID)
+	b = binary.LittleEndian.AppendUint64(b, m.ParentExec)
 	b = binary.AppendUvarint(b, uint64(len(m.Plan)))
 	b = append(b, m.Plan...)
 	b = binary.AppendUvarint(b, uint64(len(m.Entries)))
@@ -279,6 +287,7 @@ func Decode(b []byte) (Message, error) {
 	m.Peer = int32(d.u32())
 	m.ExecID = d.u64()
 	m.ReqID = d.u64()
+	m.ParentExec = d.u64()
 	if n := d.uvarint(); n > 0 {
 		m.Plan = append([]byte(nil), d.bytes(n)...)
 	}

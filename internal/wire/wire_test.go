@@ -12,21 +12,22 @@ import (
 
 func TestRoundTripAllFields(t *testing.T) {
 	m := Message{
-		Kind:     KindDispatch,
-		TravelID: 77,
-		Step:     -3,
-		Mode:     2,
-		Coord:    -1,
-		Peer:     5,
-		Plan:     []byte{1, 2, 3},
-		ExecID:   999,
-		Entries:  []Entry{{Vertex: 5, Anc: 6, AncStep: 2, Dest: -1}, {Vertex: 7, Anc: 0, AncStep: -1, Dest: 3}},
-		Created:  []ExecRef{{ID: 1, Server: 2, Step: 3}},
-		Ended:    []uint64{4, 5},
-		Verts:    []model.VertexID{10, 20},
-		ReqID:    42,
-		Err:      "boom",
-		Blob:     []byte("{\"x\":1}"),
+		Kind:       KindDispatch,
+		TravelID:   77,
+		Step:       -3,
+		Mode:       2,
+		Coord:      -1,
+		Peer:       5,
+		Plan:       []byte{1, 2, 3},
+		ExecID:     999,
+		Entries:    []Entry{{Vertex: 5, Anc: 6, AncStep: 2, Dest: -1}, {Vertex: 7, Anc: 0, AncStep: -1, Dest: 3}},
+		Created:    []ExecRef{{ID: 1, Server: 2, Step: 3}},
+		Ended:      []uint64{4, 5},
+		Verts:      []model.VertexID{10, 20},
+		ReqID:      42,
+		ParentExec: 888,
+		Err:        "boom",
+		Blob:       []byte("{\"x\":1}"),
 	}
 	got, err := Decode(Append(nil, &m))
 	if err != nil {
@@ -58,6 +59,9 @@ func randomMessage(r *rand.Rand) Message {
 		Peer:     int32(r.Intn(64) - 1),
 		ExecID:   r.Uint64(),
 		ReqID:    r.Uint64(),
+	}
+	if r.Intn(2) == 0 {
+		m.ParentExec = r.Uint64()
 	}
 	if r.Intn(2) == 0 {
 		m.Plan = make([]byte, r.Intn(64))
