@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build vet test race stress check lint fmt fmtcheck bench benchfull bench-smoke bench-readpath clean
+.PHONY: all build vet test race stress check lint fmt fmtcheck bench benchfull bench-smoke bench-readpath bench-failover clean
 
 all: build
 
@@ -23,9 +23,11 @@ race:
 	$(GO) test -race ./...
 
 # Concurrency stress: many simultaneous traversals multiplexed over the
-# shared per-server executor, under the race detector with a short deadline.
+# shared per-server executor, plus the replication chaos suite (quorum
+# writes, primary-kill failover, epoch fencing, shard handoff), all under
+# the race detector with a short deadline.
 stress:
-	$(GO) test -race -count=1 -timeout 120s -run 'TestSharedExecutor' ./internal/core
+	$(GO) test -race -count=1 -timeout 120s -run 'TestSharedExecutor|TestRepl|TestRetryable' ./internal/core
 
 check: vet build test race stress lint
 
@@ -71,6 +73,12 @@ bench-smoke:
 # (SeedScanned == matches when indexed) and cold/warm read-cache hit rate.
 bench-readpath:
 	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp readpath -json BENCH_readpath.json
+
+# bench-failover gates the replication subsystem: quorum-acknowledged
+# writes, primary-kill promotion latency, zero lost acked writes, traversal
+# equivalence across the failover, and online shard handoff.
+bench-failover:
+	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp failover -json BENCH_failover.json
 
 clean:
 	$(GO) clean ./...

@@ -7,7 +7,11 @@
 //	graphtrek-gen -out /data/graph -servers 4 -kind meta -vertices 100000
 //
 // Partitioning matches the engine's edge-cut hash partitioner, so server i
-// can open /data/graph/server-0i directly.
+// can open /data/graph/server-0i directly. -replicas must match the
+// servers' -replicas flag: each vertex and edge is written to every
+// replica of its partition (identity placement), so a freshly booted
+// replicated cluster's followers already hold the data a failover would
+// need. -replicas 1 writes the single-copy layout.
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/kv"
 	"graphtrek/internal/model"
-	"graphtrek/internal/partition"
+	"graphtrek/internal/route"
 )
 
 func main() {
@@ -32,13 +36,14 @@ func main() {
 	vertices := flag.Int("vertices", 100000, "metadata graph target vertex count")
 	in := flag.String("in", "", "trace file to import (kind=trace)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	replicas := flag.Int("replicas", 2, "replicas per partition; must match graphtrek-server -replicas (1 = single copy)")
 	flag.Parse()
 
-	if *out == "" || *servers < 1 {
+	if *out == "" || *servers < 1 || *replicas < 1 || *replicas > *servers {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*out, *servers, *kind, *scale, *deg, *vertices, *seed, *in); err != nil {
+	if err := run(*out, *servers, *replicas, *kind, *scale, *deg, *vertices, *seed, *in); err != nil {
 		fmt.Fprintln(os.Stderr, "graphtrek-gen:", err)
 		os.Exit(1)
 	}
@@ -47,8 +52,11 @@ func main() {
 // partitionName is the per-server directory name under the output root.
 func partitionName(i int) string { return fmt.Sprintf("server-%02d", i) }
 
-func run(out string, servers int, kind string, scale, deg, vertices int, seed int64, in string) error {
-	part := partition.NewHash(servers)
+func run(out string, servers, replicas int, kind string, scale, deg, vertices int, seed int64, in string) error {
+	// The identity route table places partition p's primary on server p,
+	// exactly where the hash partitioner put it, so -replicas 1 produces
+	// the original single-copy layout byte for byte.
+	table := route.Identity(servers, replicas)
 	stores := make([]*gstore.Store, servers)
 	for i := range stores {
 		s, err := gstore.Open(filepath.Join(out, partitionName(i)), kv.Options{})
@@ -58,9 +66,21 @@ func run(out string, servers int, kind string, scale, deg, vertices int, seed in
 		defer s.Close()
 		stores[i] = s
 	}
+	forReplicas := func(id model.VertexID, put func(*gstore.Store) error) error {
+		for _, r := range table.Parts[table.Partition(id)].Replicas() {
+			if err := put(stores[r]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	sink := gen.Funcs{
-		Vertex: func(v model.Vertex) error { return stores[part.Owner(v.ID)].PutVertex(v) },
-		Edge:   func(e model.Edge) error { return stores[part.Owner(e.Src)].PutEdge(e) },
+		Vertex: func(v model.Vertex) error {
+			return forReplicas(v.ID, func(s *gstore.Store) error { return s.PutVertex(v) })
+		},
+		Edge: func(e model.Edge) error {
+			return forReplicas(e.Src, func(s *gstore.Store) error { return s.PutEdge(e) })
+		},
 	}
 	switch kind {
 	case "rmat":

@@ -9,12 +9,13 @@ import (
 	"graphtrek/internal/kv"
 	"graphtrek/internal/model"
 	"graphtrek/internal/partition"
+	"graphtrek/internal/route"
 )
 
 func TestGenerateRMATPartitions(t *testing.T) {
 	dir := t.TempDir()
 	const servers = 3
-	if err := run(dir, servers, "rmat", 7, 4, 0, 1, ""); err != nil {
+	if err := run(dir, servers, 1, "rmat", 7, 4, 0, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	part := partition.NewHash(servers)
@@ -45,7 +46,7 @@ func TestGenerateRMATPartitions(t *testing.T) {
 
 func TestGenerateMetadataPartitions(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 2, "meta", 0, 0, 500, 2, ""); err != nil {
+	if err := run(dir, 2, 1, "meta", 0, 0, 500, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
@@ -76,7 +77,7 @@ func TestGenerateFromTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "graph")
-	if err := run(out, 2, "trace", 0, 0, 0, 1, trace); err != nil {
+	if err := run(out, 2, 1, "trace", 0, 0, 0, 1, trace); err != nil {
 		t.Fatal(err)
 	}
 	total := 0
@@ -92,13 +93,56 @@ func TestGenerateFromTrace(t *testing.T) {
 		t.Errorf("imported %d vertices, want 5", total)
 	}
 	// Missing -in errors.
-	if err := run(filepath.Join(dir, "g2"), 1, "trace", 0, 0, 0, 1, ""); err == nil {
+	if err := run(filepath.Join(dir, "g2"), 1, 1, "trace", 0, 0, 0, 1, ""); err == nil {
 		t.Error("trace without -in should error")
 	}
 }
 
 func TestGenerateUnknownKind(t *testing.T) {
-	if err := run(t.TempDir(), 1, "nope", 4, 2, 10, 1, ""); err == nil {
+	if err := run(t.TempDir(), 1, 1, "nope", 4, 2, 10, 1, ""); err == nil {
 		t.Error("unknown kind should error")
+	}
+}
+
+func TestGenerateReplicatedLayout(t *testing.T) {
+	dir := t.TempDir()
+	const servers, replicas = 3, 2
+	if err := run(dir, servers, replicas, "rmat", 7, 4, 0, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	table := route.Identity(servers, replicas)
+	// Every vertex must be present on every replica of its partition, and
+	// nowhere else.
+	counts := make([]map[model.VertexID]bool, servers)
+	for i := 0; i < servers; i++ {
+		counts[i] = make(map[model.VertexID]bool)
+		s, err := gstore.Open(filepath.Join(dir, partitionName(i)), kv.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.ScanVertices(func(v model.Vertex) bool { counts[i][v.ID] = true; return true })
+		s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	distinct := make(map[model.VertexID]bool)
+	for i := range counts {
+		for id := range counts[i] {
+			distinct[id] = true
+			if !table.Parts[table.Partition(id)].HasReplica(int32(i)) {
+				t.Errorf("vertex %v on server %d which does not replicate its partition", id, i)
+			}
+		}
+	}
+	for id := range distinct {
+		for _, r := range table.Parts[table.Partition(id)].Replicas() {
+			if !counts[r][id] {
+				t.Errorf("vertex %v missing from replica %d of its partition", id, r)
+			}
+		}
+	}
+	if len(distinct) != 1<<7 {
+		t.Errorf("distinct vertices = %d, want %d", len(distinct), 1<<7)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"graphtrek/internal/kv"
 	"graphtrek/internal/obs"
 	"graphtrek/internal/partition"
+	"graphtrek/internal/route"
 	"graphtrek/internal/rpc"
 	"graphtrek/internal/simio"
 )
@@ -48,6 +49,8 @@ func main() {
 	slowTravel := flag.Duration("slow-travel", 0, "capture the full causal trace DAG of traversals at least this slow (served at /traces/slow; 0 disables)")
 	indexKeys := flag.String("index", "", "comma-separated property keys to secondary-index at boot (step-0 filters on them seed via the index)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "read-cache budget in bytes for decoded vertices and adjacency lists (0 disables)")
+	replicas := flag.Int("replicas", 2, "replicas per partition (primary + followers); 1 disables replication")
+	join := flag.String("join", "", "comma-separated partition ids to join via online shard handoff after startup (replicated clusters only)")
 	flag.Parse()
 
 	if *data == "" || *addrs == "" {
@@ -85,10 +88,21 @@ func main() {
 		}
 	}
 
+	// With -replicas >= 2 the partition map is an epoch-stamped route view
+	// (identical to the static hash layout at boot) instead of the bare
+	// hash partitioner: quorum writes, epoch-fenced failover and shard
+	// handoff activate, and gossip keeps the cluster's views converged.
+	var part partition.Partitioner = partition.NewHash(*servers)
+	var view *route.View
+	if *replicas >= 2 {
+		view = route.NewView(route.Identity(*servers, *replicas))
+		part = view
+	}
 	srv := core.NewServer(core.Config{
 		ID:                *id,
 		Store:             store,
-		Part:              partition.NewHash(*servers),
+		Part:              part,
+		Route:             view,
 		Disk:              simio.NewDisk(*diskService, 1),
 		Workers:           *workers,
 		MaxQueueDepth:     *maxQueue,
@@ -110,6 +124,38 @@ func main() {
 	srv.Bind(tr)
 	fmt.Printf("graphtrek-server: node %d/%d listening on %s, partition %s\n",
 		*id, *servers, tr.Addr(), *data)
+	if *join != "" {
+		if view == nil {
+			fmt.Fprintln(os.Stderr, "graphtrek-server: -join requires -replicas >= 2")
+			os.Exit(2)
+		}
+		// Let Bind's boot route announcement and its anti-entropy replies
+		// land first: a restarted ex-replica boots with a stale table that
+		// still lists it as a member, and joining off that table would
+		// no-op. One round trip fences and demotes us; a second is slack.
+		time.Sleep(time.Second)
+		for _, ps := range strings.Split(*join, ",") {
+			var p int
+			if _, err := fmt.Sscanf(strings.TrimSpace(ps), "%d", &p); err != nil {
+				fmt.Fprintln(os.Stderr, "graphtrek-server: -join:", err)
+				os.Exit(2)
+			}
+			if err := srv.JoinPartition(p); err != nil {
+				fmt.Fprintln(os.Stderr, "graphtrek-server: -join:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("graphtrek-server: joining partition %d (snapshot + live tail streaming)\n", p)
+			deadline := time.Now().Add(30 * time.Second)
+			for !view.Assignment(p).HasReplica(int32(*id)) {
+				if time.Now().After(deadline) {
+					fmt.Fprintf(os.Stderr, "graphtrek-server: -join: partition %d not published as ours after 30s\n", p)
+					os.Exit(1)
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			fmt.Printf("graphtrek-server: joined partition %d\n", p)
+		}
+	}
 
 	var obsSrv *http.Server
 	if *obsAddr != "" {

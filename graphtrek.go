@@ -38,6 +38,7 @@ import (
 	"graphtrek/internal/partition"
 	"graphtrek/internal/property"
 	"graphtrek/internal/query"
+	"graphtrek/internal/route"
 	"graphtrek/internal/rpc"
 	"graphtrek/internal/simio"
 )
@@ -200,6 +201,18 @@ type Options struct {
 	// materialized adjacency lists), the stand-in for the RocksDB block
 	// cache of §VI. Zero disables the cache.
 	ReadCacheBytes int64
+	// ReplicationFactor, when >= 2, gives every partition a primary plus
+	// ReplicationFactor-1 follower replicas: quorum-acknowledged writes via
+	// Client.Write, automatic epoch-fenced failover when the failure
+	// detector condemns a primary, and online shard handoff via
+	// JoinPartition. Each node holds its own route view and converges via
+	// gossip. The default (0 or 1) runs the seed cluster's unreplicated
+	// layout, bit-for-bit identical behavior. Incompatible with a custom
+	// Partitioner.
+	ReplicationFactor int
+	// WriteTimeout bounds how long a primary holds a quorum write before
+	// failing it as retryable (default 5s).
+	WriteTimeout time.Duration
 }
 
 // Cluster is an in-process GraphTrek deployment: N backend servers plus one
@@ -212,7 +225,12 @@ type Cluster struct {
 	stores  []gstore.Graph
 	disks   []*simio.Disk
 	client  *core.Client
-	closed  bool
+	// views holds each server's route view (replicated clusters only);
+	// croute is the client's. Separate views per node — they converge
+	// through gossip, like a real deployment.
+	views  []*route.View
+	croute *route.View
+	closed bool
 }
 
 // NewCluster assembles and starts a cluster.
@@ -233,16 +251,28 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if opts.HeartbeatInterval < 0 {
 		opts.HeartbeatInterval = 0 // detector disabled
 	}
+	replicated := opts.ReplicationFactor >= 2
 	part := opts.Partitioner
 	if part == nil {
 		part = partition.NewHash(opts.Servers)
 	} else if part.N() != opts.Servers {
 		return nil, fmt.Errorf("graphtrek: partitioner covers %d servers, cluster has %d", part.N(), opts.Servers)
+	} else if replicated {
+		return nil, errors.New("graphtrek: ReplicationFactor and a custom Partitioner are mutually exclusive (the route view is the partitioner)")
 	}
 	c := &Cluster{
 		opts:   opts,
 		part:   part,
 		fabric: rpc.NewFabric(opts.Servers+1, opts.InboxSize),
+	}
+	if replicated {
+		// One route view per node, all booted from the same identity table;
+		// failover and handoff move them apart and gossip re-converges them.
+		for i := 0; i < opts.Servers; i++ {
+			c.views = append(c.views, route.NewView(route.Identity(opts.Servers, opts.ReplicationFactor)))
+		}
+		c.croute = route.NewView(route.Identity(opts.Servers, opts.ReplicationFactor))
+		c.part = c.croute
 	}
 	for i := 0; i < opts.Servers; i++ {
 		var store gstore.Graph
@@ -272,10 +302,18 @@ func NewCluster(opts Options) (*Cluster, error) {
 			disk.AttachStragglers(i, opts.Stragglers)
 		}
 		c.disks = append(c.disks, disk)
+		srvPart := c.part
+		var srvRoute *route.View
+		if replicated {
+			srvPart = c.views[i]
+			srvRoute = c.views[i]
+		}
 		srv := core.NewServer(core.Config{
 			ID:                i,
 			Store:             store,
-			Part:              c.part,
+			Part:              srvPart,
+			Route:             srvRoute,
+			WriteTimeout:      opts.WriteTimeout,
 			Disk:              disk,
 			Workers:           opts.Workers,
 			MaxQueueDepth:     opts.MaxQueueDepth,
@@ -334,15 +372,74 @@ func (c *Cluster) Servers() int { return c.opts.Servers }
 // partitioning).
 func (c *Cluster) Owner(id VertexID) int { return c.part.Owner(id) }
 
-// AddVertex stores a vertex on its owning server.
+// AddVertex stores a vertex on its owning server — on every replica of its
+// partition when the cluster is replicated (bulk loading writes the stores
+// directly, bypassing the quorum write path; use Write for runtime
+// mutations).
 func (c *Cluster) AddVertex(v Vertex) error {
-	return c.stores[c.part.Owner(v.ID)].PutVertex(v)
+	for _, s := range c.replicaStores(v.ID) {
+		if err := s.PutVertex(v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// AddEdge stores a directed edge with its source vertex (edge-cut).
+// AddEdge stores a directed edge with its source vertex (edge-cut), on
+// every replica of the source's partition when the cluster is replicated.
 func (c *Cluster) AddEdge(e Edge) error {
-	return c.stores[c.part.Owner(e.Src)].PutEdge(e)
+	for _, s := range c.replicaStores(e.Src) {
+		if err := s.PutEdge(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
+
+// replicaStores lists the stores holding a vertex's partition: just the
+// owner on unreplicated clusters, the full replica set otherwise.
+func (c *Cluster) replicaStores(id VertexID) []gstore.Graph {
+	if c.croute == nil {
+		return c.stores[c.part.Owner(id) : c.part.Owner(id)+1]
+	}
+	a := c.croute.Assignment(c.croute.Partition(id))
+	out := make([]gstore.Graph, 0, 1+len(a.Followers))
+	for _, r := range a.Replicas() {
+		out = append(out, c.stores[r])
+	}
+	return out
+}
+
+// Write applies graph mutations through the replication protocol: routed
+// to each partition's primary and acknowledged once a quorum holds them.
+// Only available on replicated clusters (ReplicationFactor >= 2).
+func (c *Cluster) Write(muts []gstore.Mutation, opts core.WriteOptions) error {
+	return c.client.Write(muts, opts)
+}
+
+// KillServer simulates a crash of backend i: the engine stops and the
+// node's endpoint closes, so in-flight and future messages to it vanish.
+// The failure detector condemns it within SuspectAfter, and on replicated
+// clusters its primaried partitions fail over to followers.
+func (c *Cluster) KillServer(i int) {
+	c.servers[i].Close()
+	c.fabric.Endpoint(i).Close()
+}
+
+// JoinPartition streams partition part's state onto backend server (online
+// shard handoff): a snapshot plus the live append tail, then a fresh epoch
+// that adds the server to the replica set — promotable from then on.
+func (c *Cluster) JoinPartition(server, part int) error {
+	return c.servers[server].JoinPartition(part)
+}
+
+// RouteView returns backend i's route view on a replicated cluster (nil
+// otherwise) — each node has its own, converging via gossip.
+func (c *Cluster) RouteView(i int) *route.View { return c.views[i] }
+
+// ClientRouteView returns the client's route view on a replicated cluster,
+// nil otherwise.
+func (c *Cluster) ClientRouteView() *route.View { return c.croute }
 
 // Sink returns a generator sink that routes elements to their owners; pass
 // it to gen.RMAT or gen.Metadata.
@@ -465,13 +562,21 @@ func (c *Cluster) EnableIndex(key string) error {
 // index must have been enabled), returning ids in ascending order — ready
 // to seed a traversal with V(ids...).
 func (c *Cluster) FindVertices(key string, value Value) ([]VertexID, error) {
+	// On replicated clusters the same vertex is indexed on every replica;
+	// dedup so callers see each id once.
+	seen := make(map[VertexID]bool)
 	var out []VertexID
 	for _, st := range c.stores {
 		ids, err := st.(gstore.PropertyIndex).LookupVertices(key, value)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ids...)
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil

@@ -9,9 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphtrek/internal/gstore"
 	"graphtrek/internal/model"
 	"graphtrek/internal/partition"
 	"graphtrek/internal/query"
+	"graphtrek/internal/route"
 	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
@@ -25,8 +27,13 @@ import (
 type Client struct {
 	tr   transport
 	part partition.Partitioner
-	seq  atomic.Uint64
-	rtt  time.Duration
+	// route is part's concrete *route.View when the cluster runs with
+	// replication: it lets the client address partitions for writes and
+	// merge gossiped/piggybacked table updates. Nil on replication-free
+	// clusters.
+	route *route.View
+	seq   atomic.Uint64
+	rtt   time.Duration
 
 	mu      sync.Mutex
 	pending map[uint64]*pendingTravel
@@ -46,6 +53,9 @@ func NewClient(part partition.Partitioner) *Client {
 		part:    part,
 		pending: make(map[uint64]*pendingTravel),
 		reqs:    make(map[uint64]chan wire.Message),
+	}
+	if v, ok := part.(*route.View); ok {
+		c.route = v
 	}
 	// Travel ids embed this client's node slot and a sequence number. The
 	// sequence is seeded from the clock so a restarted client process never
@@ -88,7 +98,12 @@ func (c *Client) Handle(_ int, msg wire.Message) {
 			}
 			close(p.done)
 		}
-	case wire.KindVisitResp, wire.KindProgressResp, wire.KindTraceResp:
+	case wire.KindVisitResp, wire.KindProgressResp, wire.KindTraceResp, wire.KindWriteResp:
+		// A rejected write piggybacks the server's route table so the retry
+		// is already re-routed when the caller sees the error.
+		if msg.Kind == wire.KindWriteResp && len(msg.Blob) > 0 {
+			c.mergeRoute(msg.Blob)
+		}
 		c.mu.Lock()
 		ch, ok := c.reqs[msg.ReqID]
 		if ok {
@@ -98,6 +113,119 @@ func (c *Client) Handle(_ int, msg wire.Message) {
 		if ok {
 			ch <- msg
 		}
+	case wire.KindRouteUpdate:
+		c.mergeRoute(msg.Blob)
+	}
+}
+
+// mergeRoute folds an encoded route table into the client's view; clients
+// without a view (replication off) ignore route traffic.
+func (c *Client) mergeRoute(blob []byte) {
+	if c.route == nil {
+		return
+	}
+	if tbl, err := route.DecodeTable(blob); err == nil {
+		c.route.Update(tbl)
+	}
+}
+
+// WriteOptions tunes a replicated write.
+type WriteOptions struct {
+	// Timeout bounds the whole Write call (default 30s).
+	Timeout time.Duration
+	// Retries re-sends a failed per-partition batch up to this many
+	// additional times when the error is Retryable — e.g. a write fenced
+	// mid-failover retries against the newly promoted primary after the
+	// piggybacked route table is merged. Default (zero) retries 3 times;
+	// negative disables retries.
+	Retries int
+}
+
+// Write applies graph mutations durably through the replication protocol:
+// each mutation is routed to its partition's primary, which acknowledges
+// only once a quorum of the replica set holds it. Mutations for the same
+// partition ship as one batch (one quorum round). Requires a cluster built
+// with replication (a *route.View partitioner).
+func (c *Client) Write(muts []gstore.Mutation, opts WriteOptions) error {
+	if c.tr == nil {
+		return errors.New("core: client not bound to a transport")
+	}
+	if c.route == nil {
+		return errors.New("core: replication is not enabled on this cluster")
+	}
+	if len(muts) == 0 {
+		return nil
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	deadline := time.Now().Add(opts.Timeout)
+	byPart := make(map[int][]gstore.Mutation)
+	for _, m := range muts {
+		p := c.route.Partition(m.RoutingID())
+		byPart[p] = append(byPart[p], m)
+	}
+	for p, batch := range byPart {
+		blob := gstore.EncodeBatch(batch)
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			// Split the remaining budget across the attempts left, so one
+			// silent drop (e.g. a primary that died before gossip reached us)
+			// cannot consume the whole deadline and starve the re-routed
+			// retries.
+			attemptDeadline := deadline
+			if left := opts.Retries - attempt; left > 0 {
+				if slice := time.Until(deadline) / time.Duration(left+1); slice > 0 {
+					attemptDeadline = time.Now().Add(slice)
+				}
+			}
+			lastErr = c.writePart(p, blob, attemptDeadline)
+			if lastErr == nil {
+				break
+			}
+			if attempt >= opts.Retries || !Retryable(lastErr) {
+				return lastErr
+			}
+		}
+	}
+	return nil
+}
+
+// writePart runs one quorum round for one partition's batch against the
+// partition's current primary.
+func (c *Client) writePart(p int, blob []byte, deadline time.Time) error {
+	primary := int(c.route.Assignment(p).Primary)
+	reqID := c.reqSeq.Add(1)
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	c.reqs[reqID] = ch
+	c.mu.Unlock()
+	err := c.tr.Send(primary, wire.Message{
+		Kind: wire.KindWriteReq, ReqID: reqID, Part: int32(p), Blob: blob,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return errors.New(resp.Err)
+		}
+		return nil
+	case <-time.After(time.Until(deadline)):
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return fmt.Errorf("core: write to partition %d (server %d) timed out", p, primary)
 	}
 }
 
@@ -144,6 +272,9 @@ func (c *Client) SubmitPlan(plan *query.Plan, opts SubmitOptions) ([]model.Verte
 			return res, nil
 		}
 		lastErr = err
+		if !Retryable(err) {
+			break // a malformed plan or cancellation never heals with retries
+		}
 	}
 	return nil, lastErr
 }

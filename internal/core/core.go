@@ -35,6 +35,7 @@ import (
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/metrics"
 	"graphtrek/internal/partition"
+	"graphtrek/internal/route"
 	"graphtrek/internal/rpc"
 	"graphtrek/internal/simio"
 )
@@ -174,6 +175,18 @@ type Config struct {
 	// /traces/slow endpoint). Zero or negative disables capture. Requires
 	// tracing (TraceCap >= 0) to observe anything.
 	SlowTravelNs int64
+	// Route, when set, enables per-partition replication, epoch-based
+	// failover and online shard handoff: the view publishes the
+	// epoch-stamped partition→(primary, followers) table every node in the
+	// cluster shares via gossip. Part should be the same *route.View so
+	// traversal dispatch follows failover automatically. Nil (the default)
+	// disables replication entirely — identical behavior to the seed
+	// cluster.
+	Route *route.View
+	// WriteTimeout bounds how long a primary holds a client write while
+	// collecting its replication quorum before failing it as retryable
+	// (default 5s).
+	WriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +210,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatInterval > 0 && c.SuspectAfter <= 0 {
 		c.SuspectAfter = 3 * c.HeartbeatInterval
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
 	}
 	return c
 }

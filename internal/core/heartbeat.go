@@ -71,6 +71,12 @@ func (s *Server) detectLoop() {
 		case <-tick.C:
 		}
 		now := time.Now().UnixNano()
+		// Mark every newly silent peer before reacting to any of them: a
+		// node isolated from the whole cluster sees all its peers expire in
+		// one scan, and the replication layer's majority guard must observe
+		// the full suspicion set or it would drive a split-brain failover
+		// off the first name in iteration order.
+		var fresh []int
 		for p := range s.lastSeen {
 			if p == s.cfg.ID {
 				continue
@@ -81,6 +87,9 @@ func (s *Server) detectLoop() {
 			if s.suspected[p].Swap(true) {
 				continue // already suspected
 			}
+			fresh = append(fresh, p)
+		}
+		for _, p := range fresh {
 			s.met.AddPeerDownEvents(1)
 			s.onPeerDown(p, true)
 		}
@@ -116,6 +125,10 @@ func (s *Server) onPeerDown(peer int, broadcast bool) {
 		}
 	}
 	s.failLedgersForPeer(peer)
+	// With replication enabled, a condemned backend also triggers failover:
+	// promote a new primary for partitions it led, shrink replica sets it
+	// followed in (repl.go).
+	s.replOnPeerDown(peer)
 }
 
 // handlePeerDown adopts a suspicion gossiped by another backend.

@@ -80,6 +80,24 @@ func (s *Server) startCoordination(client int, travelID uint64, ts *travelState)
 	s.ledgers[travelID] = led
 	s.mu.Unlock()
 
+	// Replicated clusters: every partition needs an un-suspected primary,
+	// or the traversal would silently skip that partition's vertices —
+	// between a primary's death and a follower's promotion the partition is
+	// orphaned. Failing here (retryably) makes the client's retry loop wait
+	// out the failover instead of accepting an incomplete result set.
+	if s.cfg.Route != nil {
+		for p := 0; p < s.cfg.Route.Parts(); p++ {
+			if prim := int(s.cfg.Route.Assignment(p).Primary); s.isSuspect(prim) {
+				led.mu.Lock()
+				led.errs = append(led.errs,
+					fmt.Sprintf("core: partition %d primary server %d suspected dead; awaiting failover", p, prim))
+				led.mu.Unlock()
+				s.checkLedger(led)
+				return
+			}
+		}
+	}
+
 	planBytes := ts.plan.Encode()
 	s0 := ts.plan.Steps[0]
 	seedByScan := len(s0.SourceIDs) == 0

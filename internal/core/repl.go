@@ -1,0 +1,917 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+	"graphtrek/internal/route"
+	"graphtrek/internal/wire"
+)
+
+// This file implements per-partition replication, epoch-based failover and
+// online shard handoff. It is active only when Config.Route is set (the
+// cluster was built with ReplicationFactor >= 2); without a route view the
+// engine behaves exactly as before.
+//
+// Protocol sketch (DESIGN.md §12 has the full invariants):
+//
+//   - Writes go to a partition's primary (KindWriteReq). The primary
+//     applies locally, ships the mutation batch to every follower
+//     (KindReplAppend, stamped with the partition epoch and a dense
+//     per-partition sequence number) and acknowledges the client once a
+//     quorum — majority of the replica set, primary included — holds it.
+//   - Followers apply appends in sequence order; a gap triggers a nak and
+//     the primary re-ships from a bounded ring, falling back to a full
+//     snapshot stream when the ring no longer covers the gap.
+//   - Every append and ack is epoch-checked against the receiver's route
+//     view: a message from a deposed primary carries a stale epoch and is
+//     rejected (EpochRejects), with the rejecter's route table attached so
+//     the straggler catches up.
+//   - When the failure detector condemns a primary, the first live
+//     follower drives promotion: under RF 2 it promotes itself outright;
+//     with more followers it first queries their applied sequences for one
+//     heartbeat interval and nominates the most caught-up. The new
+//     assignment (epoch + 1, dead server excluded) is installed in the
+//     local view and gossiped to every server and client (KindRouteUpdate,
+//     merged per partition, higher epoch wins).
+//   - A joining server streams a snapshot (KindSnapshot chunks) while the
+//     primary forwards the live append tail; mutations are idempotent, so
+//     the overlap is harmless. After the final chunk the joiner acks, and
+//     the primary publishes a new epoch with the joiner as follower — at
+//     which point it is promotable like any other follower.
+
+const (
+	ackModeAck      = 0 // follower applied through Seq
+	ackModeNak      = 1 // follower is missing records; Seq = its applied seq
+	ackModeEpochRej = 2 // receiver fenced the sender's stale epoch
+	ackModeSeqQuery = 3 // promotion candidate asks for applied seq
+	ackModeSeqInfo  = 4 // answer to a seq query; Seq = applied seq
+)
+
+const (
+	snapReq   = 0 // joiner/lagging follower asks the primary for a stream
+	snapChunk = 1 // one mutation batch
+	snapFinal = 2 // last chunk; Seq = append sequence the snapshot covers
+	snapDone  = 3 // receiver confirms the stream was applied
+)
+
+// replRingCap bounds the per-partition ring of recent appends kept for
+// re-shipping after a nak; gaps older than the ring fall back to a
+// snapshot stream.
+const replRingCap = 1024
+
+// partRepl is one partition's replication state on one server. All fields
+// are guarded by Server.replMu.
+type partRepl struct {
+	primary bool
+
+	// Primary-side state.
+	nextSeq   uint64           // sequence the next append will carry
+	ringStart uint64           // sequence of ring[0]
+	ring      [][]byte         // recent append payloads for gap repair
+	ackedSeq  map[int32]uint64 // follower -> highest acked sequence
+	pending   map[uint64]*pendingWrite
+	shipped   int64          // bytes shipped to followers (lag numerator)
+	acked     int64          // bytes acknowledged by followers
+	joiners   map[int32]bool // servers mid-handoff: forward live appends
+
+	// Follower-side state.
+	appliedSeq uint64
+	joining    bool              // snapshot in flight; buffer the live tail
+	tail       map[uint64][]byte // buffered appends awaiting the snapshot
+}
+
+// pendingWrite is a client write awaiting its quorum.
+type pendingWrite struct {
+	from  int
+	reqID uint64
+	seq   uint64
+	need  int // follower acks still required
+	timer *time.Timer
+}
+
+// replState lazily creates partition p's state.
+func (s *Server) replState(p int) *partRepl {
+	st, ok := s.repl[p]
+	if !ok {
+		st = &partRepl{
+			ackedSeq: make(map[int32]uint64),
+			pending:  make(map[uint64]*pendingWrite),
+			joiners:  make(map[int32]bool),
+			tail:     make(map[uint64][]byte),
+		}
+		s.repl[p] = st
+	}
+	return st
+}
+
+// initRepl seeds the replica-role flags from the boot route table. Boot
+// roles are not promotions.
+func (s *Server) initRepl() {
+	if s.cfg.Route == nil {
+		return
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	for p := 0; p < s.cfg.Route.Parts(); p++ {
+		a := s.cfg.Route.Assignment(p)
+		if a.HasReplica(int32(s.cfg.ID)) {
+			s.replState(p).primary = a.Primary == int32(s.cfg.ID)
+		}
+	}
+}
+
+// misroutedEntries scans a dispatch batch for a vertex whose partition
+// this server no longer primaries — evidence the sender routed with a
+// stale table — returning the offending partition.
+func (s *Server) misroutedEntries(entries []wire.Entry) (int, bool) {
+	self := int32(s.cfg.ID)
+	for _, e := range entries {
+		p := s.cfg.Route.Partition(e.Vertex)
+		if s.cfg.Route.Assignment(p).Primary != self {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// updateLagLocked publishes the shipped-minus-acked byte lag across all
+// partitions. Caller holds replMu.
+func (s *Server) updateLagLocked() {
+	var lag int64
+	for _, st := range s.repl {
+		if st.primary {
+			lag += st.shipped - st.acked
+		}
+	}
+	s.met.SetReplLagBytes(lag)
+}
+
+// handleWriteReq serves a client's mutation batch for one partition:
+// apply locally, ship to followers, ack at quorum.
+func (s *Server) handleWriteReq(from int, msg wire.Message) {
+	resp := wire.Message{Kind: wire.KindWriteResp, ReqID: msg.ReqID, Part: msg.Part}
+	if s.cfg.Route == nil {
+		resp.Err = "core: replication is not enabled on this cluster"
+		s.send(from, resp)
+		return
+	}
+	p := int(msg.Part)
+	if p < 0 || p >= s.cfg.Route.Parts() {
+		resp.Err = fmt.Sprintf("core: no such partition %d", p)
+		s.send(from, resp)
+		return
+	}
+	a := s.cfg.Route.Assignment(p)
+	if a.Primary != int32(s.cfg.ID) {
+		// Stale client route: attach our table so the retry goes to the
+		// right server.
+		resp.Err = fmt.Sprintf("%v: partition %d is primaried by server %d", ErrPartitionMoved, p, a.Primary)
+		resp.Blob = s.cfg.Route.Table().Encode()
+		s.send(from, resp)
+		return
+	}
+	muts, err := gstore.DecodeBatch(msg.Blob)
+	if err != nil {
+		resp.Err = "query: " + err.Error() // malformed batch: terminal
+		s.send(from, resp)
+		return
+	}
+	for _, m := range muts {
+		if err := m.Apply(s.cfg.Store); err != nil {
+			resp.Err = fmt.Sprintf("core: apply write on server %d: %v", s.cfg.ID, err)
+			s.send(from, resp)
+			return
+		}
+	}
+
+	s.replMu.Lock()
+	st := s.replState(p)
+	st.primary = true
+	seq := st.nextSeq
+	if seq == 0 {
+		seq = st.appliedSeq + 1
+		st.nextSeq = seq
+	}
+	st.nextSeq++
+	st.appliedSeq = seq
+	st.pushRingLocked(seq, msg.Blob)
+	targets := s.shipTargetsLocked(st, a)
+	need := a.Quorum() - 1 // the local apply above is the primary's vote
+	if need > len(targets) {
+		need = len(targets) // replica set shrank below quorum; best effort
+	}
+	if need > 0 {
+		pw := &pendingWrite{from: from, reqID: msg.ReqID, seq: seq, need: need}
+		st.pending[seq] = pw
+		timeout := s.cfg.WriteTimeout
+		pw.timer = time.AfterFunc(timeout, func() { s.expireWrite(p, seq) })
+	}
+	app := wire.Message{
+		Kind: wire.KindReplAppend, Part: msg.Part,
+		Epoch: a.Epoch, Seq: seq, Blob: msg.Blob,
+	}
+	st.shipped += int64(len(msg.Blob) * len(targets))
+	s.updateLagLocked()
+	s.replMu.Unlock()
+
+	for _, f := range targets {
+		s.send(int(f), app)
+	}
+	if need <= 0 {
+		s.send(from, resp)
+	}
+}
+
+// shipTargetsLocked lists the servers a primary ships appends to: the
+// assignment's followers plus any joiners mid-handoff. Caller holds replMu.
+func (s *Server) shipTargetsLocked(st *partRepl, a route.Assignment) []int32 {
+	targets := append([]int32(nil), a.Followers...)
+	for j := range st.joiners {
+		if !a.HasReplica(j) {
+			targets = append(targets, j)
+		}
+	}
+	return targets
+}
+
+// pushRingLocked appends one shipped payload to the gap-repair ring.
+// Caller holds replMu.
+func (st *partRepl) pushRingLocked(seq uint64, blob []byte) {
+	if len(st.ring) == 0 {
+		st.ringStart = seq
+	}
+	st.ring = append(st.ring, blob)
+	if len(st.ring) > replRingCap {
+		drop := len(st.ring) - replRingCap
+		st.ring = append([][]byte(nil), st.ring[drop:]...)
+		st.ringStart += uint64(drop)
+	}
+}
+
+// expireWrite fails a write whose quorum never assembled — a retryable
+// condition (the client re-routes after failover finishes).
+func (s *Server) expireWrite(p int, seq uint64) {
+	s.replMu.Lock()
+	st, ok := s.repl[p]
+	if !ok {
+		s.replMu.Unlock()
+		return
+	}
+	pw, ok := st.pending[seq]
+	if !ok {
+		s.replMu.Unlock()
+		return
+	}
+	delete(st.pending, seq)
+	s.replMu.Unlock()
+	s.send(pw.from, wire.Message{
+		Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: int32(p),
+		Err: fmt.Sprintf("core: server %d write quorum timed out, retry later", s.cfg.ID),
+	})
+}
+
+// failPendingLocked fails every pending write on a partition (demotion or
+// epoch fence). Caller holds replMu; sends happen after release via the
+// returned closure pattern — callers invoke the result outside the lock.
+func (st *partRepl) failPendingLocked(errMsg string, p int) []wire.Message {
+	var out []wire.Message
+	for seq, pw := range st.pending {
+		if pw.timer != nil {
+			pw.timer.Stop()
+		}
+		out = append(out, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: int32(p), Err: errMsg, Peer: int32(pw.from)})
+		delete(st.pending, seq)
+	}
+	return out
+}
+
+// handleReplAppend applies (or rejects) one shipped mutation batch on a
+// follower.
+func (s *Server) handleReplAppend(from int, msg wire.Message) {
+	if s.cfg.Route == nil {
+		return
+	}
+	p := int(msg.Part)
+	if p < 0 || p >= s.cfg.Route.Parts() {
+		return
+	}
+	a := s.cfg.Route.Assignment(p)
+	ack := wire.Message{Kind: wire.KindReplAck, Part: msg.Part, Epoch: a.Epoch, Seq: msg.Seq}
+	if msg.Epoch < a.Epoch {
+		// Fenced: the sender is a deposed primary. Attach our table so it
+		// learns the new assignment.
+		s.met.AddEpochRejects(1)
+		ack.Mode = ackModeEpochRej
+		ack.Blob = s.cfg.Route.Table().Encode()
+		s.send(from, ack)
+		return
+	}
+
+	s.replMu.Lock()
+	st := s.replState(p)
+	if st.joining {
+		// Snapshot in flight: buffer the live tail; it is replayed (or
+		// skipped as already-covered) once the final chunk lands.
+		st.tail[msg.Seq] = msg.Blob
+		s.replMu.Unlock()
+		return
+	}
+	switch {
+	case msg.Seq <= st.appliedSeq:
+		// Duplicate delivery; mutations are idempotent but skipping is
+		// cheaper. Ack so the primary's watermark advances.
+		ack.Seq = st.appliedSeq
+		s.replMu.Unlock()
+	case msg.Seq == st.appliedSeq+1:
+		s.replMu.Unlock()
+		if err := s.applyBatch(msg.Blob); err != nil {
+			return // local apply failure: no ack, primary times out / re-ships
+		}
+		s.replMu.Lock()
+		st.appliedSeq = msg.Seq
+		// A buffered out-of-order successor may now be applicable.
+		for {
+			blob, ok := st.tail[st.appliedSeq+1]
+			if !ok {
+				break
+			}
+			delete(st.tail, st.appliedSeq+1)
+			s.replMu.Unlock()
+			if err := s.applyBatch(blob); err != nil {
+				return
+			}
+			s.replMu.Lock()
+			st.appliedSeq++
+		}
+		ack.Seq = st.appliedSeq
+		s.replMu.Unlock()
+	default:
+		// Gap: hold the record, report what we have; the primary re-ships.
+		st.tail[msg.Seq] = msg.Blob
+		ack.Mode = ackModeNak
+		ack.Seq = st.appliedSeq
+		s.replMu.Unlock()
+	}
+	s.send(from, ack)
+}
+
+// applyBatch decodes and applies one shipped mutation batch to the local
+// store.
+func (s *Server) applyBatch(blob []byte) error {
+	muts, err := gstore.DecodeBatch(blob)
+	if err != nil {
+		return err
+	}
+	for _, m := range muts {
+		if err := m.Apply(s.cfg.Store); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleReplAck processes a follower's response on the primary (ack, nak,
+// fence) and promotion-time sequence queries on anyone.
+func (s *Server) handleReplAck(from int, msg wire.Message) {
+	if s.cfg.Route == nil {
+		return
+	}
+	p := int(msg.Part)
+	if p < 0 || p >= s.cfg.Route.Parts() {
+		return
+	}
+	switch msg.Mode {
+	case ackModeSeqQuery:
+		s.replMu.Lock()
+		var seq uint64
+		if st, ok := s.repl[p]; ok {
+			seq = st.appliedSeq
+		}
+		s.replMu.Unlock()
+		s.send(from, wire.Message{Kind: wire.KindReplAck, Part: msg.Part, Mode: ackModeSeqInfo, Seq: seq})
+		return
+	case ackModeSeqInfo:
+		s.recordSeqVote(p, int32(from), msg.Seq)
+		return
+	case ackModeEpochRej:
+		// We are the deposed primary: adopt the rejecter's table and fail
+		// what we were still trying to replicate. (The rejecter counted the
+		// EpochRejects metric.)
+		if tbl, err := route.DecodeTable(msg.Blob); err == nil {
+			s.applyRouteTable(tbl)
+		}
+		s.replMu.Lock()
+		var fails []wire.Message
+		if st, ok := s.repl[p]; ok {
+			fails = st.failPendingLocked(ErrWrongEpoch.Error(), p)
+		}
+		s.replMu.Unlock()
+		for _, f := range fails {
+			s.send(int(f.Peer), wire.Message{Kind: f.Kind, ReqID: f.ReqID, Part: f.Part, Err: f.Err})
+		}
+		return
+	case ackModeNak:
+		s.repairFollower(p, int32(from), msg.Seq)
+		return
+	}
+
+	// Plain ack: advance the follower's watermark and complete satisfied
+	// quorum writes.
+	s.replMu.Lock()
+	st, ok := s.repl[p]
+	if !ok || !st.primary {
+		s.replMu.Unlock()
+		return
+	}
+	f := int32(from)
+	if msg.Seq > st.ackedSeq[f] {
+		st.acked += int64(s.ringBytesLocked(st, st.ackedSeq[f]+1, msg.Seq))
+		st.ackedSeq[f] = msg.Seq
+	}
+	a := s.cfg.Route.Assignment(p)
+	var done []*pendingWrite
+	for seq, pw := range st.pending {
+		votes := 0
+		for _, fol := range a.Followers {
+			if st.ackedSeq[fol] >= seq {
+				votes++
+			}
+		}
+		if votes >= pw.need {
+			if pw.timer != nil {
+				pw.timer.Stop()
+			}
+			delete(st.pending, seq)
+			done = append(done, pw)
+		}
+	}
+	s.updateLagLocked()
+	s.replMu.Unlock()
+	for _, pw := range done {
+		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: msg.Part})
+	}
+}
+
+// ringBytesLocked sums the payload bytes of ring records in [lo, hi].
+// Records outside the ring count zero (their bytes were already charged
+// when the ring evicted them). Caller holds replMu.
+func (s *Server) ringBytesLocked(st *partRepl, lo, hi uint64) int {
+	var n int
+	for seq := lo; seq <= hi; seq++ {
+		if seq >= st.ringStart && seq < st.ringStart+uint64(len(st.ring)) {
+			n += len(st.ring[seq-st.ringStart])
+		}
+	}
+	return n
+}
+
+// repairFollower re-ships the records a nak reported missing, from the
+// ring when it covers the gap and via a snapshot stream otherwise.
+func (s *Server) repairFollower(p int, f int32, appliedSeq uint64) {
+	s.replMu.Lock()
+	st, ok := s.repl[p]
+	if !ok || !st.primary {
+		s.replMu.Unlock()
+		return
+	}
+	a := s.cfg.Route.Assignment(p)
+	from := appliedSeq + 1
+	if from >= st.ringStart && len(st.ring) > 0 {
+		var resend []wire.Message
+		for seq := from; seq < st.nextSeq; seq++ {
+			if seq < st.ringStart || seq >= st.ringStart+uint64(len(st.ring)) {
+				break
+			}
+			resend = append(resend, wire.Message{
+				Kind: wire.KindReplAppend, Part: int32(p),
+				Epoch: a.Epoch, Seq: seq, Blob: st.ring[seq-st.ringStart],
+			})
+		}
+		s.replMu.Unlock()
+		for _, m := range resend {
+			s.send(int(f), m)
+		}
+		return
+	}
+	s.replMu.Unlock()
+	// The ring no longer covers the gap: stream a full snapshot.
+	s.streamSnapshot(p, int(f))
+}
+
+// --- Failover -------------------------------------------------------------
+
+// seqVote tracks one in-flight promotion poll.
+type seqVote struct {
+	epoch uint64
+	votes map[int32]uint64
+}
+
+// replOnPeerDown reacts to a condemned backend: promote (or nominate) a
+// new primary for partitions it led, and shrink the replica set of
+// partitions where it followed us — both under fresh epochs, gossiped
+// cluster-wide.
+func (s *Server) replOnPeerDown(peer int) {
+	if s.cfg.Route == nil {
+		return
+	}
+	// Majority guard: a node that cannot see most of the backends is more
+	// likely the isolated one than a witness to everyone else's death. If it
+	// drove promotions or replica-set shrinks anyway, its higher epochs
+	// would hijack partitions when the partition healed — with data the
+	// real majority never acked. The standard consequence: automatic
+	// failover needs >= 3 backends; a 2-server cluster cannot distinguish
+	// peer death from its own isolation and stays read-available only.
+	n := s.cfg.Part.N()
+	visible := 1 // self
+	for p := 0; p < n; p++ {
+		if p != s.cfg.ID && !s.isSuspect(p) {
+			visible++
+		}
+	}
+	if visible*2 <= n {
+		return
+	}
+	self := int32(s.cfg.ID)
+	dead := int32(peer)
+	for p := 0; p < s.cfg.Route.Parts(); p++ {
+		a := s.cfg.Route.Assignment(p)
+		switch {
+		case a.Primary == dead && a.HasReplica(self):
+			live := s.liveFollowers(a, dead)
+			if len(live) == 0 || live[0] != self {
+				// Another follower outranks us for driving the promotion;
+				// dueling proposals would still converge (higher epoch
+				// wins), but one driver keeps epochs dense.
+				continue
+			}
+			if len(live) == 1 {
+				s.promote(p, a, self, live)
+				continue
+			}
+			// Poll the other live followers' applied sequences for one
+			// heartbeat interval, then promote the most caught-up.
+			s.replMu.Lock()
+			st := s.replState(p)
+			vote := &seqVote{epoch: a.Epoch, votes: map[int32]uint64{self: st.appliedSeq}}
+			s.promoPolls[p] = vote
+			s.replMu.Unlock()
+			for _, f := range live[1:] {
+				s.send(int(f), wire.Message{Kind: wire.KindReplAck, Part: int32(p), Mode: ackModeSeqQuery})
+			}
+			wait := s.cfg.HeartbeatInterval
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			time.AfterFunc(wait, func() { s.finishPromotion(p, a, dead) })
+		case a.Primary == self && a.HasReplica(dead):
+			// A follower died: publish a shrunk replica set so quorum
+			// counting stops waiting for it.
+			next := route.Assignment{Epoch: a.Epoch + 1, Primary: self}
+			for _, f := range a.Followers {
+				if f != dead {
+					next.Followers = append(next.Followers, f)
+				}
+			}
+			if tbl := s.cfg.Route.Propose(p, next); tbl != nil {
+				s.reconcileRoles()
+				s.gossipRoute(tbl)
+				// Outstanding writes may now have quorum with the smaller
+				// set; re-evaluate by replaying a no-op ack pass.
+				s.reapQuorums(p)
+			}
+		}
+	}
+}
+
+// liveFollowers lists an assignment's followers that are not suspected and
+// not the condemned server, preserving promotion-preference order.
+func (s *Server) liveFollowers(a route.Assignment, dead int32) []int32 {
+	var live []int32
+	for _, f := range a.Followers {
+		if f == dead || s.isSuspect(int(f)) {
+			continue
+		}
+		live = append(live, f)
+	}
+	return live
+}
+
+// recordSeqVote stores one follower's applied-sequence answer for an open
+// promotion poll.
+func (s *Server) recordSeqVote(p int, from int32, seq uint64) {
+	s.replMu.Lock()
+	if v, ok := s.promoPolls[p]; ok {
+		v.votes[from] = seq
+	}
+	s.replMu.Unlock()
+}
+
+// finishPromotion closes a promotion poll: the most caught-up live
+// follower becomes primary under a fresh epoch.
+func (s *Server) finishPromotion(p int, a route.Assignment, dead int32) {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	s.replMu.Lock()
+	vote, ok := s.promoPolls[p]
+	delete(s.promoPolls, p)
+	s.replMu.Unlock()
+	if !ok {
+		return
+	}
+	if cur := s.cfg.Route.Assignment(p); cur.Epoch != vote.epoch {
+		return // someone else already installed a newer assignment
+	}
+	best := int32(s.cfg.ID)
+	var bestSeq uint64
+	for f, seq := range vote.votes {
+		if seq > bestSeq || (seq == bestSeq && f == int32(s.cfg.ID)) {
+			best, bestSeq = f, seq
+		}
+	}
+	live := s.liveFollowers(a, dead)
+	s.promote(p, a, best, live)
+}
+
+// promote installs and gossips a new assignment for partition p: newPrim
+// leads, the remaining live followers stay, the dead primary is excluded —
+// its possibly diverged copy must never serve reads again until it rejoins
+// through the snapshot path.
+func (s *Server) promote(p int, a route.Assignment, newPrim int32, live []int32) {
+	next := route.Assignment{Epoch: a.Epoch + 1, Primary: newPrim}
+	for _, f := range live {
+		if f != newPrim {
+			next.Followers = append(next.Followers, f)
+		}
+	}
+	tbl := s.cfg.Route.Propose(p, next)
+	if tbl == nil {
+		return // lost to a concurrent higher-epoch proposal
+	}
+	s.reconcileRoles()
+	s.gossipRoute(tbl)
+}
+
+// reapQuorums re-checks pending writes on partition p against the current
+// (possibly shrunk) replica set.
+func (s *Server) reapQuorums(p int) {
+	s.replMu.Lock()
+	st, ok := s.repl[p]
+	if !ok || !st.primary {
+		s.replMu.Unlock()
+		return
+	}
+	a := s.cfg.Route.Assignment(p)
+	need := a.Quorum() - 1
+	var done []*pendingWrite
+	for seq, pw := range st.pending {
+		votes := 0
+		for _, fol := range a.Followers {
+			if st.ackedSeq[fol] >= seq {
+				votes++
+			}
+		}
+		if votes >= need {
+			if pw.timer != nil {
+				pw.timer.Stop()
+			}
+			delete(st.pending, seq)
+			done = append(done, pw)
+		}
+	}
+	s.replMu.Unlock()
+	for _, pw := range done {
+		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: int32(p)})
+	}
+}
+
+// --- Route gossip ---------------------------------------------------------
+
+// gossipRoute broadcasts a route table to every node on the transport —
+// servers and clients alike — so traversal dispatch and write routing
+// converge on the new assignment within one message delay.
+func (s *Server) gossipRoute(tbl *route.Table) {
+	blob := tbl.Encode()
+	for n := 0; n < s.tr.N(); n++ {
+		if n == s.cfg.ID {
+			continue
+		}
+		s.send(n, wire.Message{Kind: wire.KindRouteUpdate, Blob: blob})
+	}
+}
+
+// handleRouteUpdate merges a gossiped table and reconciles local replica
+// roles. Anti-entropy: when our table is strictly newer somewhere, reply
+// with it so the sender converges too.
+func (s *Server) handleRouteUpdate(from int, msg wire.Message) {
+	if s.cfg.Route == nil {
+		return
+	}
+	tbl, err := route.DecodeTable(msg.Blob)
+	if err != nil {
+		return
+	}
+	s.applyRouteTable(tbl)
+	if ours := s.cfg.Route.Table(); tableNewer(ours, tbl) {
+		s.send(from, wire.Message{Kind: wire.KindRouteUpdate, Blob: ours.Encode()})
+	}
+}
+
+// tableNewer reports whether a carries a higher epoch than b for any
+// partition.
+func tableNewer(a, b *route.Table) bool {
+	if len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	for p := range a.Parts {
+		if a.Parts[p].Epoch > b.Parts[p].Epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRouteTable merges a table into the view and reconciles roles if
+// anything changed.
+func (s *Server) applyRouteTable(tbl *route.Table) {
+	if s.cfg.Route.Update(tbl) {
+		s.reconcileRoles()
+	}
+}
+
+// reconcileRoles walks the current table and aligns local per-partition
+// replication state with it: adopt primaryship (a promotion when we held
+// the partition as follower), demote (failing pending writes with the
+// fencing error), or drop state for partitions we no longer replicate.
+func (s *Server) reconcileRoles() {
+	self := int32(s.cfg.ID)
+	var fails []wire.Message
+	s.replMu.Lock()
+	for p := 0; p < s.cfg.Route.Parts(); p++ {
+		a := s.cfg.Route.Assignment(p)
+		st, have := s.repl[p]
+		switch {
+		case a.Primary == self:
+			st = s.replState(p)
+			if !st.primary {
+				st.primary = true
+				st.nextSeq = st.appliedSeq + 1
+				s.met.AddPromotions(1)
+			}
+		case a.HasReplica(self):
+			if have && st.primary {
+				st.primary = false
+				fails = append(fails, st.failPendingLocked(ErrWrongEpoch.Error(), p)...)
+			}
+		default:
+			if have {
+				fails = append(fails, st.failPendingLocked(ErrPartitionMoved.Error(), p)...)
+				delete(s.repl, p)
+			}
+		}
+	}
+	s.updateLagLocked()
+	s.replMu.Unlock()
+	for _, f := range fails {
+		s.send(int(f.Peer), wire.Message{Kind: f.Kind, ReqID: f.ReqID, Part: f.Part, Err: f.Err})
+	}
+}
+
+// --- Snapshot / shard handoff --------------------------------------------
+
+// JoinPartition asks partition p's primary to stream its state to this
+// server, making it a follower without downtime: snapshot chunks plus the
+// forwarded live append tail, then a fresh epoch that adds this server to
+// the replica set.
+func (s *Server) JoinPartition(p int) error {
+	if s.cfg.Route == nil {
+		return fmt.Errorf("core: replication is not enabled on this cluster")
+	}
+	if p < 0 || p >= s.cfg.Route.Parts() {
+		return fmt.Errorf("core: no such partition %d", p)
+	}
+	a := s.cfg.Route.Assignment(p)
+	if a.HasReplica(int32(s.cfg.ID)) {
+		return nil // already a replica
+	}
+	s.replMu.Lock()
+	st := s.replState(p)
+	st.joining = true
+	s.replMu.Unlock()
+	return s.send(int(a.Primary), wire.Message{Kind: wire.KindSnapshot, Mode: snapReq, Part: int32(p)})
+}
+
+// handleSnapshot drives both sides of a snapshot stream.
+func (s *Server) handleSnapshot(from int, msg wire.Message) {
+	if s.cfg.Route == nil {
+		return
+	}
+	p := int(msg.Part)
+	if p < 0 || p >= s.cfg.Route.Parts() {
+		return
+	}
+	switch msg.Mode {
+	case snapReq:
+		a := s.cfg.Route.Assignment(p)
+		if a.Primary != int32(s.cfg.ID) {
+			return // stale request; the joiner will retry off a fresh table
+		}
+		s.replMu.Lock()
+		st := s.replState(p)
+		st.primary = true
+		st.joiners[int32(from)] = true
+		s.replMu.Unlock()
+		// Stream off the dispatch goroutine: a snapshot scan of a large
+		// partition must not stall heartbeat and traversal handling.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.streamSnapshot(p, from)
+		}()
+	case snapChunk:
+		_ = s.applyBatch(msg.Blob) // idempotent; a failed chunk surfaces as a stalled join
+	case snapFinal:
+		if len(msg.Blob) > 0 {
+			_ = s.applyBatch(msg.Blob)
+		}
+		s.replMu.Lock()
+		st := s.replState(p)
+		if msg.Seq > st.appliedSeq {
+			st.appliedSeq = msg.Seq
+		}
+		st.joining = false
+		// Replay the buffered live tail that extends past the snapshot.
+		for {
+			blob, ok := st.tail[st.appliedSeq+1]
+			if !ok {
+				break
+			}
+			delete(st.tail, st.appliedSeq+1)
+			s.replMu.Unlock()
+			if err := s.applyBatch(blob); err != nil {
+				return
+			}
+			s.replMu.Lock()
+			st.appliedSeq++
+		}
+		for seq := range st.tail { // anything at or below the snapshot is covered
+			if seq <= st.appliedSeq {
+				delete(st.tail, seq)
+			}
+		}
+		s.replMu.Unlock()
+		s.send(from, wire.Message{Kind: wire.KindSnapshot, Mode: snapDone, Part: msg.Part, Seq: msg.Seq})
+	case snapDone:
+		// The joiner is caught up: publish an epoch that makes it a
+		// follower (no-op if it already is one, e.g. after a nak repair).
+		a := s.cfg.Route.Assignment(p)
+		if a.Primary != int32(s.cfg.ID) || a.HasReplica(int32(from)) {
+			s.replMu.Lock()
+			if st, ok := s.repl[p]; ok {
+				delete(st.joiners, int32(from))
+			}
+			s.replMu.Unlock()
+			return
+		}
+		next := route.Assignment{
+			Epoch: a.Epoch + 1, Primary: a.Primary,
+			Followers: append(append([]int32(nil), a.Followers...), int32(from)),
+		}
+		if tbl := s.cfg.Route.Propose(p, next); tbl != nil {
+			s.replMu.Lock()
+			st := s.replState(p)
+			delete(st.joiners, int32(from))
+			st.ackedSeq[int32(from)] = msg.Seq
+			s.replMu.Unlock()
+			s.reconcileRoles()
+			s.gossipRoute(tbl)
+		}
+	}
+}
+
+// streamSnapshot scans the local store for partition p and ships it to
+// node `to` as snapshot chunks, closing with the current append sequence.
+func (s *Server) streamSnapshot(p, to int) {
+	s.replMu.Lock()
+	st := s.replState(p)
+	// The snapshot covers everything applied before the scan starts; the
+	// live tail (forwarded because `to` is a joiner) covers the rest.
+	seq := st.appliedSeq
+	s.replMu.Unlock()
+	view := s.cfg.Route
+	keep := func(id model.VertexID) bool { return view.Partition(id) == p }
+	err := gstore.SnapshotMutations(s.cfg.Store, keep, s.cfg.BatchSize, func(ms []gstore.Mutation) error {
+		blob := gstore.EncodeBatch(ms)
+		s.met.AddHandoffBytes(int64(len(blob)))
+		return s.send(to, wire.Message{Kind: wire.KindSnapshot, Mode: snapChunk, Part: int32(p), Blob: blob})
+	})
+	if err != nil {
+		return // stalled join; the joiner's operator retries
+	}
+	s.send(to, wire.Message{Kind: wire.KindSnapshot, Mode: snapFinal, Part: int32(p), Seq: seq})
+}

@@ -125,6 +125,22 @@ func (s *Server) selectSeeds(s0 query.Step) ([]model.VertexID, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With replication enabled this store holds vertices for every partition
+	// it replicates, but only partitions it currently primaries may seed a
+	// traversal here — the primary of each other partition enumerates its
+	// own copy. Without the filter every replica would seed the same
+	// vertices ReplicationFactor times.
+	if s.cfg.Route != nil {
+		self := int32(s.cfg.ID)
+		owned := ids[:0]
+		for _, id := range ids {
+			p := s.cfg.Route.Partition(id)
+			if s.cfg.Route.Assignment(p).Primary == self {
+				owned = append(owned, id)
+			}
+		}
+		ids = owned
+	}
 	if usedIndex {
 		s.met.AddSeedIndexHits(len(ids))
 	}

@@ -61,6 +61,14 @@ type Server struct {
 	suspected []atomic.Bool
 	stop      chan struct{}
 
+	// Replication state (repl.go): per-partition primary/follower machinery
+	// and in-flight promotion polls. One mutex guards both because the
+	// transport dispatch goroutine, the failure detector and write-timeout
+	// timers all touch them. Empty maps when Config.Route is nil.
+	replMu     sync.Mutex
+	repl       map[int]*partRepl
+	promoPolls map[int]*seqVote
+
 	execSeq atomic.Uint64
 	wg      sync.WaitGroup
 }
@@ -110,6 +118,8 @@ func NewServer(cfg Config) *Server {
 		lastSeen:    make([]atomic.Int64, cfg.Part.N()),
 		suspected:   make([]atomic.Bool, cfg.Part.N()),
 		stop:        make(chan struct{}),
+		repl:        make(map[int]*partRepl),
+		promoPolls:  make(map[int]*seqVote),
 	}
 }
 
@@ -120,12 +130,22 @@ func NewServer(cfg Config) *Server {
 // also starts the failure detector.
 func (s *Server) Bind(tr transport) {
 	s.tr = tr
+	s.initRepl()
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	if s.cfg.HeartbeatInterval > 0 {
 		s.startFailureDetector()
+	}
+	// Boot route announcement: offer our table to every node. On a fresh
+	// cluster everyone holds the identical epoch-1 table and this is a
+	// no-op; on a restart after a failover it is what fences us — any peer
+	// holding a newer assignment replies with it (anti-entropy in
+	// handleRouteUpdate), demoting a stale ex-primary within one round
+	// trip even on an otherwise quiet cluster.
+	if s.cfg.Route != nil {
+		s.gossipRoute(s.cfg.Route.Table())
 	}
 }
 
@@ -394,6 +414,16 @@ func (s *Server) Handle(from int, msg wire.Message) {
 		s.handleTraceReq(from, msg)
 	case wire.KindTraceResp:
 		s.handleTraceResp(msg)
+	case wire.KindWriteReq:
+		s.handleWriteReq(from, msg)
+	case wire.KindReplAppend:
+		s.handleReplAppend(from, msg)
+	case wire.KindReplAck:
+		s.handleReplAck(from, msg)
+	case wire.KindSnapshot:
+		s.handleSnapshot(from, msg)
+	case wire.KindRouteUpdate:
+		s.handleRouteUpdate(from, msg)
 	}
 }
 
@@ -575,6 +605,20 @@ func (s *Server) handleDispatch(_ int, msg wire.Message, ts *travelState) {
 		s.recordInstantSpan(ts.id, msg.ExecID, msg.ParentExec, msg.Step, 0, "")
 		s.flushTravel(ts)
 		return
+	}
+	// With replication enabled, fence work routed with a stale table: a
+	// batch holding any vertex whose partition this server no longer
+	// primaries fails whole with a retryable error, and the retry — after
+	// the client merges the gossiped route — lands on the new primary.
+	if s.cfg.Route != nil {
+		if p, moved := s.misroutedEntries(msg.Entries); moved {
+			errMsg := fmt.Sprintf("%v: partition %d is not primaried by server %d", ErrPartitionMoved, p, s.cfg.ID)
+			ts.addErr(errMsg)
+			ts.addEnded(msg.ExecID)
+			s.recordInstantSpan(ts.id, msg.ExecID, msg.ParentExec, msg.Step, len(msg.Entries), errMsg)
+			s.flushTravel(ts)
+			return
+		}
 	}
 	acc := &execAcc{id: msg.ExecID, sp: s.beginSpan(ts.id, msg.ExecID, msg.ParentExec, msg.Step, len(msg.Entries))}
 	acc.pending.Store(int32(len(msg.Entries)))

@@ -29,6 +29,9 @@ type DB struct {
 	// separately with an atomic because reads only hold the read lock.
 	stats Stats
 	gets  atomic.Int64
+
+	// replay records what Open's WAL recovery found; immutable after Open.
+	replay ReplayStats
 }
 
 // Stats reports operation counters for a DB.
@@ -77,11 +80,18 @@ func Open(dir string, opts Options) (*DB, error) {
 	// Newest first.
 	sort.Slice(db.tables, func(i, j int) bool { return db.tables[i].fileNum > db.tables[j].fileNum })
 
-	// Replay the WAL into the memtable, then continue appending to it.
+	// Replay the WAL into the memtable — truncating any torn tail first,
+	// so the O_APPEND log below continues from the last intact record —
+	// then continue appending to it.
 	walPath := filepath.Join(dir, walName)
-	if err := replayWAL(walPath, func(e entry) { db.mem.set(e) }); err != nil {
+	db.replay, err = replayWAL(walPath, func(e entry) { db.mem.set(e) })
+	if err != nil {
 		db.closeTables()
 		return nil, err
+	}
+	if db.replay.Truncated && opts.Warnf != nil {
+		opts.Warnf("kv: wal %s: %s at offset %d; truncated %d-byte tail after %d intact records",
+			walPath, db.replay.Reason, db.replay.GoodBytes, db.replay.TornBytes, db.replay.Records)
 	}
 	db.log, err = openWAL(walPath, opts.SyncWAL)
 	if err != nil {
@@ -277,6 +287,10 @@ func (db *DB) compactLocked() error {
 	db.stats.Compacts++
 	return nil
 }
+
+// ReplayInfo reports what WAL recovery found when the database was opened:
+// how many records replayed and whether a torn tail was truncated.
+func (db *DB) ReplayInfo() ReplayStats { return db.replay }
 
 // Sync forces the WAL to stable storage.
 func (db *DB) Sync() error {

@@ -44,6 +44,9 @@ type Options struct {
 	// the graph servers leave it off and rely on close-time syncs, the
 	// same trade RocksDB's default makes.
 	SyncWAL bool
+	// Warnf, when set, receives recovery warnings (e.g. a torn WAL tail
+	// truncated during replay). Nil discards them.
+	Warnf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {

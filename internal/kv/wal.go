@@ -17,9 +17,11 @@ import (
 //
 //	[op: 1 byte (0 put, 1 delete)][klen uvarint][key][vlen uvarint][value]
 //
-// Replay stops at the first corrupt or truncated record, which is the
-// correct recovery behaviour for a crash mid-append: everything before the
-// tear was acknowledged, everything after never was.
+// Replay stops at the first corrupt or truncated record and truncates the
+// file there, which is the correct recovery behaviour for a crash
+// mid-append: everything before the tear was acknowledged, everything
+// after never was — and because the log is opened O_APPEND, garbage left
+// in place would permanently orphan every record appended after it.
 
 const (
 	walOpPut    = 0
@@ -112,40 +114,89 @@ func (w *wal) close() error {
 	return w.f.Close()
 }
 
+// ReplayStats reports what WAL replay found and did.
+type ReplayStats struct {
+	// Records is the count of intact records replayed.
+	Records int64
+	// GoodBytes is the offset of the first byte past the last intact
+	// record — the length the file was truncated to if Truncated is set.
+	GoodBytes int64
+	// TornBytes is the length of the corrupt or torn tail that followed.
+	TornBytes int64
+	// Truncated reports that the torn tail was cut off. Replay must
+	// truncate, not just stop: the log is opened O_APPEND, so leaving
+	// garbage in place would strand every later record behind it — a
+	// record that can never replay is data silently lost on the *next*
+	// crash, long after this recovery.
+	Truncated bool
+	// Reason describes why replay stopped before EOF, for the warning log.
+	Reason string
+}
+
 // replayWAL feeds every intact record in the log at path to fn, in append
-// order. A missing file is not an error (fresh database). Corruption or a
-// torn tail terminates replay silently, per the format contract above.
-func replayWAL(path string, fn func(entry)) error {
+// order, and truncates any corrupt or torn tail so subsequent appends go
+// after the last intact record. A missing file is not an error (fresh
+// database). A tear is the expected shape of a crash mid-append —
+// everything before it was acknowledged, everything after never was — so
+// it is recovered from, not returned as an error.
+func replayWAL(path string, fn func(entry)) (ReplayStats, error) {
+	var st ReplayStats
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return st, nil
 	}
 	if err != nil {
-		return fmt.Errorf("kv: open wal for replay: %w", err)
+		return st, fmt.Errorf("kv: open wal for replay: %w", err)
 	}
-	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err == nil {
+		_, err = f.Seek(0, io.SeekStart)
+	}
+	if err != nil {
+		f.Close()
+		return st, fmt.Errorf("kv: seek wal: %w", err)
+	}
 	r := bufio.NewReaderSize(f, 256<<10)
 	var hdr [8]byte
-	for {
+	for st.Reason == "" {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil // clean EOF or torn header: stop
+			if err == io.EOF {
+				break // clean end
+			}
+			st.Reason = "torn record header"
+			break
 		}
 		want := binary.LittleEndian.Uint32(hdr[0:4])
 		n := binary.LittleEndian.Uint32(hdr[4:8])
 		if n > 64<<20 {
-			return nil // absurd length: corrupt tail
+			st.Reason = "absurd record length (corrupt header)"
+			break
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil // torn payload
+			st.Reason = "torn record payload"
+			break
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return nil // corrupt record
+			st.Reason = "record checksum mismatch"
+			break
 		}
 		e, err := decodeWALPayload(payload)
 		if err != nil {
-			return nil
+			st.Reason = "undecodable record payload"
+			break
 		}
 		fn(e)
+		st.Records++
+		st.GoodBytes += int64(8 + n)
 	}
+	f.Close()
+	if size > st.GoodBytes {
+		st.TornBytes = size - st.GoodBytes
+		if err := os.Truncate(path, st.GoodBytes); err != nil {
+			return st, fmt.Errorf("kv: truncate torn wal tail: %w", err)
+		}
+		st.Truncated = true
+	}
+	return st, nil
 }

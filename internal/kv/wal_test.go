@@ -1,0 +1,164 @@
+package kv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// walFixture writes n records through a DB without flushing, closes it,
+// and returns the WAL path.
+func walFixture(t *testing.T, dir string, n int) string {
+	t.Helper()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, walName)
+}
+
+// reopen opens the DB capturing recovery warnings and asserts which keys
+// survived.
+func reopenExpect(t *testing.T, dir string, present, absent []string) (*DB, []string) {
+	t.Helper()
+	var warnings []string
+	db, err := Open(dir, Options{Warnf: func(f string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(f, args...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range present {
+		if _, ok, err := db.Get([]byte(k)); err != nil || !ok {
+			t.Fatalf("key %q lost (ok=%v err=%v)", k, ok, err)
+		}
+	}
+	for _, k := range absent {
+		if _, ok, _ := db.Get([]byte(k)); ok {
+			t.Fatalf("key %q from the torn tail survived", k)
+		}
+	}
+	return db, warnings
+}
+
+// A crash mid-append leaves a short final record. Replay must keep every
+// intact record, truncate the tear, and warn — and appends after recovery
+// must land where the tear was, so a second replay sees them.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := walFixture(t, dir, 10)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 3 bytes.
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	db, warnings := reopenExpect(t, dir,
+		keys(0, 9), []string{"key-009"})
+	st := db.ReplayInfo()
+	if st.Records != 9 || !st.Truncated || st.TornBytes == 0 {
+		t.Fatalf("replay stats: %+v", st)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "truncated") {
+		t.Fatalf("warnings: %q", warnings)
+	}
+	if got, _ := os.Stat(path); got.Size() != st.GoodBytes {
+		t.Fatalf("wal size %d want %d", got.Size(), st.GoodBytes)
+	}
+
+	// New writes append after the truncation point and survive a restart.
+	if err := db.Put([]byte("post-crash"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, warnings2 := reopenExpect(t, dir,
+		append(keys(0, 9), "post-crash"), []string{"key-009"})
+	if len(warnings2) != 0 {
+		t.Fatalf("second recovery warned: %q", warnings2)
+	}
+	if st := db2.ReplayInfo(); st.Records != 10 || st.Truncated {
+		t.Fatalf("second replay stats: %+v", st)
+	}
+	db2.Close()
+}
+
+// A bit flip inside a record's payload fails its CRC. Everything before it
+// replays; the flipped record and everything after it are cut.
+func TestWALBitFlipTruncatedAtCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := walFixture(t, dir, 10)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records are uniform; flip a bit in the 8th record's payload, past
+	// its 8-byte header.
+	recLen := len(data) / 10
+	off := recLen*7 + 12
+	data[off] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, warnings := reopenExpect(t, dir,
+		keys(0, 7), []string{"key-007", "key-008", "key-009"})
+	st := db.ReplayInfo()
+	if st.Records != 7 || !st.Truncated {
+		t.Fatalf("replay stats: %+v", st)
+	}
+	if st.TornBytes != int64(3*recLen) {
+		t.Fatalf("torn %d bytes want %d", st.TornBytes, 3*recLen)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "checksum") {
+		t.Fatalf("warnings: %q", warnings)
+	}
+	db.Close()
+}
+
+// A header announcing an absurd record length is corruption, not a
+// gigantic allocation.
+func TestWALAbsurdLengthHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := walFixture(t, dir, 3)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// crc=0, length=1GiB, no payload.
+	if _, err := f.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0x40}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db, warnings := reopenExpect(t, dir, keys(0, 3), nil)
+	if st := db.ReplayInfo(); st.Records != 3 || !st.Truncated || st.TornBytes != 8 {
+		t.Fatalf("replay stats: %+v", st)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "absurd") {
+		t.Fatalf("warnings: %q", warnings)
+	}
+	db.Close()
+}
+
+func keys(lo, hi int) []string {
+	var ks []string
+	for i := lo; i < hi; i++ {
+		ks = append(ks, fmt.Sprintf("key-%03d", i))
+	}
+	return ks
+}

@@ -36,6 +36,12 @@ type Server struct {
 	// them into its snapshots.
 	seedScanned   atomic.Int64
 	seedIndexHits atomic.Int64
+
+	// Replication / failover instrumentation.
+	promotions   atomic.Int64
+	epochRejects atomic.Int64
+	replLag      atomic.Int64
+	handoffBytes atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -100,6 +106,19 @@ type Snapshot struct {
 	// DAG assembler that missing parent spans may be wrapped-ring
 	// artifacts rather than causality bugs.
 	SpansDropped int64
+	// Promotions counts follower→primary promotions this server performed
+	// on itself (epoch-fenced failover takeovers).
+	Promotions int64
+	// EpochRejects counts replication or write messages rejected because
+	// they carried a stale epoch — each one is a fenced stale primary.
+	EpochRejects int64
+	// ReplLagBytes is the primary's shipped-minus-acked replication byte
+	// lag summed over its partitions and followers. A gauge: Sub keeps the
+	// receiver's (later) value, Add sums across servers.
+	ReplLagBytes int64
+	// HandoffBytes counts snapshot bytes streamed for shard handoff /
+	// follower catch-up.
+	HandoffBytes int64
 }
 
 // AddReceived records n accepted vertex requests.
@@ -148,6 +167,18 @@ func (s *Server) AddSeedScanned(n int) { s.seedScanned.Add(int64(n)) }
 // AddSeedIndexHits records n seed candidates resolved via a property index.
 func (s *Server) AddSeedIndexHits(n int) { s.seedIndexHits.Add(int64(n)) }
 
+// AddPromotions records n follower→primary promotions of this server.
+func (s *Server) AddPromotions(n int) { s.promotions.Add(int64(n)) }
+
+// AddEpochRejects records n stale-epoch rejections.
+func (s *Server) AddEpochRejects(n int) { s.epochRejects.Add(int64(n)) }
+
+// SetReplLagBytes publishes the current replication byte lag.
+func (s *Server) SetReplLagBytes(n int64) { s.replLag.Store(n) }
+
+// AddHandoffBytes records n snapshot bytes streamed for handoff.
+func (s *Server) AddHandoffBytes(n int64) { s.handoffBytes.Add(n) }
+
 // AddQueueWait records one popped scheduler group's enqueue→pop wait.
 func (s *Server) AddQueueWait(d time.Duration) {
 	s.queueWaitNs.Add(int64(d))
@@ -172,6 +203,10 @@ func (s *Server) Snapshot() Snapshot {
 		QueueGroups:    s.queueGroups.Load(),
 		SeedScanned:    s.seedScanned.Load(),
 		SeedIndexHits:  s.seedIndexHits.Load(),
+		Promotions:     s.promotions.Load(),
+		EpochRejects:   s.epochRejects.Load(),
+		ReplLagBytes:   s.replLag.Load(),
+		HandoffBytes:   s.handoffBytes.Load(),
 	}
 }
 
@@ -200,6 +235,10 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		AdjCacheHits:   a.AdjCacheHits - b.AdjCacheHits,
 		AdjCacheMisses: a.AdjCacheMisses - b.AdjCacheMisses,
 		SpansDropped:   a.SpansDropped - b.SpansDropped,
+		Promotions:     a.Promotions - b.Promotions,
+		EpochRejects:   a.EpochRejects - b.EpochRejects,
+		ReplLagBytes:   a.ReplLagBytes,
+		HandoffBytes:   a.HandoffBytes - b.HandoffBytes,
 	}
 }
 
@@ -228,6 +267,11 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		AdjCacheHits:   a.AdjCacheHits + b.AdjCacheHits,
 		AdjCacheMisses: a.AdjCacheMisses + b.AdjCacheMisses,
 		SpansDropped:   a.SpansDropped + b.SpansDropped,
+		Promotions:     a.Promotions + b.Promotions,
+		EpochRejects:   a.EpochRejects + b.EpochRejects,
+		// Per-server lags sum to the cluster's total outstanding bytes.
+		ReplLagBytes: a.ReplLagBytes + b.ReplLagBytes,
+		HandoffBytes: a.HandoffBytes + b.HandoffBytes,
 	}
 }
 
@@ -277,5 +321,9 @@ func Fields() []Field {
 		{"adj_cache_hits_total", "Materialized-adjacency read-cache hits in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheHits }},
 		{"adj_cache_misses_total", "Materialized-adjacency read-cache misses in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheMisses }},
 		{"trace_spans_dropped_total", "Execution spans evicted from the trace ring to admit newer ones.", false, func(s Snapshot) int64 { return s.SpansDropped }},
+		{"promotions_total", "Follower-to-primary promotions performed by this server.", false, func(s Snapshot) int64 { return s.Promotions }},
+		{"epoch_rejects_total", "Replication or write messages rejected for a stale epoch.", false, func(s Snapshot) int64 { return s.EpochRejects }},
+		{"repl_lag_bytes", "Shipped-minus-acked replication byte lag across partitions.", true, func(s Snapshot) int64 { return s.ReplLagBytes }},
+		{"handoff_bytes_total", "Snapshot bytes streamed for shard handoff and catch-up.", false, func(s Snapshot) int64 { return s.HandoffBytes }},
 	}
 }

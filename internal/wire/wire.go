@@ -66,6 +66,27 @@ const (
 	// KindTraceResp answers a KindTraceReq; Blob carries JSON-encoded
 	// trace.StepStat rows for the responding server.
 	KindTraceResp
+	// KindWriteReq asks a partition's primary to apply the mutation batch
+	// in Blob durably (replicated to a quorum before the response).
+	KindWriteReq
+	// KindWriteResp answers a KindWriteReq (ReqID matches; Err on failure).
+	KindWriteResp
+	// KindReplAppend ships one mutation batch (Blob) from a partition
+	// primary to a follower, stamped with the primary's Epoch and the
+	// per-partition Seq. Followers reject stale epochs.
+	KindReplAppend
+	// KindReplAck acknowledges a KindReplAppend. Mode distinguishes ack (0)
+	// from nak (1, follower is missing records before Seq and reports its
+	// applied sequence) and from a promotion-time sequence query/answer.
+	KindReplAck
+	// KindSnapshot streams partition state for catch-up and shard handoff:
+	// Mode 0 requests a snapshot, Mode 1 carries one mutation-batch chunk,
+	// Mode 2 is the final chunk (Seq = WAL position the snapshot covers),
+	// Mode 3 acknowledges completion.
+	KindSnapshot
+	// KindRouteUpdate gossips an epoch-stamped route table (Blob); the
+	// receiver merges it per partition, higher epoch wins.
+	KindRouteUpdate
 )
 
 // String names the kind for logs.
@@ -103,6 +124,18 @@ func (k Kind) String() string {
 		return "TraceReq"
 	case KindTraceResp:
 		return "TraceResp"
+	case KindWriteReq:
+		return "WriteReq"
+	case KindWriteResp:
+		return "WriteResp"
+	case KindReplAppend:
+		return "ReplAppend"
+	case KindReplAck:
+		return "ReplAck"
+	case KindSnapshot:
+		return "Snapshot"
+	case KindRouteUpdate:
+		return "RouteUpdate"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -153,7 +186,15 @@ type Message struct {
 	// scan) — execution ids are minted with a nonzero server tag, so zero
 	// is never a real id.
 	ParentExec uint64
-	Err        string
+	// Epoch is the sender's view of the partition's fencing epoch
+	// (replication and route messages).
+	Epoch uint64
+	// Seq is the per-partition replication sequence number of a
+	// KindReplAppend / KindReplAck, or the WAL position a snapshot covers.
+	Seq uint64
+	// Part is the partition id a replication message concerns.
+	Part int32
+	Err  string
 	// Blob carries an opaque auxiliary payload; currently JSON-encoded
 	// trace.StepStat rows in KindTraceResp messages.
 	Blob []byte
@@ -169,6 +210,9 @@ func Append(b []byte, m *Message) []byte {
 	b = binary.LittleEndian.AppendUint64(b, m.ExecID)
 	b = binary.LittleEndian.AppendUint64(b, m.ReqID)
 	b = binary.LittleEndian.AppendUint64(b, m.ParentExec)
+	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Part))
 	b = binary.AppendUvarint(b, uint64(len(m.Plan)))
 	b = append(b, m.Plan...)
 	b = binary.AppendUvarint(b, uint64(len(m.Entries)))
@@ -288,6 +332,9 @@ func Decode(b []byte) (Message, error) {
 	m.ExecID = d.u64()
 	m.ReqID = d.u64()
 	m.ParentExec = d.u64()
+	m.Epoch = d.u64()
+	m.Seq = d.u64()
+	m.Part = int32(d.u32())
 	if n := d.uvarint(); n > 0 {
 		m.Plan = append([]byte(nil), d.bytes(n)...)
 	}

@@ -26,6 +26,9 @@ func TestRoundTripAllFields(t *testing.T) {
 		Verts:      []model.VertexID{10, 20},
 		ReqID:      42,
 		ParentExec: 888,
+		Epoch:      13,
+		Seq:        314,
+		Part:       -2,
 		Err:        "boom",
 		Blob:       []byte("{\"x\":1}"),
 	}
@@ -62,6 +65,11 @@ func randomMessage(r *rand.Rand) Message {
 	}
 	if r.Intn(2) == 0 {
 		m.ParentExec = r.Uint64()
+	}
+	if r.Intn(2) == 0 {
+		m.Epoch = r.Uint64()
+		m.Seq = r.Uint64()
+		m.Part = int32(r.Intn(64) - 1)
 	}
 	if r.Intn(2) == 0 {
 		m.Plan = make([]byte, r.Intn(64))
@@ -134,6 +142,12 @@ func TestKindString(t *testing.T) {
 		KindVisitResp:   "VisitResp",
 		KindHeartbeat:   "Heartbeat",
 		KindPeerDown:    "PeerDown",
+		KindWriteReq:    "WriteReq",
+		KindWriteResp:   "WriteResp",
+		KindReplAppend:  "ReplAppend",
+		KindReplAck:     "ReplAck",
+		KindSnapshot:    "Snapshot",
+		KindRouteUpdate: "RouteUpdate",
 	}
 	for k, want := range names {
 		if k.String() != want {
