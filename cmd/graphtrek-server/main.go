@@ -103,6 +103,7 @@ func main() {
 		Store:             store,
 		Part:              part,
 		Route:             view,
+		ReplicationFactor: *replicas,
 		Disk:              simio.NewDisk(*diskService, 1),
 		Workers:           *workers,
 		MaxQueueDepth:     *maxQueue,

@@ -314,6 +314,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 			Part:              srvPart,
 			Route:             srvRoute,
 			WriteTimeout:      opts.WriteTimeout,
+			ReplicationFactor: opts.ReplicationFactor,
 			Disk:              disk,
 			Workers:           opts.Workers,
 			MaxQueueDepth:     opts.MaxQueueDepth,
@@ -435,7 +436,12 @@ func (c *Cluster) JoinPartition(server, part int) error {
 
 // RouteView returns backend i's route view on a replicated cluster (nil
 // otherwise) — each node has its own, converging via gossip.
-func (c *Cluster) RouteView(i int) *route.View { return c.views[i] }
+func (c *Cluster) RouteView(i int) *route.View {
+	if c.views == nil || i < 0 || i >= len(c.views) {
+		return nil
+	}
+	return c.views[i]
+}
 
 // ClientRouteView returns the client's route view on a replicated cluster,
 // nil otherwise.

@@ -187,6 +187,11 @@ type Config struct {
 	// collecting its replication quorum before failing it as retryable
 	// (default 5s).
 	WriteTimeout time.Duration
+	// ReplicationFactor is the replica count each partition was laid out
+	// with. Primaries use it to decide whether a recovered peer should be
+	// invited back into a replica set that shrank during its outage; zero
+	// means unknown, and every recovered ex-replica is invited back.
+	ReplicationFactor int
 }
 
 func (c Config) withDefaults() Config {

@@ -104,7 +104,12 @@ func (s *Server) noteAlive(from int) {
 		return
 	}
 	s.lastSeen[from].Store(time.Now().UnixNano())
-	s.suspected[from].Store(false)
+	if s.suspected[from].Swap(false) {
+		// Suspicion cleared: a false positive, or a recovered peer. Invite
+		// it back into any replica set it was evicted from (repl.go); a
+		// transient blip must not permanently erode the replication factor.
+		s.replOnPeerUp(from)
+	}
 }
 
 // isSuspect reports whether backend p is currently suspected dead.

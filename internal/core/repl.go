@@ -55,6 +55,7 @@ const (
 	snapChunk = 1 // one mutation batch
 	snapFinal = 2 // last chunk; Seq = append sequence the snapshot covers
 	snapDone  = 3 // receiver confirms the stream was applied
+	snapNudge = 4 // primary invites a recovered ex-replica to rejoin; Blob = route table
 )
 
 // replRingCap bounds the per-partition ring of recent appends kept for
@@ -67,8 +68,15 @@ const replRingCap = 1024
 type partRepl struct {
 	primary bool
 
+	// epoch is the fencing epoch this node's applied history was counted
+	// under. Sequence numbers are only comparable within one epoch: a
+	// follower observing a higher epoch on an append must reconcile its
+	// counter against the new primary's base before trusting comparisons.
+	epoch uint64
+
 	// Primary-side state.
 	nextSeq   uint64           // sequence the next append will carry
+	baseSeq   uint64           // appliedSeq when the current epoch began
 	ringStart uint64           // sequence of ring[0]
 	ring      [][]byte         // recent append payloads for gap repair
 	ackedSeq  map[int32]uint64 // follower -> highest acked sequence
@@ -118,8 +126,32 @@ func (s *Server) initRepl() {
 	for p := 0; p < s.cfg.Route.Parts(); p++ {
 		a := s.cfg.Route.Assignment(p)
 		if a.HasReplica(int32(s.cfg.ID)) {
-			s.replState(p).primary = a.Primary == int32(s.cfg.ID)
+			st := s.replState(p)
+			st.primary = a.Primary == int32(s.cfg.ID)
+			st.epoch = a.Epoch
 		}
+	}
+}
+
+// adoptPrimaryLocked aligns partition state with an assignment that names
+// this server primary. On the follower→primary transition all primary-side
+// state is reset — the ring, follower watermarks and byte counters
+// described an older primaryship (or nothing), and sequences are not
+// comparable across epochs. Whenever the epoch advances, the epoch base is
+// pinned to the current applied sequence so appends can advertise it and
+// followers can adjudicate divergence. Caller holds replMu.
+func (s *Server) adoptPrimaryLocked(st *partRepl, a route.Assignment) {
+	if !st.primary {
+		st.primary = true
+		st.nextSeq = st.appliedSeq + 1
+		st.ring, st.ringStart = nil, 0
+		st.ackedSeq = make(map[int32]uint64)
+		st.shipped, st.acked = 0, 0
+		s.met.AddPromotions(1)
+	}
+	if st.epoch < a.Epoch {
+		st.epoch = a.Epoch
+		st.baseSeq = st.appliedSeq
 	}
 }
 
@@ -179,23 +211,29 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 		s.send(from, resp)
 		return
 	}
+
+	// Apply and sequence inside one critical section. The transport invokes
+	// handlers concurrently (the TCP transport requires it), so applying
+	// before taking the lock would let two same-key writes reach the
+	// primary's store in one order but carry sequence numbers in the other —
+	// and followers, which replay strictly in sequence order, would
+	// permanently diverge from the primary on that key.
+	s.replMu.Lock()
+	st := s.replState(p)
+	s.adoptPrimaryLocked(st, a)
 	for _, m := range muts {
 		if err := m.Apply(s.cfg.Store); err != nil {
+			s.replMu.Unlock()
 			resp.Err = fmt.Sprintf("core: apply write on server %d: %v", s.cfg.ID, err)
 			s.send(from, resp)
 			return
 		}
 	}
-
-	s.replMu.Lock()
-	st := s.replState(p)
-	st.primary = true
 	seq := st.nextSeq
 	if seq == 0 {
 		seq = st.appliedSeq + 1
-		st.nextSeq = seq
 	}
-	st.nextSeq++
+	st.nextSeq = seq + 1
 	st.appliedSeq = seq
 	st.pushRingLocked(seq, msg.Blob)
 	targets := s.shipTargetsLocked(st, a)
@@ -211,7 +249,9 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 	}
 	app := wire.Message{
 		Kind: wire.KindReplAppend, Part: msg.Part,
-		Epoch: a.Epoch, Seq: seq, Blob: msg.Blob,
+		// st.epoch (not the earlier assignment read) so Epoch and Base are
+		// the consistent pair followers adjudicate divergence with.
+		Epoch: st.epoch, Seq: seq, Base: st.baseSeq, Blob: msg.Blob,
 	}
 	st.shipped += int64(len(msg.Blob) * len(targets))
 	s.updateLagLocked()
@@ -299,19 +339,42 @@ func (s *Server) handleReplAppend(from int, msg wire.Message) {
 		return
 	}
 	a := s.cfg.Route.Assignment(p)
-	ack := wire.Message{Kind: wire.KindReplAck, Part: msg.Part, Epoch: a.Epoch, Seq: msg.Seq}
 	if msg.Epoch < a.Epoch {
 		// Fenced: the sender is a deposed primary. Attach our table so it
 		// learns the new assignment.
 		s.met.AddEpochRejects(1)
-		ack.Mode = ackModeEpochRej
-		ack.Blob = s.cfg.Route.Table().Encode()
-		s.send(from, ack)
+		s.send(from, wire.Message{
+			Kind: wire.KindReplAck, Part: msg.Part, Epoch: a.Epoch, Seq: msg.Seq,
+			Mode: ackModeEpochRej, Blob: s.cfg.Route.Table().Encode(),
+		})
 		return
 	}
 
 	s.replMu.Lock()
 	st := s.replState(p)
+	if msg.Epoch > st.epoch {
+		// First append of a newer epoch: our sequence counter advanced under
+		// an older epoch, and cross-epoch sequences are only comparable up
+		// to the new primary's base (its applied sequence when its epoch
+		// began, advertised in Base). History past the base is old-epoch
+		// appends the new primary never saw — treating the new primary's
+		// records at those sequences as duplicates would ack, and count
+		// toward quorum, writes this replica does not hold. Discard the
+		// counter and resync through the snapshot path instead.
+		if st.appliedSeq > msg.Base && !st.joining {
+			st.epoch = msg.Epoch
+			st.appliedSeq = 0
+			st.joining = true
+			st.tail = map[uint64][]byte{msg.Seq: msg.Blob}
+			s.replMu.Unlock()
+			s.send(from, wire.Message{Kind: wire.KindSnapshot, Mode: snapReq, Part: msg.Part})
+			return
+		}
+		st.epoch = msg.Epoch
+	}
+	// Acks carry the epoch the applied watermark belongs to, so a primary
+	// never credits an old-epoch watermark against new-epoch sequences.
+	ack := wire.Message{Kind: wire.KindReplAck, Part: msg.Part, Epoch: st.epoch, Seq: msg.Seq}
 	if st.joining {
 		// Snapshot in flight: buffer the live tail; it is replayed (or
 		// skipped as already-covered) once the final chunk lands.
@@ -326,11 +389,18 @@ func (s *Server) handleReplAppend(from int, msg wire.Message) {
 		ack.Seq = st.appliedSeq
 		s.replMu.Unlock()
 	case msg.Seq == st.appliedSeq+1:
+		epoch := st.epoch
 		s.replMu.Unlock()
 		if err := s.applyBatch(msg.Blob); err != nil {
 			return // local apply failure: no ack, primary times out / re-ships
 		}
 		s.replMu.Lock()
+		if st.epoch != epoch || st.joining {
+			// A newer epoch reset this replica while the batch was applying;
+			// the in-flight resync supersedes this record, so no ack.
+			s.replMu.Unlock()
+			return
+		}
 		st.appliedSeq = msg.Seq
 		// A buffered out-of-order successor may now be applicable.
 		for {
@@ -344,6 +414,10 @@ func (s *Server) handleReplAppend(from int, msg wire.Message) {
 				return
 			}
 			s.replMu.Lock()
+			if st.epoch != epoch || st.joining {
+				s.replMu.Unlock()
+				return
+			}
 			st.appliedSeq++
 		}
 		ack.Seq = st.appliedSeq
@@ -426,6 +500,13 @@ func (s *Server) handleReplAck(from int, msg wire.Message) {
 		s.replMu.Unlock()
 		return
 	}
+	if msg.Epoch < st.epoch {
+		// The follower's watermark was measured under an older epoch;
+		// old-epoch sequences are not comparable to ours and must not vote
+		// on new-epoch quorums.
+		s.replMu.Unlock()
+		return
+	}
 	f := int32(from)
 	if msg.Seq > st.ackedSeq[f] {
 		st.acked += int64(s.ringBytesLocked(st, st.ackedSeq[f]+1, msg.Seq))
@@ -477,7 +558,6 @@ func (s *Server) repairFollower(p int, f int32, appliedSeq uint64) {
 		s.replMu.Unlock()
 		return
 	}
-	a := s.cfg.Route.Assignment(p)
 	from := appliedSeq + 1
 	if from >= st.ringStart && len(st.ring) > 0 {
 		var resend []wire.Message
@@ -487,7 +567,7 @@ func (s *Server) repairFollower(p int, f int32, appliedSeq uint64) {
 			}
 			resend = append(resend, wire.Message{
 				Kind: wire.KindReplAppend, Part: int32(p),
-				Epoch: a.Epoch, Seq: seq, Blob: st.ring[seq-st.ringStart],
+				Epoch: st.epoch, Seq: seq, Base: st.baseSeq, Blob: st.ring[seq-st.ringStart],
 			})
 		}
 		s.replMu.Unlock()
@@ -758,14 +838,19 @@ func (s *Server) reconcileRoles() {
 		switch {
 		case a.Primary == self:
 			st = s.replState(p)
-			if !st.primary {
-				st.primary = true
-				st.nextSeq = st.appliedSeq + 1
-				s.met.AddPromotions(1)
-			}
+			s.adoptPrimaryLocked(st, a)
 		case a.HasReplica(self):
 			if have && st.primary {
+				// Demotion: drop all primary-side state — the ring, follower
+				// watermarks and counters describe our deposed primaryship
+				// and must not leak into a later re-promotion. st.epoch stays:
+				// our applied history was counted under it, and the new
+				// primary's first append adjudicates divergence against it.
 				st.primary = false
+				st.nextSeq = 0
+				st.ring, st.ringStart = nil, 0
+				st.ackedSeq = make(map[int32]uint64)
+				st.shipped, st.acked = 0, 0
 				fails = append(fails, st.failPendingLocked(ErrWrongEpoch.Error(), p)...)
 			}
 		default:
@@ -841,10 +926,16 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 		}
 		s.replMu.Lock()
 		st := s.replState(p)
+		if msg.Epoch > st.epoch {
+			// The snapshot hands us the streamer's history, so our applied
+			// counter is now measured in the streamer's epoch.
+			st.epoch = msg.Epoch
+		}
 		if msg.Seq > st.appliedSeq {
 			st.appliedSeq = msg.Seq
 		}
 		st.joining = false
+		epoch := st.epoch
 		// Replay the buffered live tail that extends past the snapshot.
 		for {
 			blob, ok := st.tail[st.appliedSeq+1]
@@ -857,6 +948,12 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 				return
 			}
 			s.replMu.Lock()
+			if st.epoch != epoch || st.joining {
+				// A newer epoch reset this replica mid-replay; the fresh
+				// resync supersedes this one.
+				s.replMu.Unlock()
+				return
+			}
 			st.appliedSeq++
 		}
 		for seq := range st.tail { // anything at or below the snapshot is covered
@@ -864,18 +961,38 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 				delete(st.tail, seq)
 			}
 		}
+		// Report the post-replay watermark: on a divergence resync the
+		// primary credits it as this follower's ack, which may complete the
+		// very write whose append triggered the resync.
+		done := wire.Message{Kind: wire.KindSnapshot, Mode: snapDone, Part: msg.Part, Seq: st.appliedSeq}
 		s.replMu.Unlock()
-		s.send(from, wire.Message{Kind: wire.KindSnapshot, Mode: snapDone, Part: msg.Part, Seq: msg.Seq})
+		s.send(from, done)
+	case snapNudge:
+		// A primary noticed this server return from suspicion and is
+		// inviting it back into a replica set it was dropped from. The local
+		// table may be stale enough to still list this server as a replica —
+		// which would make JoinPartition a no-op — so merge the nudger's
+		// table first.
+		if tbl, err := route.DecodeTable(msg.Blob); err == nil {
+			s.applyRouteTable(tbl)
+		}
+		_ = s.JoinPartition(p)
 	case snapDone:
 		// The joiner is caught up: publish an epoch that makes it a
-		// follower (no-op if it already is one, e.g. after a nak repair).
+		// follower (no-op if it already is one, e.g. after a nak repair or
+		// a divergence resync — those credit the reported watermark as an
+		// ack instead, which may complete pending quorum writes).
 		a := s.cfg.Route.Assignment(p)
 		if a.Primary != int32(s.cfg.ID) || a.HasReplica(int32(from)) {
 			s.replMu.Lock()
 			if st, ok := s.repl[p]; ok {
 				delete(st.joiners, int32(from))
+				if st.primary && msg.Seq > st.ackedSeq[int32(from)] {
+					st.ackedSeq[int32(from)] = msg.Seq
+				}
 			}
 			s.replMu.Unlock()
+			s.reapQuorums(p)
 			return
 		}
 		next := route.Assignment{
@@ -902,6 +1019,7 @@ func (s *Server) streamSnapshot(p, to int) {
 	// The snapshot covers everything applied before the scan starts; the
 	// live tail (forwarded because `to` is a joiner) covers the rest.
 	seq := st.appliedSeq
+	epoch := st.epoch
 	s.replMu.Unlock()
 	view := s.cfg.Route
 	keep := func(id model.VertexID) bool { return view.Partition(id) == p }
@@ -913,5 +1031,42 @@ func (s *Server) streamSnapshot(p, to int) {
 	if err != nil {
 		return // stalled join; the joiner's operator retries
 	}
-	s.send(to, wire.Message{Kind: wire.KindSnapshot, Mode: snapFinal, Part: int32(p), Seq: seq})
+	s.send(to, wire.Message{Kind: wire.KindSnapshot, Mode: snapFinal, Part: int32(p), Epoch: epoch, Seq: seq})
+}
+
+// replOnPeerUp reacts to a peer's suspicion clearing: every partition this
+// server primaries below the configured replication factor — typically
+// because replOnPeerDown shrank the set while the peer was unreachable —
+// sends the recovered peer a rejoin invitation. Without it a transient
+// network blip silently and permanently erodes durability.
+func (s *Server) replOnPeerUp(peer int) {
+	if s.cfg.Route == nil {
+		return
+	}
+	self := int32(s.cfg.ID)
+	pr := int32(peer)
+	var nudge []int
+	s.replMu.Lock()
+	for p := 0; p < s.cfg.Route.Parts(); p++ {
+		a := s.cfg.Route.Assignment(p)
+		if a.Primary != self || a.HasReplica(pr) {
+			continue
+		}
+		if rf := s.cfg.ReplicationFactor; rf >= 2 && len(a.Followers)+1 >= rf {
+			continue // someone else already restored the factor
+		}
+		if st, ok := s.repl[p]; ok && st.joiners[pr] {
+			continue // handoff already in flight
+		}
+		nudge = append(nudge, p)
+	}
+	s.replMu.Unlock()
+	if len(nudge) == 0 {
+		return
+	}
+	s.met.AddRejoinNudges(int64(len(nudge)))
+	blob := s.cfg.Route.Table().Encode()
+	for _, p := range nudge {
+		s.send(peer, wire.Message{Kind: wire.KindSnapshot, Mode: snapNudge, Part: int32(p), Blob: blob})
+	}
 }

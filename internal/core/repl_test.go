@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -70,7 +71,7 @@ func newReplCluster(t testing.TB, n, rf int, tweak func(*Config)) (*cluster, []*
 	for i := 0; i < n; i++ {
 		store := gstore.NewMemStore()
 		c.stores = append(c.stores, store)
-		cfg := Config{ID: i, Store: store, Part: views[i], Route: views[i], TravelTimeout: 15 * time.Second}
+		cfg := Config{ID: i, Store: store, Part: views[i], Route: views[i], ReplicationFactor: rf, TravelTimeout: 15 * time.Second}
 		if tweak != nil {
 			tweak(&cfg)
 		}
@@ -397,6 +398,197 @@ func TestReplShardHandoff(t *testing.T) {
 	}
 	pollUntil(t, 5*time.Second, "post-join write on the joiner", func() bool {
 		_, ok, _ := c.stores[joiner].GetVertex(newID)
+		return ok
+	})
+}
+
+// replAppliedSeq reads a server's applied replication sequence for one
+// partition (test-only peek behind replMu).
+func replAppliedSeq(s *Server, p int) uint64 {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if st, ok := s.repl[p]; ok {
+		return st.appliedSeq
+	}
+	return 0
+}
+
+// TestReplConcurrentWriteOrdering drives one partition's primary with many
+// concurrent same-vertex writes, bypassing the (serializing) in-process
+// fabric by invoking Handle directly — exactly what the TCP transport does
+// from different peer connections. The primary must apply batches in the
+// same order it assigns their sequence numbers, or followers (which replay
+// strictly in sequence order) end up with a different final value for the
+// contended vertex than the primary.
+func TestReplConcurrentWriteOrdering(t *testing.T) {
+	const (
+		n       = 2
+		writers = 32
+	)
+	c, _, views := newReplCluster(t, n, 2, nil)
+	const p = 0 // Identity(2,2): primary 0, follower 1
+	vid := findFreeID(views[n], p, 1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			blob := gstore.EncodeBatch([]gstore.Mutation{{
+				Op: gstore.OpPutVertex,
+				Vertex: model.Vertex{ID: vid, Label: "Counter",
+					Props: property.Map{"v": property.Int(int64(i))}},
+			}})
+			c.servers[p].Handle(n, wire.Message{
+				Kind: wire.KindWriteReq, ReqID: uint64(1<<40) + uint64(i),
+				Part: p, Blob: blob,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	pollUntil(t, 10*time.Second, "follower catch-up", func() bool {
+		return replAppliedSeq(c.servers[1], p) >= writers
+	})
+	pv, ok, err := c.stores[0].GetVertex(vid)
+	if err != nil || !ok {
+		t.Fatalf("vertex %d missing on primary (ok=%v err=%v)", vid, ok, err)
+	}
+	fv, ok, err := c.stores[1].GetVertex(vid)
+	if err != nil || !ok {
+		t.Fatalf("vertex %d missing on follower (ok=%v err=%v)", vid, ok, err)
+	}
+	if pv.Props["v"] != fv.Props["v"] {
+		t.Errorf("primary/follower diverged on contended vertex %d: primary v=%v, follower v=%v",
+			vid, pv.Props["v"], fv.Props["v"])
+	}
+}
+
+// TestReplEpochScopedSequences reproduces the lost-acked-write hazard of
+// cross-epoch sequence comparison: a follower holding old-epoch records past
+// the new primary's base must resync through a snapshot instead of acking
+// new-epoch sequences it never stored. The scenario: server 2 applies a
+// divergent epoch-1 append (seq 2) the eventual new primary never saw; an
+// epoch-2 table promotes server 1; a client write then reuses seq 2 under
+// epoch 2. Without epoch scoping server 2 treats it as a duplicate, acks
+// without storing, and the quorum-acked vertex silently never lands on it.
+func TestReplEpochScopedSequences(t *testing.T) {
+	const n = 3
+	c, _, views := newReplCluster(t, n, 3, nil)
+	clientView := views[n]
+	p := clientView.Partition(1) // Identity(3,3): primary p, followers p+1, p+2
+	srv1 := (p + 1) % n
+	srv2 := (p + 2) % n
+
+	// Seed one quorum write so every replica sits at sequence 1.
+	seedID := findFreeID(clientView, p, 1)
+	if err := c.client.Write([]gstore.Mutation{
+		{Op: gstore.OpPutVertex, Vertex: model.Vertex{ID: seedID, Label: "Seed"}},
+	}, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, 5*time.Second, "seed write on all replicas", func() bool {
+		return replAppliedSeq(c.servers[srv1], p) == 1 && replAppliedSeq(c.servers[srv2], p) == 1
+	})
+
+	// Divergent old-epoch history: server 2 applies an epoch-1 append at
+	// sequence 2 that server 1 (the eventual new primary) never received.
+	divID := findFreeID(clientView, p, seedID+1)
+	divBlob := gstore.EncodeBatch([]gstore.Mutation{
+		{Op: gstore.OpPutVertex, Vertex: model.Vertex{ID: divID, Label: "Divergent"}},
+	})
+	c.servers[srv2].Handle(p, wire.Message{
+		Kind: wire.KindReplAppend, Part: int32(p), Epoch: 1, Seq: 2, Base: 0, Blob: divBlob,
+	})
+	pollUntil(t, 5*time.Second, "divergent append applied", func() bool {
+		return replAppliedSeq(c.servers[srv2], p) == 2
+	})
+
+	// A lagging-follower promotion: epoch 2 names server 1 primary with
+	// server 2 as the only follower, installed on both survivors and the
+	// client (the deposed server p is left out, as after its crash).
+	tbl := route.Identity(n, n)
+	tbl.Parts[p] = route.Assignment{Epoch: 2, Primary: int32(srv1), Followers: []int32{int32(srv2)}}
+	blob := tbl.Encode()
+	c.servers[srv1].Handle(n, wire.Message{Kind: wire.KindRouteUpdate, Blob: blob})
+	c.servers[srv2].Handle(n, wire.Message{Kind: wire.KindRouteUpdate, Blob: blob})
+	clientView.Update(tbl)
+
+	// The new primary assigns sequence 2 under epoch 2 — the sequence
+	// server 2 already burned on divergent epoch-1 history.
+	newID := findFreeID(clientView, p, divID+1)
+	if err := c.client.Write([]gstore.Mutation{
+		{Op: gstore.OpPutVertex, Vertex: model.Vertex{ID: newID, Label: "Marker"}},
+	}, WriteOptions{Timeout: 10 * time.Second}); err != nil {
+		t.Fatalf("post-promotion write: %v", err)
+	}
+	// The acked write must be durable on the quorum-counted follower. The
+	// ack that satisfied the quorum is sent after the store holds the data
+	// on both the resync (snapDone) and normal paths, so no poll is needed.
+	if _, ok, _ := c.stores[srv2].GetVertex(newID); !ok {
+		t.Fatalf("acked write %d missing on follower %d: old-epoch sequence treated as duplicate", newID, srv2)
+	}
+	if _, ok, _ := c.stores[srv1].GetVertex(newID); !ok {
+		t.Errorf("acked write %d missing on new primary %d", newID, srv1)
+	}
+	// Divergence was repaired through the snapshot path, not by luck.
+	if got := c.servers[srv1].Metrics().HandoffBytes; got <= 0 {
+		t.Errorf("HandoffBytes = %d on the new primary, want > 0 (divergent follower must resync)", got)
+	}
+}
+
+// TestReplRejoinAfterFalseSuspicion checks that a follower evicted from a
+// replica set during a transient outage is automatically invited back once
+// its suspicion clears: the replica set returns to the configured factor
+// under a fresh epoch and new quorum writes land on the rejoined follower.
+func TestReplRejoinAfterFalseSuspicion(t *testing.T) {
+	const (
+		n            = 3
+		hb           = 40 * time.Millisecond
+		suspectAfter = 3 * hb
+	)
+	c, chaos, views := newReplCluster(t, n, 2, func(cfg *Config) {
+		cfg.HeartbeatInterval = hb
+		cfg.SuspectAfter = suspectAfter
+	})
+	writeAuditGraph(t, c)
+	clientView := views[n]
+	p := clientView.Partition(1) // primary p, follower (p+1)%n at boot
+	prim := p
+	fol := (p + 1) % n
+
+	// Crash the follower until the primary evicts it under a fresh epoch.
+	chaos[fol].Crash()
+	pollUntil(t, 10*time.Second, "replica-set shrink", func() bool {
+		a := views[prim].Assignment(p)
+		return a.Epoch >= 2 && len(a.Followers) == 0
+	})
+
+	// Revive: heartbeats clear the suspicion, and the primary must nudge the
+	// ex-replica back in — snapshot catch-up, then a fresh epoch restoring
+	// the replication factor.
+	chaos[fol].Revive()
+	pollUntil(t, 10*time.Second, "automatic rejoin", func() bool {
+		a := views[prim].Assignment(p)
+		return a.HasReplica(int32(fol)) && a.Epoch >= 3
+	})
+	if got := c.servers[prim].Metrics().RejoinNudges; got < 1 {
+		t.Errorf("RejoinNudges = %d on the primary, want >= 1", got)
+	}
+
+	// Durability is back: a quorum write requires — and lands on — the
+	// rejoined follower.
+	newID := findFreeID(clientView, p, 1000)
+	pollUntil(t, 5*time.Second, "client route convergence", func() bool {
+		return clientView.Assignment(p).HasReplica(int32(fol))
+	})
+	if err := c.client.Write([]gstore.Mutation{
+		{Op: gstore.OpPutVertex, Vertex: model.Vertex{ID: newID, Label: "Marker"}},
+	}, WriteOptions{Timeout: 10 * time.Second}); err != nil {
+		t.Fatalf("post-rejoin write: %v", err)
+	}
+	pollUntil(t, 5*time.Second, "post-rejoin write on the follower", func() bool {
+		_, ok, _ := c.stores[fol].GetVertex(newID)
 		return ok
 	})
 }

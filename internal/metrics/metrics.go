@@ -42,6 +42,7 @@ type Server struct {
 	epochRejects atomic.Int64
 	replLag      atomic.Int64
 	handoffBytes atomic.Int64
+	rejoinNudges atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -119,6 +120,11 @@ type Snapshot struct {
 	// HandoffBytes counts snapshot bytes streamed for shard handoff /
 	// follower catch-up.
 	HandoffBytes int64
+	// RejoinNudges counts invitations a primary sent to a recovered peer to
+	// rejoin replica sets it was evicted from while suspected. A growing
+	// value without matching epoch bumps flags partitions stuck below the
+	// configured replication factor.
+	RejoinNudges int64
 }
 
 // AddReceived records n accepted vertex requests.
@@ -179,6 +185,9 @@ func (s *Server) SetReplLagBytes(n int64) { s.replLag.Store(n) }
 // AddHandoffBytes records n snapshot bytes streamed for handoff.
 func (s *Server) AddHandoffBytes(n int64) { s.handoffBytes.Add(n) }
 
+// AddRejoinNudges records n rejoin invitations sent to a recovered peer.
+func (s *Server) AddRejoinNudges(n int64) { s.rejoinNudges.Add(n) }
+
 // AddQueueWait records one popped scheduler group's enqueue→pop wait.
 func (s *Server) AddQueueWait(d time.Duration) {
 	s.queueWaitNs.Add(int64(d))
@@ -207,6 +216,7 @@ func (s *Server) Snapshot() Snapshot {
 		EpochRejects:   s.epochRejects.Load(),
 		ReplLagBytes:   s.replLag.Load(),
 		HandoffBytes:   s.handoffBytes.Load(),
+		RejoinNudges:   s.rejoinNudges.Load(),
 	}
 }
 
@@ -239,6 +249,7 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		EpochRejects:   a.EpochRejects - b.EpochRejects,
 		ReplLagBytes:   a.ReplLagBytes,
 		HandoffBytes:   a.HandoffBytes - b.HandoffBytes,
+		RejoinNudges:   a.RejoinNudges - b.RejoinNudges,
 	}
 }
 
@@ -272,6 +283,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		// Per-server lags sum to the cluster's total outstanding bytes.
 		ReplLagBytes: a.ReplLagBytes + b.ReplLagBytes,
 		HandoffBytes: a.HandoffBytes + b.HandoffBytes,
+		RejoinNudges: a.RejoinNudges + b.RejoinNudges,
 	}
 }
 
@@ -325,5 +337,6 @@ func Fields() []Field {
 		{"epoch_rejects_total", "Replication or write messages rejected for a stale epoch.", false, func(s Snapshot) int64 { return s.EpochRejects }},
 		{"repl_lag_bytes", "Shipped-minus-acked replication byte lag across partitions.", true, func(s Snapshot) int64 { return s.ReplLagBytes }},
 		{"handoff_bytes_total", "Snapshot bytes streamed for shard handoff and catch-up.", false, func(s Snapshot) int64 { return s.HandoffBytes }},
+		{"rejoin_nudges_total", "Rejoin invitations sent to recovered peers for under-replicated partitions.", false, func(s Snapshot) int64 { return s.RejoinNudges }},
 	}
 }

@@ -192,6 +192,12 @@ type Message struct {
 	// Seq is the per-partition replication sequence number of a
 	// KindReplAppend / KindReplAck, or the WAL position a snapshot covers.
 	Seq uint64
+	// Base is the sender's epoch base in a KindReplAppend: the primary's
+	// applied sequence at the moment its current epoch began. Sequence
+	// numbers are only comparable within one epoch; a follower whose
+	// applied sequence exceeds the advertised base holds old-epoch records
+	// the new primary never saw and must resync instead of acking.
+	Base uint64
 	// Part is the partition id a replication message concerns.
 	Part int32
 	Err  string
@@ -212,6 +218,7 @@ func Append(b []byte, m *Message) []byte {
 	b = binary.LittleEndian.AppendUint64(b, m.ParentExec)
 	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
 	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	b = binary.LittleEndian.AppendUint64(b, m.Base)
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.Part))
 	b = binary.AppendUvarint(b, uint64(len(m.Plan)))
 	b = append(b, m.Plan...)
@@ -334,6 +341,7 @@ func Decode(b []byte) (Message, error) {
 	m.ParentExec = d.u64()
 	m.Epoch = d.u64()
 	m.Seq = d.u64()
+	m.Base = d.u64()
 	m.Part = int32(d.u32())
 	if n := d.uvarint(); n > 0 {
 		m.Plan = append([]byte(nil), d.bytes(n)...)

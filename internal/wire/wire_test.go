@@ -28,6 +28,7 @@ func TestRoundTripAllFields(t *testing.T) {
 		ParentExec: 888,
 		Epoch:      13,
 		Seq:        314,
+		Base:       271,
 		Part:       -2,
 		Err:        "boom",
 		Blob:       []byte("{\"x\":1}"),
@@ -69,6 +70,7 @@ func randomMessage(r *rand.Rand) Message {
 	if r.Intn(2) == 0 {
 		m.Epoch = r.Uint64()
 		m.Seq = r.Uint64()
+		m.Base = r.Uint64()
 		m.Part = int32(r.Intn(64) - 1)
 	}
 	if r.Intn(2) == 0 {
