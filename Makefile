@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build vet test race stress check lint fmt fmtcheck bench benchfull bench-smoke bench-readpath bench-failover clean
+.PHONY: all build vet test race stress check lint fmt fmtcheck bench benchfull bench-smoke bench-readpath bench-failover bench-fanout clean
 
 all: build
 
@@ -79,6 +79,13 @@ bench-readpath:
 # equivalence across the failover, and online shard handoff.
 bench-failover:
 	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp failover -json BENCH_failover.json
+
+# bench-fanout gates the frontier data path: interned dense ids + packed
+# adjacency + the columnar v2 frame must beat the pre-refactor shape (edge
+# decode + row-major v1 frames) by >= 3x vertices/sec and >= 2x fewer wire
+# bytes per vertex, with the pooled encode path allocating less per batch.
+bench-fanout:
+	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp fanout -json BENCH_fanout.json
 
 clean:
 	$(GO) clean ./...

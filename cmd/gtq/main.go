@@ -40,6 +40,7 @@ func main() {
 	servers := flag.Int("servers", 1, "number of backend servers")
 	addrs := flag.String("addrs", "", "comma-separated node addresses")
 	vIDs := flag.String("v", "", "comma-separated source vertex ids")
+	vNames := flag.String("names", "", "comma-separated source vertex names, resolved through the interning dictionary (instead of -v)")
 	vLabel := flag.String("vlabel", "", "source vertex label (instead of -v)")
 	eSpec := flag.String("e", "", "comma-separated edge labels, each optionally label[key:lo..hi]")
 	vaSpec := flag.String("va", "", "final-step vertex EQ filter, key=value")
@@ -50,15 +51,16 @@ func main() {
 	profile := flag.Bool("profile", false, "after the traversal, fetch execution traces and print a per-step cost table (server-side modes only)")
 	critPath := flag.Bool("critical-path", false, "after the traversal, assemble the causal trace DAG and print the slowest hop chains (server-side modes only)")
 	topK := flag.Int("top", 3, "with -critical-path, how many chains to print")
+	resolve := flag.Bool("resolve", false, "materialize result ids back to their interned names")
 	flag.Parse()
 
-	if err := run(*self, *servers, *addrs, *vIDs, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile, *critPath, *topK); err != nil {
+	if err := run(*self, *servers, *addrs, *vIDs, *vNames, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile, *critPath, *topK, *resolve); err != nil {
 		fmt.Fprintln(os.Stderr, "gtq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile, critPath bool, topK int) error {
+func run(self, servers int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile, critPath bool, topK int, resolve bool) error {
 	mode, ok := modes[modeName]
 	if !ok {
 		return fmt.Errorf("unknown -mode %q", modeName)
@@ -66,13 +68,8 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 	if addrs == "" || self < servers {
 		return fmt.Errorf("need -addrs and a -self slot after the %d backends", servers)
 	}
-	tr, err := buildTravel(vIDs, vLabel, eSpec, vaSpec, rtnStep)
-	if err != nil {
-		return err
-	}
-	plan, err := tr.Compile()
-	if err != nil {
-		return err
+	if vIDs != "" && vNames != "" {
+		return fmt.Errorf("-v and -names are mutually exclusive")
 	}
 	client := core.NewClient(partition.NewHash(servers))
 	tcp, err := rpc.NewTCP(self, strings.Split(addrs, ","), client.Handle)
@@ -82,6 +79,47 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 	defer tcp.Close()
 	client.Bind(tcp)
 
+	if vNames != "" {
+		// Resolve the source names to interned ids at the client boundary;
+		// the traversal itself runs purely on integer ids.
+		names := strings.Split(vNames, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		ids, err := client.ResolveNames(names, core.WriteOptions{Timeout: timeout})
+		if err != nil {
+			return fmt.Errorf("resolve sources: %w", err)
+		}
+		var parts []string
+		for i, id := range ids {
+			if id == 0 {
+				return fmt.Errorf("source name %q was never interned", names[i])
+			}
+			parts = append(parts, strconv.FormatUint(uint64(id), 10))
+		}
+		vIDs = strings.Join(parts, ",")
+	}
+	tr, err := buildTravel(vIDs, vLabel, eSpec, vaSpec, rtnStep)
+	if err != nil {
+		return err
+	}
+	plan, err := tr.Compile()
+	if err != nil {
+		return err
+	}
+	// namer materializes result ids back to names when -resolve is set.
+	var namer func([]model.VertexID) []string
+	if resolve {
+		namer = func(ids []model.VertexID) []string {
+			names, err := client.NamesOf(ids, core.WriteOptions{Timeout: timeout})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gtq: resolve results:", err)
+				return nil
+			}
+			return names
+		}
+	}
+
 	fmt.Printf("gtq: %s (mode %s)\n", plan, mode)
 	opts := core.SubmitOptions{Mode: mode, Coordinator: -1, Timeout: timeout, Retries: retries}
 	start := time.Now()
@@ -90,7 +128,7 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 		if err != nil {
 			return err
 		}
-		printResults(res, start)
+		printResults(res, start, namer)
 		return nil
 	}
 	// Profiling and DAG assembly need the traversal handle to address the
@@ -107,7 +145,7 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 	if err != nil {
 		return err
 	}
-	printResults(res, start)
+	printResults(res, start, namer)
 	if profile {
 		stats, err := h.Profile(0)
 		if err != nil {
@@ -125,9 +163,17 @@ func run(self, servers int, addrs, vIDs, vLabel, eSpec, vaSpec string, rtnStep i
 	return nil
 }
 
-func printResults(res []model.VertexID, start time.Time) {
+func printResults(res []model.VertexID, start time.Time, namer func([]model.VertexID) []string) {
 	fmt.Printf("gtq: %d vertices in %v\n", len(res), time.Since(start).Round(time.Millisecond))
-	for _, v := range res {
+	var names []string
+	if namer != nil {
+		names = namer(res)
+	}
+	for i, v := range res {
+		if i < len(names) && names[i] != "" {
+			fmt.Printf("%s\t%s\n", v, names[i])
+			continue
+		}
 		fmt.Println(v)
 	}
 }

@@ -418,6 +418,56 @@ func (c *Cluster) Write(muts []gstore.Mutation, opts core.WriteOptions) error {
 	return c.client.Write(muts, opts)
 }
 
+// Intern maps external string vertex names to dense interned ids,
+// allocating new ids for names not seen before. Ids are positionally
+// aligned with names and stable across calls — re-interning returns the
+// existing id. On replicated clusters the allocation runs through the
+// quorum write path (so every replica reconstructs the same mapping); on
+// unreplicated clusters it writes the owning partition's store directly.
+// Use the returned ids as the graph's vertex ids: they embed their
+// partition, so routing never needs the dictionary.
+func (c *Cluster) Intern(names ...string) ([]VertexID, error) {
+	if c.croute != nil {
+		return c.client.Intern(names, core.WriteOptions{})
+	}
+	out := make([]VertexID, len(names))
+	for i, name := range names {
+		p := c.part.Owner(model.VertexID(model.HashName(name)))
+		in, ok := gstore.InternerOf(c.stores[p])
+		if !ok {
+			return nil, fmt.Errorf("graphtrek: server %d store does not support interning", p)
+		}
+		id, err := in.Intern(name, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// NameOf materializes an interned id back to its external name — the
+// client-boundary direction, e.g. for presenting rtn() results. Reports
+// false for ids that were never interned.
+func (c *Cluster) NameOf(id VertexID) (string, bool, error) {
+	in, ok := gstore.InternerOf(c.stores[c.part.Owner(id)])
+	if !ok {
+		return "", false, nil
+	}
+	return in.LookupName(id)
+}
+
+// ResolveName is the read-only direction of Intern: the interned id of a
+// name, or false if the name was never interned.
+func (c *Cluster) ResolveName(name string) (VertexID, bool, error) {
+	p := c.part.Owner(model.VertexID(model.HashName(name)))
+	in, ok := gstore.InternerOf(c.stores[p])
+	if !ok {
+		return 0, false, nil
+	}
+	return in.LookupID(name)
+}
+
 // KillServer simulates a crash of backend i: the engine stops and the
 // node's endpoint closes, so in-flight and future messages to it vanish.
 // The failure detector condemns it within SuspectAfter, and on replicated

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/kv"
+	"graphtrek/internal/model"
+	"graphtrek/internal/wire"
+)
+
+// Fanout gates the PR's frontier data path: interned dense ids + packed
+// adjacency runs + the columnar v2 frame versus the pre-refactor shape
+// (full edge decode off the kv store, row-major v1 frames, a fresh buffer
+// per batch). Both variants do the same logical work — expand every source
+// vertex's out-edges and serialize the resulting frontier batch — on the
+// same on-disk store, so the measured deltas are the refactor's:
+//
+//   - legacy/v1: Store.ScanEdges decodes each edge's key and property
+//     block, collects destinations into a fresh slice, and encodes a v1
+//     frame into a fresh buffer (24 fixed bytes per entry).
+//   - packed/v2: CachedGraph.ScanEdgeIDs walks the warm packed []uint64
+//     adjacency run, reuses the entry scratch across batches, and encodes
+//     a delta-varint v2 frame into a pooled buffer (1-2 bytes per entry on
+//     the dense interned ids the dictionary allocates).
+//
+// The report gates CI on the headline claims: >= 3x frontier throughput
+// (vertices/sec) and >= 2x fewer wire bytes per vertex, plus payload
+// equivalence (the v2 frame decodes to the same frontier the v1 frame
+// carries) and a near-zero steady-state allocation rate on the pooled path.
+func Fanout(s Scale, w io.Writer, rep *ExperimentResult) error {
+	sources := s.MetaVertices / 4
+	if sources < 256 {
+		sources = 256
+	}
+	fanout := 4 * s.RMATDeg
+	if fanout < 16 {
+		fanout = 16
+	}
+	const rounds = 5
+	fmt.Fprintf(w, "FANOUT — %d sources × %d edges, %d rounds, kv-backed store (scale=%s)\n",
+		sources, fanout, rounds, s.Name)
+
+	dir, err := os.MkdirTemp("", "graphtrek-fanout")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := gstore.Open(dir, kv.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	// Dictionary-shaped ids: sources are partition 0's dense allocations,
+	// destinations partition 1's, so the id columns exercise exactly the
+	// runs the interner produces.
+	srcs := make([]model.VertexID, sources)
+	for i := range srcs {
+		srcs[i] = model.InternedID(0, uint64(i))
+		for j := 0; j < fanout; j++ {
+			dst := model.InternedID(1, uint64(i*fanout+j))
+			if err := st.PutEdge(model.Edge{Src: srcs[i], Dst: dst, Label: "link"}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+
+	// --- legacy/v1: full edge decode, fresh slices and buffers per batch.
+	var sampleV1 []byte
+	legacy, err := measureFanout(srcs, rounds, func(src model.VertexID) (int, int, error) {
+		var dsts []model.VertexID
+		err := st.ScanEdges(src, "link", func(e model.Edge) bool {
+			dsts = append(dsts, e.Dst)
+			return true
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		m := wire.Message{Kind: wire.KindVisitReq, TravelID: 1, Step: 1,
+			Entries: make([]wire.Entry, len(dsts))}
+		for i, d := range dsts {
+			m.Entries[i] = wire.Entry{Vertex: d, Anc: src}
+		}
+		b := wire.AppendV1(nil, &m)
+		if sampleV1 == nil {
+			sampleV1 = b
+		}
+		return len(dsts), len(b), nil
+	})
+	if err != nil {
+		return err
+	}
+	legacy.series = "legacy/v1"
+
+	// --- packed/v2: warm packed adjacency, pooled buffers, reused scratch.
+	cg := gstore.NewCachedGraph(st, 64<<20)
+	for _, src := range srcs { // warm pass builds the packed runs
+		if err := cg.ScanEdgeIDs(src, "link", func(model.VertexID) bool { return true }); err != nil {
+			return err
+		}
+	}
+	var pool sync.Pool // holds *[]byte, mirroring the transport's framePool
+	ids := make([]model.VertexID, 0, fanout)
+	entries := make([]wire.Entry, 0, fanout)
+	var sampleV2 []byte
+	packed, err := measureFanout(srcs, rounds, func(src model.VertexID) (int, int, error) {
+		ids = ids[:0]
+		err := cg.ScanEdgeIDs(src, "link", func(id model.VertexID) bool {
+			ids = append(ids, id)
+			return true
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		entries = entries[:0]
+		for _, d := range ids {
+			entries = append(entries, wire.Entry{Vertex: d, Anc: src})
+		}
+		m := wire.Message{Kind: wire.KindVisitReq, TravelID: 1, Step: 1, Entries: entries}
+		var buf []byte
+		if p, ok := pool.Get().(*[]byte); ok {
+			buf = (*p)[:0]
+		}
+		b := wire.Append(buf, &m)
+		n := len(b)
+		if sampleV2 == nil {
+			sampleV2 = append([]byte(nil), b...)
+		}
+		pool.Put(&b)
+		return len(ids), n, nil
+	})
+	if err != nil {
+		return err
+	}
+	packed.series = "packed/v2"
+
+	fmt.Fprintf(w, "%-12s%14s%16s%16s%14s\n", "Series", "Elapsed", "Vertices/sec", "Bytes/vertex", "Allocs/op")
+	for _, r := range []fanoutResult{legacy, packed} {
+		fmt.Fprintf(w, "%-12s%14s%16.0f%16.2f%14.2f\n",
+			r.series, fmtDur(r.elapsed), r.verticesPerSec(), r.bytesPerVertex(), r.allocsPerOp())
+		rep.AddRow(Row{Series: r.series, Runs: rounds, ElapsedNs: int64(r.elapsed),
+			Vertices: r.vertices, WireBytes: r.bytes, AllocsPerOp: int64(r.allocsPerOp() + 0.5)})
+	}
+
+	speedup := packed.verticesPerSec() / legacy.verticesPerSec()
+	shrink := legacy.bytesPerVertex() / packed.bytesPerVertex()
+	rep.AddCheck("fanout-throughput-3x", speedup >= 3,
+		"packed %0.f vs legacy %0.f vertices/sec (%.2fx, need >= 3x)",
+		packed.verticesPerSec(), legacy.verticesPerSec(), speedup)
+	rep.AddCheck("fanout-wire-2x", shrink >= 2,
+		"legacy %.2f vs packed %.2f bytes/vertex (%.2fx, need >= 2x)",
+		legacy.bytesPerVertex(), packed.bytesPerVertex(), shrink)
+	rep.AddCheck("fanout-alloc-reuse", packed.allocsPerOp() < legacy.allocsPerOp(),
+		"packed %.2f vs legacy %.2f allocs/op", packed.allocsPerOp(), legacy.allocsPerOp())
+
+	// Payload equivalence: the two codecs carry the same frontier.
+	m1, err := wire.DecodeV1(sampleV1)
+	if err != nil {
+		return fmt.Errorf("bench: fanout v1 sample: %w", err)
+	}
+	m2, err := wire.Decode(sampleV2)
+	if err != nil {
+		return fmt.Errorf("bench: fanout v2 sample: %w", err)
+	}
+	same := len(m1.Entries) == len(m2.Entries)
+	for i := 0; same && i < len(m1.Entries); i++ {
+		same = m1.Entries[i] == m2.Entries[i]
+	}
+	rep.AddCheck("fanout-equivalence", same,
+		"v1 sample carries %d entries, v2 %d", len(m1.Entries), len(m2.Entries))
+	fmt.Fprintf(w, "throughput %.2fx (gate 3x), wire %.2fx (gate 2x)\n", speedup, shrink)
+	return nil
+}
+
+type fanoutResult struct {
+	series   string
+	elapsed  time.Duration
+	vertices int64
+	bytes    int64
+	ops      int64
+	mallocs  uint64
+}
+
+func (r fanoutResult) verticesPerSec() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.vertices) / r.elapsed.Seconds()
+}
+
+func (r fanoutResult) bytesPerVertex() float64 {
+	if r.vertices == 0 {
+		return 0
+	}
+	return float64(r.bytes) / float64(r.vertices)
+}
+
+func (r fanoutResult) allocsPerOp() float64 {
+	if r.ops == 0 {
+		return 0
+	}
+	return float64(r.mallocs) / float64(r.ops)
+}
+
+// measureFanout drives op over every source for the given number of rounds
+// and returns the aggregate timing, payload and heap-allocation counts.
+func measureFanout(srcs []model.VertexID, rounds int, op func(model.VertexID) (verts, bytes int, err error)) (fanoutResult, error) {
+	var r fanoutResult
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for round := 0; round < rounds; round++ {
+		for _, src := range srcs {
+			v, b, err := op(src)
+			if err != nil {
+				return r, err
+			}
+			r.vertices += int64(v)
+			r.bytes += int64(b)
+			r.ops++
+		}
+	}
+	r.elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	r.mallocs = ms1.Mallocs - ms0.Mallocs
+	return r, nil
+}

@@ -100,8 +100,10 @@ func (c *Client) Handle(_ int, msg wire.Message) {
 		}
 	case wire.KindVisitResp, wire.KindProgressResp, wire.KindTraceResp, wire.KindWriteResp:
 		// A rejected write piggybacks the server's route table so the retry
-		// is already re-routed when the caller sees the error.
-		if msg.Kind == wire.KindWriteResp && len(msg.Blob) > 0 {
+		// is already re-routed when the caller sees the error. (A successful
+		// write response's Blob is payload — an intern request's id list —
+		// never a table.)
+		if msg.Kind == wire.KindWriteResp && msg.Err != "" && len(msg.Blob) > 0 {
 			c.mergeRoute(msg.Blob)
 		}
 		c.mu.Lock()
@@ -226,6 +228,216 @@ func (c *Client) writePart(p int, blob []byte, deadline time.Time) error {
 		delete(c.reqs, reqID)
 		c.mu.Unlock()
 		return fmt.Errorf("core: write to partition %d (server %d) timed out", p, primary)
+	}
+}
+
+// Intern allocates (or looks up) dense interned ids for external vertex
+// names through the replication protocol: each name goes to the primary of
+// the partition its hash routes to, which allocates from that partition's
+// counter and acknowledges once a quorum of replicas holds the allocation.
+// The returned ids are positionally aligned with names. Interning is
+// idempotent — re-interning a name returns its existing id.
+func (c *Client) Intern(names []string, opts WriteOptions) ([]model.VertexID, error) {
+	return c.nameRequest(names, wire.WriteModeIntern, opts)
+}
+
+// ResolveNames is the read-only counterpart of Intern: each name resolves
+// to its interned id on the partition primary, or 0 when the name was never
+// interned (0 is never a valid interned id).
+func (c *Client) ResolveNames(names []string, opts WriteOptions) ([]model.VertexID, error) {
+	return c.nameRequest(names, wire.WriteModeResolve, opts)
+}
+
+// nameRequest runs Intern/ResolveNames: group names by the partition their
+// hash routes to, one request per partition, same retry/re-route policy as
+// Write. Interning needs a replicated cluster (the server enforces it);
+// the read-only resolve mode also works against unreplicated clusters,
+// where partition == server.
+func (c *Client) nameRequest(names []string, mode uint8, opts WriteOptions) ([]model.VertexID, error) {
+	if c.tr == nil {
+		return nil, errors.New("core: client not bound to a transport")
+	}
+	if c.route == nil && mode == wire.WriteModeIntern {
+		return nil, errors.New("core: replication is not enabled on this cluster")
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	deadline := time.Now().Add(opts.Timeout)
+	type group struct {
+		idx   []int
+		names []string
+	}
+	byPart := make(map[int]*group)
+	for i, name := range names {
+		p := c.part.Owner(model.VertexID(model.HashName(name)))
+		if c.route != nil {
+			p = c.route.Partition(model.VertexID(model.HashName(name)))
+		}
+		g := byPart[p]
+		if g == nil {
+			g = &group{}
+			byPart[p] = g
+		}
+		g.idx = append(g.idx, i)
+		g.names = append(g.names, name)
+	}
+	out := make([]model.VertexID, len(names))
+	for p, g := range byPart {
+		blob := wire.EncodeNames(g.names)
+		var ids []model.VertexID
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			attemptDeadline := deadline
+			if left := opts.Retries - attempt; left > 0 {
+				if slice := time.Until(deadline) / time.Duration(left+1); slice > 0 {
+					attemptDeadline = time.Now().Add(slice)
+				}
+			}
+			ids, lastErr = c.namePart(p, mode, blob, attemptDeadline)
+			if lastErr == nil {
+				break
+			}
+			if attempt >= opts.Retries || !Retryable(lastErr) {
+				return nil, lastErr
+			}
+		}
+		if len(ids) != len(g.names) {
+			return nil, fmt.Errorf("core: partition %d returned %d ids for %d names", p, len(ids), len(g.names))
+		}
+		for j, id := range ids {
+			out[g.idx[j]] = id
+		}
+	}
+	return out, nil
+}
+
+// NamesOf materializes interned ids back to their external names — the
+// client-boundary direction for presenting traversal results. Ids that were
+// never interned come back as "". Each id is looked up on its owning
+// server (interned ids embed their partition, so no dictionary round-trip
+// is needed to route the lookup itself).
+func (c *Client) NamesOf(ids []model.VertexID, opts WriteOptions) ([]string, error) {
+	if c.tr == nil {
+		return nil, errors.New("core: client not bound to a transport")
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	deadline := time.Now().Add(opts.Timeout)
+	type group struct {
+		idx []int
+		ids []model.VertexID
+	}
+	byPart := make(map[int]*group)
+	for i, id := range ids {
+		p := c.part.Owner(id)
+		if c.route != nil {
+			p = c.route.Partition(id)
+		}
+		g := byPart[p]
+		if g == nil {
+			g = &group{}
+			byPart[p] = g
+		}
+		g.idx = append(g.idx, i)
+		g.ids = append(g.ids, id)
+	}
+	out := make([]string, len(ids))
+	for p, g := range byPart {
+		blob := wire.EncodeIDs(g.ids)
+		var resp []byte
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			attemptDeadline := deadline
+			if left := opts.Retries - attempt; left > 0 {
+				if slice := time.Until(deadline) / time.Duration(left+1); slice > 0 {
+					attemptDeadline = time.Now().Add(slice)
+				}
+			}
+			resp, lastErr = c.rawNamePart(p, wire.WriteModeNames, blob, attemptDeadline)
+			if lastErr == nil {
+				break
+			}
+			if attempt >= opts.Retries || !Retryable(lastErr) {
+				return nil, lastErr
+			}
+		}
+		names, err := wire.DecodeNames(resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) != len(g.ids) {
+			return nil, fmt.Errorf("core: partition %d returned %d names for %d ids", p, len(names), len(g.ids))
+		}
+		for j, name := range names {
+			out[g.idx[j]] = name
+		}
+	}
+	return out, nil
+}
+
+// namePart runs one Intern/Resolve round against a partition's current
+// primary.
+func (c *Client) namePart(p int, mode uint8, blob []byte, deadline time.Time) ([]model.VertexID, error) {
+	resp, err := c.rawNamePart(p, mode, blob, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeIDs(resp)
+}
+
+// rawNamePart ships one name-service request to a partition's primary (or,
+// without a route view, straight to the owning server) and returns the
+// response payload.
+func (c *Client) rawNamePart(p int, mode uint8, blob []byte, deadline time.Time) ([]byte, error) {
+	primary := p
+	if c.route != nil {
+		primary = int(c.route.Assignment(p).Primary)
+	}
+	reqID := c.reqSeq.Add(1)
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	c.reqs[reqID] = ch
+	c.mu.Unlock()
+	err := c.tr.Send(primary, wire.Message{
+		Kind: wire.KindWriteReq, ReqID: reqID, Part: int32(p), Mode: mode, Blob: blob,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		return resp.Blob, nil
+	case <-time.After(time.Until(deadline)):
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: name request on partition %d (server %d) timed out", p, primary)
 	}
 }
 

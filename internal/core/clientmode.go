@@ -117,16 +117,26 @@ func (s *Server) processVisitItem(ts *travelState, vtx model.Vertex, found bool,
 		return
 	}
 	next := plan.Steps[it.Step+1]
-	err := s.cfg.Store.ScanEdges(it.Vertex, next.EdgeLabel, func(edge model.Edge) bool {
-		if next.EdgeFilters.MatchAll(edge.Props) {
-			// Anc carries the surviving source so the client can
-			// reconstruct the hop graph for rtn() liveness.
-			acc.mu.Lock()
-			acc.resp.Entries = append(acc.resp.Entries, wire.Entry{Vertex: edge.Dst, Anc: it.Vertex})
-			acc.mu.Unlock()
-		}
+	expand := func(dst model.VertexID) bool {
+		// Anc carries the surviving source so the client can reconstruct
+		// the hop graph for rtn() liveness.
+		acc.mu.Lock()
+		acc.resp.Entries = append(acc.resp.Entries, wire.Entry{Vertex: dst, Anc: it.Vertex})
+		acc.mu.Unlock()
 		return true
-	})
+	}
+	var err error
+	if len(next.EdgeFilters) == 0 {
+		// Same packed-adjacency fast path as the server-side engines.
+		err = s.cfg.Store.ScanEdgeIDs(it.Vertex, next.EdgeLabel, expand)
+	} else {
+		err = s.cfg.Store.ScanEdges(it.Vertex, next.EdgeLabel, func(edge model.Edge) bool {
+			if next.EdgeFilters.MatchAll(edge.Props) {
+				return expand(edge.Dst)
+			}
+			return true
+		})
+	}
 	if err != nil {
 		acc.fail(s, ts, err.Error())
 	}

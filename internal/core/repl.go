@@ -98,6 +98,10 @@ type pendingWrite struct {
 	seq   uint64
 	need  int // follower acks still required
 	timer *time.Timer
+	// blob rides on the success response — the allocated id list of an
+	// intern request. Failure responses never carry it: the allocation is
+	// only observable once the quorum holds it.
+	blob []byte
 }
 
 // replState lazily creates partition p's state.
@@ -185,6 +189,20 @@ func (s *Server) updateLagLocked() {
 // apply locally, ship to followers, ack at quorum.
 func (s *Server) handleWriteReq(from int, msg wire.Message) {
 	resp := wire.Message{Kind: wire.KindWriteResp, ReqID: msg.ReqID, Part: msg.Part}
+	switch msg.Mode {
+	case wire.WriteModeResolve:
+		// Read-only name→id lookup. Served even without replication (any
+		// node holding the partition can answer), and by followers — the
+		// dictionary is replicated state.
+		resp.Blob, resp.Err = s.resolveNames(msg.Blob)
+		s.send(from, resp)
+		return
+	case wire.WriteModeNames:
+		// Read-only id→name materialization (the client boundary).
+		resp.Blob, resp.Err = s.materializeNames(msg.Blob)
+		s.send(from, resp)
+		return
+	}
 	if s.cfg.Route == nil {
 		resp.Err = "core: replication is not enabled on this cluster"
 		s.send(from, resp)
@@ -205,7 +223,17 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 		s.send(from, resp)
 		return
 	}
-	muts, err := gstore.DecodeBatch(msg.Blob)
+	// Decode (and for intern requests, parse names) before the lock —
+	// malformed payloads are terminal and never touch replication state.
+	var muts []gstore.Mutation
+	var names []string
+	var err error
+	switch msg.Mode {
+	case wire.WriteModeIntern:
+		names, err = wire.DecodeNames(msg.Blob)
+	default:
+		muts, err = gstore.DecodeBatch(msg.Blob)
+	}
 	if err != nil {
 		resp.Err = "query: " + err.Error() // malformed batch: terminal
 		s.send(from, resp)
@@ -217,16 +245,48 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 	// before taking the lock would let two same-key writes reach the
 	// primary's store in one order but carry sequence numbers in the other —
 	// and followers, which replay strictly in sequence order, would
-	// permanently diverge from the primary on that key.
+	// permanently diverge from the primary on that key. Intern allocation
+	// sits under the same lock for the same reason: the id a name gets must
+	// be sequenced before any later allocation observes the counter.
 	s.replMu.Lock()
 	st := s.replState(p)
 	s.adoptPrimaryLocked(st, a)
-	for _, m := range muts {
-		if err := m.Apply(s.cfg.Store); err != nil {
+	blob := msg.Blob
+	if msg.Mode == wire.WriteModeIntern {
+		// Allocate (or find) the interned ids, then replicate the result as
+		// an ordinary OpIntern batch: followers and joiners replay the same
+		// mutations a snapshot would carry, so every replica reconstructs
+		// the identical name↔id mapping.
+		ids := make([]model.VertexID, len(names))
+		muts = make([]gstore.Mutation, len(names))
+		in, ok := gstore.InternerOf(s.cfg.Store)
+		if !ok {
 			s.replMu.Unlock()
-			resp.Err = fmt.Sprintf("core: apply write on server %d: %v", s.cfg.ID, err)
+			resp.Err = fmt.Sprintf("core: server %d store does not support interning", s.cfg.ID)
 			s.send(from, resp)
 			return
+		}
+		for i, name := range names {
+			id, err := in.Intern(name, p)
+			if err != nil {
+				s.replMu.Unlock()
+				resp.Err = fmt.Sprintf("core: intern on server %d: %v", s.cfg.ID, err)
+				s.send(from, resp)
+				return
+			}
+			ids[i] = id
+			muts[i] = gstore.Mutation{Op: gstore.OpIntern, ID: id, Name: name}
+		}
+		blob = gstore.EncodeBatch(muts)
+		resp.Blob = wire.EncodeIDs(ids)
+	} else {
+		for _, m := range muts {
+			if err := m.Apply(s.cfg.Store); err != nil {
+				s.replMu.Unlock()
+				resp.Err = fmt.Sprintf("core: apply write on server %d: %v", s.cfg.ID, err)
+				s.send(from, resp)
+				return
+			}
 		}
 	}
 	seq := st.nextSeq
@@ -235,14 +295,14 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 	}
 	st.nextSeq = seq + 1
 	st.appliedSeq = seq
-	st.pushRingLocked(seq, msg.Blob)
+	st.pushRingLocked(seq, blob)
 	targets := s.shipTargetsLocked(st, a)
 	need := a.Quorum() - 1 // the local apply above is the primary's vote
 	if need > len(targets) {
 		need = len(targets) // replica set shrank below quorum; best effort
 	}
 	if need > 0 {
-		pw := &pendingWrite{from: from, reqID: msg.ReqID, seq: seq, need: need}
+		pw := &pendingWrite{from: from, reqID: msg.ReqID, seq: seq, need: need, blob: resp.Blob}
 		st.pending[seq] = pw
 		timeout := s.cfg.WriteTimeout
 		pw.timer = time.AfterFunc(timeout, func() { s.expireWrite(p, seq) })
@@ -251,9 +311,9 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 		Kind: wire.KindReplAppend, Part: msg.Part,
 		// st.epoch (not the earlier assignment read) so Epoch and Base are
 		// the consistent pair followers adjudicate divergence with.
-		Epoch: st.epoch, Seq: seq, Base: st.baseSeq, Blob: msg.Blob,
+		Epoch: st.epoch, Seq: seq, Base: st.baseSeq, Blob: blob,
 	}
-	st.shipped += int64(len(msg.Blob) * len(targets))
+	st.shipped += int64(len(blob) * len(targets))
 	s.updateLagLocked()
 	s.replMu.Unlock()
 
@@ -263,6 +323,50 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 	if need <= 0 {
 		s.send(from, resp)
 	}
+}
+
+// resolveNames serves a WriteModeResolve request: each name in the encoded
+// list resolves to its interned id, or 0 when unknown.
+func (s *Server) resolveNames(blob []byte) ([]byte, string) {
+	names, err := wire.DecodeNames(blob)
+	if err != nil {
+		return nil, "query: " + err.Error()
+	}
+	in, ok := gstore.InternerOf(s.cfg.Store)
+	if !ok {
+		return nil, fmt.Sprintf("core: server %d store does not support interning", s.cfg.ID)
+	}
+	ids := make([]model.VertexID, len(names))
+	for i, name := range names {
+		id, _, err := in.LookupID(name)
+		if err != nil {
+			return nil, fmt.Sprintf("core: resolve on server %d: %v", s.cfg.ID, err)
+		}
+		ids[i] = id
+	}
+	return wire.EncodeIDs(ids), ""
+}
+
+// materializeNames serves a WriteModeNames request: each id in the encoded
+// list materializes to its interned name, or "" when unknown.
+func (s *Server) materializeNames(blob []byte) ([]byte, string) {
+	ids, err := wire.DecodeIDs(blob)
+	if err != nil {
+		return nil, "query: " + err.Error()
+	}
+	in, ok := gstore.InternerOf(s.cfg.Store)
+	if !ok {
+		return nil, fmt.Sprintf("core: server %d store does not support interning", s.cfg.ID)
+	}
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		name, _, err := in.LookupName(id)
+		if err != nil {
+			return nil, fmt.Sprintf("core: materialize on server %d: %v", s.cfg.ID, err)
+		}
+		names[i] = name
+	}
+	return wire.EncodeNames(names), ""
 }
 
 // shipTargetsLocked lists the servers a primary ships appends to: the
@@ -532,7 +636,7 @@ func (s *Server) handleReplAck(from int, msg wire.Message) {
 	s.updateLagLocked()
 	s.replMu.Unlock()
 	for _, pw := range done {
-		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: msg.Part})
+		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: msg.Part, Blob: pw.blob})
 	}
 }
 
@@ -766,7 +870,7 @@ func (s *Server) reapQuorums(p int) {
 	}
 	s.replMu.Unlock()
 	for _, pw := range done {
-		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: int32(p)})
+		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: int32(p), Blob: pw.blob})
 	}
 }
 

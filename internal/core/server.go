@@ -244,6 +244,8 @@ func (s *Server) Metrics() Metrics {
 	// The trace layer owns the span-eviction counter; overlay it the same
 	// way so DAG assemblers can tell wrapped rings from tracing bugs.
 	m.SpansDropped = int64(s.trc.Stats().SpansEvicted)
+	// The Go runtime owns the GC gauges.
+	metrics.ReadRuntime(&m)
 	return m
 }
 

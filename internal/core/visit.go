@@ -154,12 +154,9 @@ func (s *Server) processItem(ts *travelState, vtx model.Vertex, found bool, it s
 	if sp != nil {
 		scanStart = time.Now()
 	}
-	err := s.cfg.Store.ScanEdges(it.Vertex, next.EdgeLabel, func(e model.Edge) bool {
-		if !next.EdgeFilters.MatchAll(e.Props) {
-			return true
-		}
-		owner := s.cfg.Part.Owner(e.Dst)
-		entry := wire.Entry{Vertex: e.Dst, Anc: anc, AncStep: ancStep, Dest: dest}
+	dispatch := func(dst model.VertexID) bool {
+		owner := s.cfg.Part.Owner(dst)
+		entry := wire.Entry{Vertex: dst, Anc: anc, AncStep: ancStep, Dest: dest}
 		if sp != nil {
 			d0 := time.Now()
 			s.bufferDispatch(ts, exec, owner, it.Step+1, entry)
@@ -168,7 +165,21 @@ func (s *Server) processItem(ts *travelState, vtx model.Vertex, found bool, it s
 			s.bufferDispatch(ts, exec, owner, it.Step+1, entry)
 		}
 		return true
-	})
+	}
+	var err error
+	if len(next.EdgeFilters) == 0 {
+		// No edge-property predicate: expand over the packed adjacency run —
+		// destination ids straight from the key bytes (and the packed read
+		// cache), no edge value fetch, no property-map decode.
+		err = s.cfg.Store.ScanEdgeIDs(it.Vertex, next.EdgeLabel, dispatch)
+	} else {
+		err = s.cfg.Store.ScanEdges(it.Vertex, next.EdgeLabel, func(e model.Edge) bool {
+			if !next.EdgeFilters.MatchAll(e.Props) {
+				return true
+			}
+			return dispatch(e.Dst)
+		})
+	}
 	if sp != nil {
 		sp.AddScan(time.Since(scanStart))
 		sp.AddDispatch(time.Duration(dispatchNs))

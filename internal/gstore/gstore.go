@@ -38,6 +38,12 @@ type Graph interface {
 	// ScanEdges visits the out-edges of src with the given label in
 	// destination order — the sequential typed-edge scan of §IV-B.
 	ScanEdges(src model.VertexID, label string, fn func(model.Edge) bool) error
+	// ScanEdgeIDs visits only the destination ids of src's out-edges with
+	// the given label, in destination order. It is the packed-adjacency fast
+	// path: destinations come straight from the key bytes, so no edge value
+	// is fetched and no property map is decoded. Filters that need edge
+	// properties must use ScanEdges instead.
+	ScanEdgeIDs(src model.VertexID, label string, fn func(model.VertexID) bool) error
 	// ScanAllEdges visits every out-edge of src grouped by label.
 	ScanAllEdges(src model.VertexID, fn func(model.Edge) bool) error
 	// ScanVerticesByLabel visits the ids of all vertices with a label.
@@ -142,6 +148,10 @@ type Store struct {
 	// idxMu guards the set of property keys with secondary indexes.
 	idxMu   sync.RWMutex
 	indexed map[string]bool
+
+	// dictMu serializes interning-dictionary allocation (read counter,
+	// write rows, bump counter) — see dict.go.
+	dictMu sync.Mutex
 }
 
 // stripe returns the write lock serializing updates to one vertex.
@@ -267,6 +277,24 @@ func (s *Store) ScanEdges(src model.VertexID, label string, fn func(model.Edge) 
 			return false
 		}
 		return fn(e)
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}
+
+// ScanEdgeIDs implements Graph. The destination is the last 8 bytes of the
+// edge key, so the scan never touches edge values — a key-only pass over
+// one (src,label) run, which is what makes large fan-out expansion cheap.
+func (s *Store) ScanEdgeIDs(src model.VertexID, label string, fn func(model.VertexID) bool) error {
+	var scanErr error
+	err := s.db.Scan(edgeLabelPrefix(src, label), func(k, _ []byte) bool {
+		if len(k) < 8 {
+			scanErr = fmt.Errorf("gstore: malformed edge key (%d bytes)", len(k))
+			return false
+		}
+		return fn(model.VertexID(binary.BigEndian.Uint64(k[len(k)-8:])))
 	})
 	if err != nil {
 		return err

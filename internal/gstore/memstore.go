@@ -16,6 +16,13 @@ type MemStore struct {
 	byLabel  map[string][]model.VertexID // sorted ids per vertex label
 	edges    map[model.VertexID]map[string][]model.Edge
 	idx      memIndex
+	dict     memDict // interning dictionary, lazily initialized (dict.go)
+}
+
+// sortIDs orders vertex ids ascending (dictionary scans mirror the
+// persistent store's key order).
+func sortIDs(ids []model.VertexID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 var _ Graph = (*MemStore)(nil)
@@ -141,6 +148,19 @@ func (m *MemStore) ScanEdges(src model.VertexID, label string, fn func(model.Edg
 	m.mu.RUnlock()
 	for _, e := range list {
 		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanEdgeIDs implements Graph.
+func (m *MemStore) ScanEdgeIDs(src model.VertexID, label string, fn func(model.VertexID) bool) error {
+	m.mu.RLock()
+	list := m.edges[src][label]
+	m.mu.RUnlock()
+	for _, e := range list {
+		if !fn(e.Dst) {
 			return nil
 		}
 	}

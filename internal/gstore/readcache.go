@@ -12,11 +12,14 @@ import (
 
 // CachedGraph wraps a Graph with a memory-bounded, sharded read cache over
 // the two hot read shapes of the traversal engine: decoded vertices
-// (GetVertex, one per merged execution group) and materialized per-
-// (src,label) adjacency slices (ScanEdges, one per expansion). A hit skips
-// the LSM lookup and the value decode entirely — the stand-in for the
-// RocksDB block cache §VI leans on, but holding decoded values, so the
-// decode cost is saved too.
+// (GetVertex, one per merged execution group) and CSR-style packed per-
+// (src,label) adjacency runs (ScanEdgeIDs, one per expansion) — a plain
+// []VertexID, 8 bytes per edge, no Edge structs, no property maps. A hit
+// skips the LSM lookup and all decoding — the stand-in for the RocksDB
+// block cache §VI leans on, but holding the compact secondary structure a
+// traversal actually consumes. ScanEdges (edge properties needed) passes
+// through uncached; the engines only take it when a step carries edge
+// filters.
 //
 // Consistency: writes go to the underlying store first, then invalidate the
 // affected entries before returning, so a reader that starts after a write
@@ -65,14 +68,14 @@ type cacheShard struct {
 	bytes int64
 }
 
-// cacheEntry is one LRU node: either a vertex or one (src,label) adjacency
-// slice, tagged by isVtx.
+// cacheEntry is one LRU node: either a vertex or one (src,label) packed
+// adjacency run, tagged by isVtx.
 type cacheEntry struct {
 	isVtx  bool
 	id     model.VertexID // vertex id, or adjacency source id
 	label  string         // adjacency edge label (unused for vertices)
 	vertex model.Vertex
-	edges  []model.Edge
+	adj    []model.VertexID // packed destination ids, in dst order
 	size   int64
 }
 
@@ -128,7 +131,6 @@ func (c *CachedGraph) shard(id model.VertexID) *cacheShard {
 const (
 	vertexOverhead = 64 // list element + map entry + struct headers
 	adjOverhead    = 64
-	perEdgeCost    = 48 // Edge struct + slice slot
 	perPropCost    = 32 // map bucket share + Value struct
 )
 
@@ -147,12 +149,11 @@ func vertexSize(v model.Vertex) int64 {
 	return vertexOverhead + int64(len(v.Label)) + propsSize(v.Props)
 }
 
-func edgesSize(label string, edges []model.Edge) int64 {
-	n := adjOverhead + int64(len(label))
-	for _, e := range edges {
-		n += perEdgeCost + int64(len(e.Label)) + propsSize(e.Props)
-	}
-	return n
+func adjSize(label string, adj []model.VertexID) int64 {
+	// Charge the slice's backing array by capacity, not length: the array
+	// is what the entry pins on the heap, and append growth can leave
+	// cap > len. 8 bytes per slot (VertexID is uint64).
+	return adjOverhead + int64(len(label)) + 8*int64(cap(adj))
 }
 
 // removeLocked unlinks one entry. Caller holds sh.mu.
@@ -276,19 +277,28 @@ func (c *CachedGraph) GetVertex(id model.VertexID) (model.Vertex, bool, error) {
 	return v, true, nil
 }
 
-// ScanEdges implements Graph. The full (src,label) slice is materialized on
-// a miss even if fn stops early — the engine always consumes whole scans,
-// and a complete slice is the only version safe to replay for later calls.
+// ScanEdges implements Graph. Property-bearing edge scans pass through
+// uncached: the engines only take this path when a step filters on edge
+// properties, and caching decoded Edge structs is exactly the bloat the
+// packed ScanEdgeIDs cache exists to avoid.
 func (c *CachedGraph) ScanEdges(src model.VertexID, label string, fn func(model.Edge) bool) error {
+	return c.g.ScanEdges(src, label, fn)
+}
+
+// ScanEdgeIDs implements Graph. The full (src,label) packed run is
+// materialized on a miss even if fn stops early — the engine always
+// consumes whole scans, and a complete run is the only version safe to
+// replay for later calls.
+func (c *CachedGraph) ScanEdgeIDs(src model.VertexID, label string, fn func(model.VertexID) bool) error {
 	sh := c.shard(src)
 	sh.mu.Lock()
 	if el, ok := sh.adj[src][label]; ok {
 		sh.lru.MoveToFront(el)
-		edges := el.Value.(*cacheEntry).edges
+		adj := el.Value.(*cacheEntry).adj
 		sh.mu.Unlock()
 		c.adjHits.Add(1)
-		for _, e := range edges {
-			if !fn(e) {
+		for _, dst := range adj {
+			if !fn(dst) {
 				break
 			}
 		}
@@ -297,16 +307,16 @@ func (c *CachedGraph) ScanEdges(src model.VertexID, label string, fn func(model.
 	gen := sh.gen
 	sh.mu.Unlock()
 	c.adjMisses.Add(1)
-	var edges []model.Edge
-	if err := c.g.ScanEdges(src, label, func(e model.Edge) bool {
-		edges = append(edges, e)
+	var adj []model.VertexID
+	if err := c.g.ScanEdgeIDs(src, label, func(dst model.VertexID) bool {
+		adj = append(adj, dst)
 		return true
 	}); err != nil {
 		return err
 	}
-	sh.insert(gen, c.budget, &cacheEntry{id: src, label: label, edges: edges, size: edgesSize(label, edges)})
-	for _, e := range edges {
-		if !fn(e) {
+	sh.insert(gen, c.budget, &cacheEntry{id: src, label: label, adj: adj, size: adjSize(label, adj)})
+	for _, dst := range adj {
+		if !fn(dst) {
 			break
 		}
 	}

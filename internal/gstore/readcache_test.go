@@ -22,6 +22,18 @@ func collectEdges(t *testing.T, g Graph, src model.VertexID, label string) []mod
 	return edges
 }
 
+func collectEdgeIDs(t *testing.T, g Graph, src model.VertexID, label string) []model.VertexID {
+	t.Helper()
+	var ids []model.VertexID
+	if err := g.ScanEdgeIDs(src, label, func(dst model.VertexID) bool {
+		ids = append(ids, dst)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
 func TestCacheHitMissCounters(t *testing.T) {
 	c := NewCachedGraph(NewMemStore(), 1<<20)
 	v := model.Vertex{ID: 7, Label: "User", Props: property.Map{"name": property.String("sam")}}
@@ -38,9 +50,14 @@ func TestCacheHitMissCounters(t *testing.T) {
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if edges := collectEdges(t, c, 7, "run"); len(edges) != 2 {
-			t.Fatalf("scan %d: %v", i, edges)
+		if ids := collectEdgeIDs(t, c, 7, "run"); len(ids) != 2 {
+			t.Fatalf("scan %d: %v", i, ids)
 		}
+	}
+	// Property-bearing scans pass through uncached and leave the adjacency
+	// counters untouched.
+	if edges := collectEdges(t, c, 7, "run"); len(edges) != 2 {
+		t.Fatalf("ScanEdges: %v", edges)
 	}
 	// Negative vertex reads are never cached: both count as misses.
 	for i := 0; i < 2; i++ {
@@ -142,11 +159,18 @@ func TestCacheDifferentialQuick(t *testing.T) {
 					t.Fatalf("cap %d op %d: GetVertex(%d) = %+v/%v, want %+v/%v",
 						maxBytes, op, id, got, okGot, want, okWant)
 				}
-			default:
+			case 6:
 				got := collectEdges(t, c, id, label)
 				want := collectEdges(t, oracle, id, label)
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("cap %d op %d: ScanEdges(%d,%s) = %v, want %v",
+						maxBytes, op, id, label, got, want)
+				}
+			default:
+				got := collectEdgeIDs(t, c, id, label)
+				want := collectEdgeIDs(t, oracle, id, label)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("cap %d op %d: ScanEdgeIDs(%d,%s) = %v, want %v",
 						maxBytes, op, id, label, got, want)
 				}
 			}
@@ -195,7 +219,7 @@ func TestCacheConcurrentReadsAndWrites(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				c.GetVertex(model.VertexID(i % nIDs))
-				c.ScanEdges(model.VertexID(i%nIDs), "run", func(model.Edge) bool { return true })
+				c.ScanEdgeIDs(model.VertexID(i%nIDs), "run", func(model.VertexID) bool { return true })
 			}
 		}()
 	}
@@ -206,9 +230,47 @@ func TestCacheConcurrentReadsAndWrites(t *testing.T) {
 		if okGot != okWant || !reflect.DeepEqual(got, want) {
 			t.Errorf("quiesced GetVertex(%d) = %+v/%v, underlying %+v/%v", id, got, okGot, want, okWant)
 		}
-		if got, want := collectEdges(t, c, id, "run"), collectEdges(t, c.Unwrap(), id, "run"); !reflect.DeepEqual(got, want) {
-			t.Errorf("quiesced ScanEdges(%d) = %v, underlying %v", id, got, want)
+		if got, want := collectEdgeIDs(t, c, id, "run"), collectEdgeIDs(t, c.Unwrap(), id, "run"); !reflect.DeepEqual(got, want) {
+			t.Errorf("quiesced ScanEdgeIDs(%d) = %v, underlying %v", id, got, want)
 		}
+	}
+}
+
+// TestCachePackedAdjBudgetEviction pins the byte accounting of packed
+// adjacency entries under a tiny budget: each run is charged for its slice
+// backing array (8 bytes per slot of capacity, not just the header), so two
+// large runs cannot co-reside in a shard whose budget fits only one, and
+// re-scanning the evicted run is a fresh miss.
+func TestCachePackedAdjBudgetEviction(t *testing.T) {
+	const perShard = 2048
+	c := NewCachedGraph(NewMemStore(), 16*perShard)
+	const src, fanout = model.VertexID(5), 100
+	for _, label := range []string{"aa", "bb"} {
+		for d := 0; d < fanout; d++ {
+			c.PutEdge(model.Edge{Src: src, Dst: model.VertexID(1000 + d), Label: label})
+		}
+	}
+	// One packed run costs 64 + 2 + 8*cap bytes; with append growth to 128
+	// slots that is ~1090 — over half the shard budget — so caching "bb"
+	// must evict "aa".
+	collectEdgeIDs(t, c, src, "aa")
+	st := c.CacheStats()
+	if min := int64(adjOverhead + 2 + 8*fanout); st.Bytes < min {
+		t.Errorf("one run charged %d bytes, want >= %d (backing array, not header)", st.Bytes, min)
+	}
+	collectEdgeIDs(t, c, src, "bb")
+	if st := c.CacheStats(); st.Bytes > perShard {
+		t.Errorf("shard over budget: %d > %d", st.Bytes, perShard)
+	}
+	if ids := collectEdgeIDs(t, c, src, "aa"); len(ids) != fanout {
+		t.Fatalf("re-scan returned %d ids", len(ids))
+	}
+	st = c.CacheStats()
+	if st.AdjMisses != 3 {
+		t.Errorf("adj misses = %d, want 3 (aa, bb, aa-after-eviction)", st.AdjMisses)
+	}
+	if st.AdjHits != 0 {
+		t.Errorf("adj hits = %d, want 0", st.AdjHits)
 	}
 }
 

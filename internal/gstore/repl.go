@@ -30,6 +30,10 @@ const (
 	OpPutEdge
 	// OpDelEdge deletes a directed edge (Src, Label, Dst fields).
 	OpDelEdge
+	// OpIntern installs one interning-dictionary pair (Name, ID fields).
+	// The ID was allocated by the partition primary; replicas replay it via
+	// Interner.ApplyIntern, which is idempotent like every other op.
+	OpIntern
 )
 
 // Mutation is one replicated graph write.
@@ -41,6 +45,7 @@ type Mutation struct {
 	Src    model.VertexID
 	Dst    model.VertexID
 	Label  string
+	Name   string // OpIntern: the external name bound to ID
 }
 
 // RoutingID returns the vertex whose partition owns this mutation: the
@@ -54,6 +59,10 @@ func (m Mutation) RoutingID() model.VertexID {
 		return m.ID
 	case OpPutEdge:
 		return m.Edge.Src
+	case OpIntern:
+		// The interned id embeds its partition, so routing by it lands the
+		// mutation on the allocating partition.
+		return m.ID
 	default:
 		return m.Src
 	}
@@ -70,6 +79,12 @@ func (m Mutation) Apply(g Graph) error {
 		return g.PutEdge(m.Edge)
 	case OpDelEdge:
 		return g.DeleteEdge(m.Src, m.Label, m.Dst)
+	case OpIntern:
+		in, ok := InternerOf(g)
+		if !ok {
+			return fmt.Errorf("gstore: store cannot apply intern mutation")
+		}
+		return in.ApplyIntern(m.Name, m.ID)
 	default:
 		return fmt.Errorf("gstore: unknown mutation op %d", m.Op)
 	}
@@ -95,6 +110,9 @@ func AppendMutation(b []byte, m Mutation) []byte {
 		b = binary.AppendUvarint(b, uint64(m.Src))
 		b = binary.AppendUvarint(b, uint64(m.Dst))
 		b = appendLenPrefixed(b, []byte(m.Label))
+	case OpIntern:
+		b = binary.AppendUvarint(b, uint64(m.ID))
+		b = appendLenPrefixed(b, []byte(m.Name))
 	}
 	return b
 }
@@ -210,6 +228,9 @@ func (d *mutDecoder) mutation() Mutation {
 		m.Src = model.VertexID(d.uvarint())
 		m.Dst = model.VertexID(d.uvarint())
 		m.Label = string(d.lenPrefixed())
+	case OpIntern:
+		m.ID = model.VertexID(d.uvarint())
+		m.Name = string(d.lenPrefixed())
 	default:
 		d.err = fmt.Errorf("gstore: unknown mutation op %d", op)
 	}
@@ -237,6 +258,30 @@ func SnapshotMutations(g Graph, keep func(model.VertexID) bool, batchSize int, e
 	}
 	var ids []model.VertexID
 	var scanErr error
+	// Dictionary entries ship first: a replica that can resolve names from
+	// the start can serve reads the moment its graph rows land, and intern
+	// pairs are standalone (no vertex dependency), so fronting them is free.
+	if in, ok := InternerOf(g); ok {
+		err := in.ScanInterned(func(name string, id model.VertexID) bool {
+			if !keep(id) {
+				return true
+			}
+			batch = append(batch, Mutation{Op: OpIntern, ID: id, Name: name})
+			if len(batch) >= batchSize {
+				if scanErr = flush(); scanErr != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err == nil {
+			err = scanErr
+		}
+		if err != nil {
+			return err
+		}
+		scanErr = nil
+	}
 	err := g.ScanVertices(func(v model.Vertex) bool {
 		if !keep(v.ID) {
 			return true

@@ -8,6 +8,8 @@
 package metrics
 
 import (
+	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -125,6 +127,23 @@ type Snapshot struct {
 	// value without matching epoch bumps flags partitions stuck below the
 	// configured replication factor.
 	RejoinNudges int64
+
+	// Go runtime GC overlay (from runtime.ReadMemStats at snapshot time;
+	// the runtime owns them like the storage layer owns the cache
+	// counters). Process-level: in-process simulated clusters report the
+	// same values on every server, so Add takes the max instead of an
+	// N-fold overcount.
+
+	// HeapAllocBytes is the live heap at snapshot time. A gauge.
+	HeapAllocBytes int64
+	// NumGC counts completed GC cycles since process start.
+	NumGC int64
+	// GCPauseTotalNs accumulates stop-the-world pause time since process
+	// start.
+	GCPauseTotalNs int64
+	// GCPauseP95Ns is the 95th-percentile pause over the runtime's recent
+	// pause ring (up to the last 256 cycles). A gauge.
+	GCPauseP95Ns int64
 }
 
 // AddReceived records n accepted vertex requests.
@@ -250,6 +269,12 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		ReplLagBytes:   a.ReplLagBytes,
 		HandoffBytes:   a.HandoffBytes - b.HandoffBytes,
 		RejoinNudges:   a.RejoinNudges - b.RejoinNudges,
+		// Runtime overlay: gauges keep the later value, cycle/pause counters
+		// difference to the interval's GC activity.
+		HeapAllocBytes: a.HeapAllocBytes,
+		NumGC:          a.NumGC - b.NumGC,
+		GCPauseTotalNs: a.GCPauseTotalNs - b.GCPauseTotalNs,
+		GCPauseP95Ns:   a.GCPauseP95Ns,
 	}
 }
 
@@ -284,6 +309,12 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		ReplLagBytes: a.ReplLagBytes + b.ReplLagBytes,
 		HandoffBytes: a.HandoffBytes + b.HandoffBytes,
 		RejoinNudges: a.RejoinNudges + b.RejoinNudges,
+		// Process-level runtime stats: in-process clusters share one runtime,
+		// so max (not sum) keeps the aggregate honest.
+		HeapAllocBytes: max(a.HeapAllocBytes, b.HeapAllocBytes),
+		NumGC:          max(a.NumGC, b.NumGC),
+		GCPauseTotalNs: max(a.GCPauseTotalNs, b.GCPauseTotalNs),
+		GCPauseP95Ns:   max(a.GCPauseP95Ns, b.GCPauseP95Ns),
 	}
 }
 
@@ -338,5 +369,42 @@ func Fields() []Field {
 		{"repl_lag_bytes", "Shipped-minus-acked replication byte lag across partitions.", true, func(s Snapshot) int64 { return s.ReplLagBytes }},
 		{"handoff_bytes_total", "Snapshot bytes streamed for shard handoff and catch-up.", false, func(s Snapshot) int64 { return s.HandoffBytes }},
 		{"rejoin_nudges_total", "Rejoin invitations sent to recovered peers for under-replicated partitions.", false, func(s Snapshot) int64 { return s.RejoinNudges }},
+		{"heap_alloc_bytes", "Live heap bytes at snapshot time (runtime.MemStats.HeapAlloc).", true, func(s Snapshot) int64 { return s.HeapAllocBytes }},
+		{"gc_cycles_total", "Completed GC cycles since process start.", false, func(s Snapshot) int64 { return s.NumGC }},
+		{"gc_pause_ns_total", "Cumulative stop-the-world GC pause time.", false, func(s Snapshot) int64 { return s.GCPauseTotalNs }},
+		{"gc_pause_p95_ns", "95th-percentile GC pause over the runtime's recent pause ring.", true, func(s Snapshot) int64 { return s.GCPauseP95Ns }},
 	}
+}
+
+// ReadRuntime overlays the Go runtime's GC statistics onto a snapshot —
+// the runtime owns these the way the storage layer owns the cache
+// counters.
+func ReadRuntime(s *Snapshot) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.HeapAllocBytes = int64(ms.HeapAlloc)
+	s.NumGC = int64(ms.NumGC)
+	s.GCPauseTotalNs = int64(ms.PauseTotalNs)
+	s.GCPauseP95Ns = pauseP95(&ms)
+}
+
+// pauseP95 computes the 95th-percentile pause from the runtime's circular
+// pause buffer (up to the last 256 completed cycles).
+func pauseP95(ms *runtime.MemStats) int64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	// Nearest-rank p95: the smallest pause >= 95% of the observed ones.
+	idx := (n*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return int64(pauses[idx])
 }

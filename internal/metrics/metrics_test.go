@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -136,5 +137,43 @@ func TestFieldsCoverSnapshot(t *testing.T) {
 		if got := f.Get(snap); got != int64(1000+i) {
 			t.Errorf("field %q (index %d) getter read %d, want %d — enumeration order must match Snapshot declaration order", f.Name, i, got, 1000+i)
 		}
+	}
+}
+
+// TestReadRuntimeOverlay exercises the GC gauge overlay: after a forced GC
+// cycle the runtime must report at least one completed cycle, a live heap,
+// and a p95 pause bounded by the cumulative pause time.
+func TestReadRuntimeOverlay(t *testing.T) {
+	runtime.GC()
+	var s Snapshot
+	ReadRuntime(&s)
+	if s.NumGC < 1 {
+		t.Errorf("NumGC = %d after runtime.GC()", s.NumGC)
+	}
+	if s.HeapAllocBytes <= 0 {
+		t.Errorf("HeapAllocBytes = %d", s.HeapAllocBytes)
+	}
+	if s.GCPauseP95Ns < 0 || s.GCPauseP95Ns > s.GCPauseTotalNs {
+		t.Errorf("p95 pause %dns outside [0, total %dns]", s.GCPauseP95Ns, s.GCPauseTotalNs)
+	}
+}
+
+// TestRuntimeGaugeSemantics pins the aggregation rules for the runtime
+// overlay: heap and p95 are gauges (Sub keeps the later value, Add takes
+// the max — in-process clusters share one runtime), cycle and pause
+// counters difference and max like the lag gauge's documented hybrid.
+func TestRuntimeGaugeSemantics(t *testing.T) {
+	a := Snapshot{HeapAllocBytes: 100, NumGC: 10, GCPauseTotalNs: 500, GCPauseP95Ns: 40}
+	b := Snapshot{HeapAllocBytes: 300, NumGC: 4, GCPauseTotalNs: 200, GCPauseP95Ns: 90}
+	d := a.Sub(b)
+	if d.HeapAllocBytes != 100 || d.GCPauseP95Ns != 40 {
+		t.Errorf("Sub gauges = %d/%d, want receiver's 100/40", d.HeapAllocBytes, d.GCPauseP95Ns)
+	}
+	if d.NumGC != 6 || d.GCPauseTotalNs != 300 {
+		t.Errorf("Sub counters = %d/%d, want 6/300", d.NumGC, d.GCPauseTotalNs)
+	}
+	sum := a.Add(b)
+	if sum.HeapAllocBytes != 300 || sum.NumGC != 10 || sum.GCPauseTotalNs != 500 || sum.GCPauseP95Ns != 90 {
+		t.Errorf("Add = %+v, want field-wise max for runtime stats", sum)
 	}
 }

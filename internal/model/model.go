@@ -15,7 +15,67 @@ import (
 // VertexID identifies a vertex globally across the cluster. IDs are dense
 // unsigned integers assigned by the loader / generator; the partitioner
 // maps them to owner servers.
+//
+// IDs with the top bit set are interned ids: dense integers allocated by a
+// per-partition dictionary when external string names are ingested (see
+// gstore's Interner). An interned id embeds its owning partition so routing
+// never needs the dictionary:
+//
+//	bit  63      intern flag
+//	bits 62..44  owning partition (19 bits)
+//	bits 43..0   per-partition allocation counter (44 bits)
+//
+// Plain loader/generator ids never set bit 63 in practice (the generators
+// assign small dense ranges), so the two id spaces do not collide and
+// existing data keeps its exact pre-interning routing.
 type VertexID uint64
+
+const (
+	internFlag = uint64(1) << 63
+	// InternPartBits is the width of the partition field in an interned id.
+	InternPartBits = 19
+	// InternCtrBits is the width of the per-partition counter field.
+	InternCtrBits = 44
+	// MaxInternPart is the largest partition embeddable in an interned id.
+	MaxInternPart = (1 << InternPartBits) - 1
+	// MaxInternCtr is the largest per-partition counter value.
+	MaxInternCtr = (1 << InternCtrBits) - 1
+)
+
+// InternedID packs a partition and a per-partition counter into an interned
+// vertex id. Callers must keep part <= MaxInternPart and ctr <= MaxInternCtr.
+func InternedID(part int, ctr uint64) VertexID {
+	return VertexID(internFlag | uint64(part)<<InternCtrBits | ctr&MaxInternCtr)
+}
+
+// Interned reports whether the id was allocated by the interning dictionary.
+func (id VertexID) Interned() bool { return uint64(id)&internFlag != 0 }
+
+// InternedPartition returns the partition embedded in an interned id.
+// Meaningless for non-interned ids.
+func (id VertexID) InternedPartition() int {
+	return int(uint64(id) >> InternCtrBits & MaxInternPart)
+}
+
+// InternedCounter returns the per-partition counter of an interned id.
+func (id VertexID) InternedCounter() uint64 { return uint64(id) & MaxInternCtr }
+
+// HashName is the stable 64-bit hash (FNV-1a) of an external vertex name.
+// The interning dictionary derives an interned id's partition by routing
+// HashName(name) through the ordinary partitioner, so a name's placement is
+// the same one its hash would have received as a plain vertex id.
+func HashName(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}
 
 // String renders the id for logs and CLI output.
 func (id VertexID) String() string { return fmt.Sprintf("v%d", uint64(id)) }

@@ -110,3 +110,46 @@ func TestVertexValueRoundTripQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestInternedIDPacking(t *testing.T) {
+	cases := []struct {
+		part int
+		ctr  uint64
+	}{
+		{0, 0}, {1, 1}, {7, 12345}, {MaxInternPart, MaxInternCtr},
+	}
+	for _, c := range cases {
+		id := InternedID(c.part, c.ctr)
+		if !id.Interned() {
+			t.Errorf("InternedID(%d,%d) not flagged interned", c.part, c.ctr)
+		}
+		if id.InternedPartition() != c.part || id.InternedCounter() != c.ctr {
+			t.Errorf("InternedID(%d,%d) decodes to (%d,%d)",
+				c.part, c.ctr, id.InternedPartition(), id.InternedCounter())
+		}
+	}
+	// Plain loader ids never carry the flag.
+	for _, raw := range []uint64{0, 1, 1 << 40, (1 << 63) - 1} {
+		if VertexID(raw).Interned() {
+			t.Errorf("plain id %d reads as interned", raw)
+		}
+	}
+	// Distinct (part, ctr) pairs yield distinct ids.
+	if InternedID(1, 0) == InternedID(0, 1) {
+		t.Error("intern id collision across fields")
+	}
+}
+
+func TestHashNameStable(t *testing.T) {
+	// FNV-1a reference vectors; the hash is persisted implicitly via the
+	// partitions embedded in interned ids, so it must never change.
+	if got := HashName(""); got != 14695981039346656037 {
+		t.Errorf("HashName(\"\") = %d", got)
+	}
+	if got := HashName("a"); got != 12638187200555641996 {
+		t.Errorf("HashName(\"a\") = %d", got)
+	}
+	if HashName("users/sam") == HashName("users/pat") {
+		t.Error("distinct names hash equal")
+	}
+}

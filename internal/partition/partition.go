@@ -39,6 +39,13 @@ func NewHash(n int) Hash {
 
 // Owner implements Partitioner.
 func (h Hash) Owner(id model.VertexID) int {
+	if id.Interned() {
+		// Interned ids embed the partition the dictionary chose at intern
+		// time (by hashing the original name through this same partitioner),
+		// so routing needs no dictionary lookup. The modulo only matters if
+		// the cluster was resized after interning.
+		return id.InternedPartition() % h.n
+	}
 	x := uint64(id)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9

@@ -171,3 +171,23 @@ func TestBalancedPanicsOnZeroServers(t *testing.T) {
 	}()
 	NewBalanced(0, nil)
 }
+
+func TestHashRoutesInternedIDsByEmbeddedPartition(t *testing.T) {
+	h := NewHash(5)
+	for part := 0; part < 5; part++ {
+		for ctr := uint64(0); ctr < 100; ctr += 13 {
+			id := model.InternedID(part, ctr)
+			if got := h.Owner(id); got != part {
+				t.Fatalf("Owner(interned part=%d ctr=%d) = %d", part, ctr, got)
+			}
+		}
+	}
+	// The intern-time placement contract: a name's partition is its hash
+	// routed like a plain vertex id, so interned data lands where the raw
+	// hash would have.
+	name := "users/sam"
+	part := h.Owner(model.VertexID(model.HashName(name)))
+	if got := h.Owner(model.InternedID(part, 0)); got != part {
+		t.Fatalf("name partition %d routes to %d", part, got)
+	}
+}

@@ -97,6 +97,11 @@ func Identity(servers, replicas int) *Table {
 // finalizer partition.Hash uses, so the identity table reproduces the seed
 // cluster's vertex placement exactly.
 func (t *Table) Partition(id model.VertexID) int {
+	if id.Interned() {
+		// Interned ids embed the partition chosen at intern time; see
+		// model.InternedID. No dictionary lookup on the routing path.
+		return id.InternedPartition() % len(t.Parts)
+	}
 	x := uint64(id)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9

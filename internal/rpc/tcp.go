@@ -18,6 +18,33 @@ import (
 // caller must not block forever behind it.
 var ErrBackpressure = errors.New("rpc: peer outbox full (backpressure)")
 
+// framePool recycles encode buffers between Send and the writer goroutines:
+// a frame is taken here, filled, handed through the outbox, and returned
+// once written (or lost). High-rate dispatch traffic would otherwise
+// allocate every frame and feed it straight to the GC.
+var framePool sync.Pool // holds *[]byte
+
+// maxPooledFrame caps the buffers the pool retains: an occasional huge
+// frame (a snapshot chunk, a giant plan) should not stay pinned forever.
+const maxPooledFrame = 1 << 20
+
+// getFrame returns a frame buffer with the 4-byte length header reserved.
+func getFrame() []byte {
+	if p, ok := framePool.Get().(*[]byte); ok {
+		return (*p)[:4]
+	}
+	return make([]byte, 4, 4+512)
+}
+
+// putFrame recycles a frame buffer once no goroutine references it.
+func putFrame(b []byte) {
+	if cap(b) > maxPooledFrame {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}
+
 // TCP is the network transport for standalone deployments: every node
 // listens on one address and lazily dials its peers. Frames are
 // [length: 4 bytes LE][wire-encoded message]; the first frame on a dialed
@@ -217,6 +244,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 	from := int(binary.LittleEndian.Uint32(hello[:]))
 	var lenBuf [4]byte
+	var payload []byte // reused across frames; wire.Decode never aliases it
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return
@@ -225,7 +253,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if n > 256<<20 {
 			return // absurd frame, drop the connection
 		}
-		payload := make([]byte, n)
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
@@ -248,17 +279,19 @@ func (t *TCP) Send(to int, msg wire.Message) error {
 	if err != nil {
 		return err
 	}
-	frame := make([]byte, 4, 4+256)
+	frame := getFrame()
 	frame = wire.Append(frame, &msg)
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 	select {
 	case p.out <- frame:
 		return nil
 	case <-p.done:
+		putFrame(frame)
 		return ErrClosed
 	default:
 	}
 	if t.opts.SendTimeout < 0 {
+		putFrame(frame)
 		return t.rejectFrame(to)
 	}
 	timer := time.NewTimer(t.opts.SendTimeout)
@@ -267,8 +300,10 @@ func (t *TCP) Send(to int, msg wire.Message) error {
 	case p.out <- frame:
 		return nil
 	case <-p.done:
+		putFrame(frame)
 		return ErrClosed
 	case <-timer.C:
+		putFrame(frame)
 		return t.rejectFrame(to)
 	}
 }
@@ -392,6 +427,7 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 		select {
 		case frame := <-p.out:
 			write(frame)
+			putFrame(frame)
 		case <-p.done:
 			// Flush anything already queued (best effort), then stop.
 			for {
@@ -403,6 +439,7 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 							conn = nil
 						}
 					}
+					putFrame(frame)
 				default:
 					return
 				}

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graphtrek/internal/model"
+)
+
+// Name-list and id-list payloads for the interning write path: a client's
+// KindWriteReq with Mode=WriteModeIntern carries EncodeNames in Blob, and
+// the primary's KindWriteResp returns EncodeIDs with the allocated ids in
+// the same order. These ride inside the framed Blob field, so they need no
+// version byte of their own — the enclosing frame is already versioned.
+
+// Write-request modes (wire.Message.Mode on KindWriteReq).
+const (
+	// WriteModeMutate is the default: Blob is a gstore mutation batch.
+	WriteModeMutate = 0
+	// WriteModeIntern asks the partition primary to allocate interned ids
+	// for the names in Blob, replicating the allocations before acking.
+	WriteModeIntern = 1
+	// WriteModeResolve is a read-only name→id lookup on the primary;
+	// unknown names resolve to id 0 (never a valid interned id).
+	WriteModeResolve = 2
+	// WriteModeNames is the read-only id→name direction (Blob is an id
+	// list, the response an aligned name list; unknown ids yield ""). This
+	// is the client-boundary materialization RPC.
+	WriteModeNames = 3
+)
+
+// EncodeNames appends a length-prefixed name list.
+func EncodeNames(names []string) []byte {
+	n := binary.MaxVarintLen64
+	for _, s := range names {
+		n += binary.MaxVarintLen64 + len(s)
+	}
+	b := make([]byte, 0, n)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, s := range names {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// DecodeNames parses an EncodeNames payload.
+func DecodeNames(b []byte) ([]string, error) {
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 || cnt > uint64(len(b)) {
+		return nil, fmt.Errorf("wire: malformed name list header")
+	}
+	b = b[n:]
+	names := make([]string, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || l > uint64(len(b)-n) {
+			return nil, fmt.Errorf("wire: malformed name list entry %d", i)
+		}
+		names = append(names, string(b[n:n+int(l)]))
+		b = b[n+int(l):]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after name list", len(b))
+	}
+	return names, nil
+}
+
+// EncodeIDs appends a length-prefixed vertex-id list.
+func EncodeIDs(ids []model.VertexID) []byte {
+	b := make([]byte, 0, (len(ids)+1)*binary.MaxVarintLen64)
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, uint64(id))
+	}
+	return b
+}
+
+// DecodeIDs parses an EncodeIDs payload.
+func DecodeIDs(b []byte) ([]model.VertexID, error) {
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 || cnt > uint64(len(b)) {
+		return nil, fmt.Errorf("wire: malformed id list header")
+	}
+	b = b[n:]
+	ids := make([]model.VertexID, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("wire: malformed id list entry %d", i)
+		}
+		ids = append(ids, model.VertexID(v))
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after id list", len(b))
+	}
+	return ids, nil
+}

@@ -206,8 +206,12 @@ type Message struct {
 	Blob []byte
 }
 
-// Append serializes m, appending to b.
-func Append(b []byte, m *Message) []byte {
+// AppendV1 serializes m in the legacy v1 row format, appending to b: a
+// fixed little-endian scalar header followed by per-entry interleaved
+// fields. Kept for the version-rejection tests and as the bench baseline
+// the v2 columnar codec (v2.go) is measured against; live transports frame
+// with Append/Decode.
+func AppendV1(b []byte, m *Message) []byte {
 	b = append(b, byte(m.Kind), m.Mode)
 	b = binary.LittleEndian.AppendUint64(b, m.TravelID)
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.Step))
@@ -322,11 +326,14 @@ func (d *decoder) count(n uint64, minSize int) int {
 	return int(n)
 }
 
-// Decode parses a message serialized by Append. The entire input must be
-// consumed.
-func Decode(b []byte) (Message, error) {
+// DecodeV1 parses a message serialized by AppendV1. The entire input must
+// be consumed. A v2 frame is rejected up front by its version byte.
+func DecodeV1(b []byte) (Message, error) {
 	if len(b) < 2 {
 		return Message{}, fmt.Errorf("wire: message too short")
+	}
+	if b[0] == FrameV2 {
+		return Message{}, fmt.Errorf("wire: v2 frame (version byte 0x%02x) passed to the v1 decoder; use Decode", FrameV2)
 	}
 	var m Message
 	m.Kind = Kind(b[0])
