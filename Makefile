@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 
-.PHONY: all build vet test race stress check lint fmt fmtcheck bench benchfull bench-smoke bench-readpath bench-failover bench-fanout clean
+.PHONY: all build vet test race stress fuzz-smoke check lint fmt fmtcheck bench benchfull bench-smoke bench-readpath bench-failover bench-fanout bench-readwrite clean
 
 all: build
 
@@ -23,11 +23,32 @@ race:
 	$(GO) test -race ./...
 
 # Concurrency stress: many simultaneous traversals multiplexed over the
-# shared per-server executor, plus the replication chaos suite (quorum
-# writes, primary-kill failover, epoch fencing, shard handoff), all under
-# the race detector with a short deadline.
+# shared per-server executor, the replication chaos suite (quorum writes,
+# primary-kill failover, epoch fencing, shard handoff), and the change-feed
+# churn tests, all under the race detector with a short deadline. Stress
+# tests opt in by NAME CONVENTION — any `TestStress*` under internal/ is
+# picked up automatically, and the target fails loudly if the pattern ever
+# matches nothing (the old hand-listed pattern silently drifted as tests
+# were added).
 stress:
-	$(GO) test -race -count=1 -timeout 120s -run 'TestSharedExecutor|TestRepl|TestRetryable' ./internal/core
+	@out=$$(mktemp); \
+	$(GO) test -race -count=1 -timeout 120s -run '^TestStress' -v ./internal/... >$$out 2>&1; status=$$?; \
+	n=$$(grep -c '^=== RUN   TestStress' $$out); \
+	if [ $$status -ne 0 ]; then cat $$out; rm -f $$out; exit $$status; fi; \
+	if [ "$$n" -eq 0 ]; then cat $$out; echo "stress: pattern ^TestStress matched no tests — name-convention drift"; rm -f $$out; exit 1; fi; \
+	grep -E '^(ok|---|FAIL)' $$out; rm -f $$out; \
+	echo "stress: $$n TestStress* tests passed under -race"
+
+# fuzz-smoke gives each wire/storage codec fuzzer a short randomized budget
+# on top of its checked-in seed corpus: frame decoding (v2 columnar), the
+# edge-key parser, the mutation-batch codec, and the change-feed record
+# codec. Go allows one -fuzz target per invocation, hence the sequence.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeV2$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzParseEdgeKey$$' -fuzztime $(FUZZTIME) ./internal/gstore
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime $(FUZZTIME) ./internal/gstore
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFeedRecords$$' -fuzztime $(FUZZTIME) ./internal/gstore
 
 check: vet build test race stress lint
 
@@ -86,6 +107,15 @@ bench-failover:
 # bytes per vertex, with the pooled encode path allocating less per batch.
 bench-fanout:
 	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp fanout -json BENCH_fanout.json
+
+# bench-readwrite gates the streaming mutation pipeline under a mixed
+# read/write workload: bulk load through the quorum write path, concurrent
+# mutators during traversals (zero lost acked writes, bounded p95 traversal
+# degradation vs the read-only baseline, §VII-A invariant under churn), and
+# change-feed completeness (every committed mutation delivered exactly
+# once, in order).
+bench-readwrite:
+	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp readwrite -json BENCH_readwrite.json
 
 clean:
 	$(GO) clean ./...

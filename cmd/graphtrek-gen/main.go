@@ -12,6 +12,13 @@
 // replica of its partition (identity placement), so a freshly booted
 // replicated cluster's followers already hold the data a failover would
 // need. -replicas 1 writes the single-copy layout.
+//
+// With -connect, the generator instead streams the graph into a RUNNING
+// replicated cluster over TCP through the quorum write path (BulkLoad:
+// every partition primary ingests concurrently):
+//
+//	graphtrek-gen -connect :7000,:7001,:7002,:7003 -self 3 -servers 3 \
+//	    -replicas 2 -kind meta -vertices 100000
 package main
 
 import (
@@ -19,12 +26,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
+	"graphtrek/internal/core"
 	"graphtrek/internal/gen"
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/kv"
 	"graphtrek/internal/model"
 	"graphtrek/internal/route"
+	"graphtrek/internal/rpc"
 )
 
 func main() {
@@ -37,13 +48,23 @@ func main() {
 	in := flag.String("in", "", "trace file to import (kind=trace)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	replicas := flag.Int("replicas", 2, "replicas per partition; must match graphtrek-server -replicas (1 = single copy)")
+	connect := flag.String("connect", "", "comma-separated node addresses of a running cluster: stream the graph over TCP via the quorum write path instead of writing -out")
+	self := flag.Int("self", -1, "with -connect, this loader's node id (a slot after the backends; default servers)")
+	batch := flag.Int("batch", 256, "with -connect, mutations per write round")
+	timeout := flag.Duration("timeout", 2*time.Minute, "with -connect, per-round write timeout")
 	flag.Parse()
 
-	if *out == "" || *servers < 1 || *replicas < 1 || *replicas > *servers {
+	if (*out == "" && *connect == "") || *servers < 1 || *replicas < 1 || *replicas > *servers {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*out, *servers, *replicas, *kind, *scale, *deg, *vertices, *seed, *in); err != nil {
+	var err error
+	if *connect != "" {
+		err = runConnect(*connect, *self, *servers, *replicas, *kind, *scale, *deg, *vertices, *seed, *in, *batch, *timeout)
+	} else {
+		err = run(*out, *servers, *replicas, *kind, *scale, *deg, *vertices, *seed, *in)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphtrek-gen:", err)
 		os.Exit(1)
 	}
@@ -82,41 +103,94 @@ func run(out string, servers, replicas int, kind string, scale, deg, vertices in
 			return forReplicas(e.Src, func(s *gstore.Store) error { return s.PutEdge(e) })
 		},
 	}
-	switch kind {
-	case "rmat":
-		stats, err := gen.RMAT(gen.RMAT1(scale, deg, seed), sink)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("generated RMAT-1: %d vertices, %d edge draws across %d partitions\n",
-			stats.Vertices, stats.EdgesDraw, servers)
-	case "meta":
-		stats, err := gen.Metadata(gen.ScaledMeta(vertices, seed), sink)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("generated metadata graph: %s across %d partitions\n", stats, servers)
-	case "trace":
-		if in == "" {
-			return fmt.Errorf("-kind trace requires -in <trace file>")
-		}
-		f, err := os.Open(in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		stats, err := gen.ImportTrace(f, sink)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("imported trace %s: %s across %d partitions\n", in, stats, servers)
-	default:
-		return fmt.Errorf("unknown -kind %q (rmat | meta | trace)", kind)
+	summary, err := generate(kind, scale, deg, vertices, seed, in, sink)
+	if err != nil {
+		return err
 	}
+	fmt.Printf("%s across %d partitions\n", summary, servers)
 	for i, s := range stores {
 		if err := s.Flush(); err != nil {
 			return fmt.Errorf("flush partition %d: %w", i, err)
 		}
 	}
+	return nil
+}
+
+// generate runs the selected generator into sink and returns a summary line.
+func generate(kind string, scale, deg, vertices int, seed int64, in string, sink gen.Funcs) (string, error) {
+	switch kind {
+	case "rmat":
+		stats, err := gen.RMAT(gen.RMAT1(scale, deg, seed), sink)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("generated RMAT-1: %d vertices, %d edge draws", stats.Vertices, stats.EdgesDraw), nil
+	case "meta":
+		stats, err := gen.Metadata(gen.ScaledMeta(vertices, seed), sink)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("generated metadata graph: %s", stats), nil
+	case "trace":
+		if in == "" {
+			return "", fmt.Errorf("-kind trace requires -in <trace file>")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		stats, err := gen.ImportTrace(f, sink)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("imported trace %s: %s", in, stats), nil
+	default:
+		return "", fmt.Errorf("unknown -kind %q (rmat | meta | trace)", kind)
+	}
+}
+
+// runConnect streams the generated graph into a running replicated cluster
+// through the quorum write path. The whole graph is materialized as a
+// mutation list first (generators are cheap relative to network ingest),
+// then BulkLoad splits it by partition and loads every primary at once.
+func runConnect(connect string, self, servers, replicas int, kind string, scale, deg, vertices int, seed int64, in string, batch int, timeout time.Duration) error {
+	if self < 0 {
+		self = servers
+	}
+	if self < servers {
+		return fmt.Errorf("-self %d collides with a backend slot (need >= %d)", self, servers)
+	}
+	var muts []gstore.Mutation
+	sink := gen.Funcs{
+		Vertex: func(v model.Vertex) error {
+			muts = append(muts, gstore.Mutation{Op: gstore.OpPutVertex, Vertex: v})
+			return nil
+		},
+		Edge: func(e model.Edge) error {
+			muts = append(muts, gstore.Mutation{Op: gstore.OpPutEdge, Edge: e})
+			return nil
+		},
+	}
+	summary, err := generate(kind, scale, deg, vertices, seed, in, sink)
+	if err != nil {
+		return err
+	}
+	client := core.NewClient(route.NewView(route.Identity(servers, replicas)))
+	tcp, err := rpc.NewTCP(self, strings.Split(connect, ","), client.Handle)
+	if err != nil {
+		return err
+	}
+	defer tcp.Close()
+	client.Bind(tcp)
+	start := time.Now()
+	if err := client.BulkLoad(muts, core.BulkOptions{
+		MaxBatch: batch,
+		Write:    core.WriteOptions{Timeout: timeout},
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("%s; loaded %d mutations over %d servers in %v\n",
+		summary, len(muts), servers, time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -9,9 +9,15 @@
 // -e takes comma-separated edge labels, each optionally carrying one
 // RANGE filter in brackets (key:lo..hi). -va applies one EQ vertex filter
 // (key=value) to the final step. -rtn marks a step index for return.
+//
+// Against a replicated cluster, pass -replicas to match the servers'
+// -replicas flag; that enables the quorum write path, which -load uses to
+// stream a name-addressed mutation script (one op per line, see loadFile)
+// into the cluster in batches.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,7 @@ import (
 	"graphtrek/internal/partition"
 	"graphtrek/internal/property"
 	"graphtrek/internal/query"
+	"graphtrek/internal/route"
 	"graphtrek/internal/rpc"
 	"graphtrek/internal/trace"
 )
@@ -52,15 +59,18 @@ func main() {
 	critPath := flag.Bool("critical-path", false, "after the traversal, assemble the causal trace DAG and print the slowest hop chains (server-side modes only)")
 	topK := flag.Int("top", 3, "with -critical-path, how many chains to print")
 	resolve := flag.Bool("resolve", false, "materialize result ids back to their interned names")
+	replicas := flag.Int("replicas", 0, "replicas per partition; must match graphtrek-server -replicas (0: unreplicated cluster, writes disabled)")
+	load := flag.String("load", "", "bulk-load a mutation script file through the quorum write path instead of running a traversal (requires -replicas)")
+	batch := flag.Int("batch", 256, "with -load, mutations per write round")
 	flag.Parse()
 
-	if err := run(*self, *servers, *addrs, *vIDs, *vNames, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile, *critPath, *topK, *resolve); err != nil {
+	if err := run(*self, *servers, *replicas, *addrs, *vIDs, *vNames, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile, *critPath, *topK, *resolve, *load, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "gtq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, servers int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile, critPath bool, topK int, resolve bool) error {
+func run(self, servers, replicas int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile, critPath bool, topK int, resolve bool, load string, batch int) error {
 	mode, ok := modes[modeName]
 	if !ok {
 		return fmt.Errorf("unknown -mode %q", modeName)
@@ -71,7 +81,13 @@ func run(self, servers int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec string, r
 	if vIDs != "" && vNames != "" {
 		return fmt.Errorf("-v and -names are mutually exclusive")
 	}
-	client := core.NewClient(partition.NewHash(servers))
+	// A replicated cluster needs the route view (write path, feed); the
+	// plain hash partitioner addresses a single-copy cluster read-only.
+	var part partition.Partitioner = partition.NewHash(servers)
+	if replicas > 0 {
+		part = route.NewView(route.Identity(servers, replicas))
+	}
+	client := core.NewClient(part)
 	tcp, err := rpc.NewTCP(self, strings.Split(addrs, ","), client.Handle)
 	if err != nil {
 		return err
@@ -79,6 +95,9 @@ func run(self, servers int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec string, r
 	defer tcp.Close()
 	client.Bind(tcp)
 
+	if load != "" {
+		return loadFile(client, load, batch, timeout)
+	}
 	if vNames != "" {
 		// Resolve the source names to interned ids at the client boundary;
 		// the traversal itself runs purely on integer ids.
@@ -242,6 +261,129 @@ func printCriticalPath(dag *trace.DAG, topK int) {
 				time.Duration(h.ComputeNs).Round(time.Microsecond),
 				time.Duration(h.GapNs).Round(time.Microsecond), h.Exec)
 		}
+	}
+}
+
+// loadFile streams a name-addressed mutation script into the cluster in
+// batches over the quorum write path. One op per line, # comments:
+//
+//	v <name> <label> [key=value ...]     add or update a vertex
+//	dv <name>                            delete a vertex (+ out-edges)
+//	e <src> <label> <dst> [key=value ...]  add a directed edge
+//	de <src> <label> <dst>               delete a directed edge
+//
+// Integer values intern as ints, everything else as strings.
+func loadFile(client *core.Client, path string, batch int, timeout time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if batch < 1 {
+		batch = 1
+	}
+	opts := core.WriteOptions{Timeout: timeout}
+	var pending []core.NamedMutation
+	total := 0
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if _, err := client.Mutate(pending, opts); err != nil {
+			return err
+		}
+		total += len(pending)
+		pending = pending[:0]
+		return nil
+	}
+	start := time.Now()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		m, ok, err := parseMutation(sc.Text())
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if !ok {
+			continue
+		}
+		pending = append(pending, m)
+		if len(pending) >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Printf("gtq: loaded %d mutations in %v\n", total, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// parseMutation parses one script line; ok is false for blanks and comments.
+func parseMutation(s string) (core.NamedMutation, bool, error) {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return core.NamedMutation{}, false, nil
+	}
+	props := func(kvs []string) (property.Map, error) {
+		if len(kvs) == 0 {
+			return nil, nil
+		}
+		m := make(property.Map, len(kvs))
+		for _, kv := range kvs {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad property %q, want key=value", kv)
+			}
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				m[k] = property.Int(n)
+			} else {
+				m[k] = property.String(v)
+			}
+		}
+		return m, nil
+	}
+	switch op, args := fields[0], fields[1:]; op {
+	case "v":
+		if len(args) < 2 {
+			return core.NamedMutation{}, false, fmt.Errorf("bad v line, want v <name> <label> [key=value ...]")
+		}
+		p, err := props(args[2:])
+		if err != nil {
+			return core.NamedMutation{}, false, err
+		}
+		return core.NamedMutation{Op: core.NamedAddVertex, Name: args[0], Label: args[1], Props: p}, true, nil
+	case "dv":
+		if len(args) != 1 {
+			return core.NamedMutation{}, false, fmt.Errorf("bad dv line, want dv <name>")
+		}
+		return core.NamedMutation{Op: core.NamedDelVertex, Name: args[0]}, true, nil
+	case "e":
+		if len(args) < 3 {
+			return core.NamedMutation{}, false, fmt.Errorf("bad e line, want e <src> <label> <dst> [key=value ...]")
+		}
+		p, err := props(args[3:])
+		if err != nil {
+			return core.NamedMutation{}, false, err
+		}
+		return core.NamedMutation{Op: core.NamedAddEdge, Src: args[0], Label: args[1], Dst: args[2], Props: p}, true, nil
+	case "de":
+		if len(args) != 3 {
+			return core.NamedMutation{}, false, fmt.Errorf("bad de line, want de <src> <label> <dst>")
+		}
+		return core.NamedMutation{Op: core.NamedDelEdge, Src: args[0], Label: args[1], Dst: args[2]}, true, nil
+	default:
+		return core.NamedMutation{}, false, fmt.Errorf("unknown op %q (v | dv | e | de)", op)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"graphtrek/internal/core"
 	"graphtrek/internal/property"
 )
 
@@ -105,16 +106,57 @@ func TestBuildTravelErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(0, 1, "", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false); err == nil {
+	if err := run(0, 1, 0, "", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256); err == nil {
 		t.Error("missing addrs should error")
 	}
-	if err := run(3, 1, ":1", "", "", "", "", "", -1, "nope", 0, 0, false, false, 3, false); err == nil {
+	if err := run(3, 1, 0, ":1", "", "", "", "", "", -1, "nope", 0, 0, false, false, 3, false, "", 256); err == nil {
 		t.Error("unknown mode should error")
 	}
-	if err := run(0, 2, ":1,:2,:3", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false); err == nil {
+	if err := run(0, 2, 0, ":1,:2,:3", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256); err == nil {
 		t.Error("self inside backend range should error")
 	}
-	if err := run(3, 1, ":1,:2", "1", "a", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+	if err := run(3, 1, 0, ":1,:2", "1", "a", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Errorf("-v with -names should error, got %v", err)
+	}
+}
+
+func TestParseMutation(t *testing.T) {
+	m, ok, err := parseMutation("v report.txt File type=text size=42")
+	if err != nil || !ok {
+		t.Fatalf("vertex line: ok=%v err=%v", ok, err)
+	}
+	if m.Op != core.NamedAddVertex || m.Name != "report.txt" || m.Label != "File" {
+		t.Fatalf("vertex parsed as %+v", m)
+	}
+	if m.Props["type"] != property.String("text") || m.Props["size"] != property.Int(42) {
+		t.Fatalf("props parsed as %+v (int-looking values must become Int)", m.Props)
+	}
+
+	m, ok, err = parseMutation("e alice run report.txt ts=7")
+	if err != nil || !ok || m.Op != core.NamedAddEdge || m.Src != "alice" || m.Label != "run" || m.Dst != "report.txt" {
+		t.Fatalf("edge line: ok=%v err=%v m=%+v", ok, err, m)
+	}
+	m, ok, err = parseMutation("dv report.txt")
+	if err != nil || !ok || m.Op != core.NamedDelVertex || m.Name != "report.txt" {
+		t.Fatalf("del-vertex line: ok=%v err=%v m=%+v", ok, err, m)
+	}
+	m, ok, err = parseMutation("de alice run report.txt")
+	if err != nil || !ok || m.Op != core.NamedDelEdge || m.Src != "alice" || m.Dst != "report.txt" {
+		t.Fatalf("del-edge line: ok=%v err=%v m=%+v", ok, err, m)
+	}
+
+	for _, blank := range []string{"", "   ", "# a comment", "v x File # trailing comment ignored"} {
+		if _, _, err := parseMutation(blank); err != nil {
+			t.Errorf("%q should not error: %v", blank, err)
+		}
+	}
+	if _, ok, _ := parseMutation("# only a comment"); ok {
+		t.Error("comment-only line should yield no mutation")
+	}
+
+	for _, bad := range []string{"v", "v onlyname", "e a run", "dv", "de a run", "zz what", "v x File novalue"} {
+		if _, _, err := parseMutation(bad); err == nil {
+			t.Errorf("%q should error", bad)
+		}
 	}
 }

@@ -66,6 +66,39 @@ type (
 	StragglerPlan = simio.StragglerPlan
 	// Value is a typed property value.
 	Value = property.Value
+	// Mutation is one raw (integer-addressed) write operation; batches of
+	// these feed Cluster.Write and Cluster.BulkLoad.
+	Mutation = gstore.Mutation
+	// NamedMutation is one name-addressed write operation for
+	// Cluster.Mutate, lowered through the interning dictionary.
+	NamedMutation = core.NamedMutation
+	// WriteOptions bounds quorum writes (timeout, retries).
+	WriteOptions = core.WriteOptions
+	// BulkOptions configures Cluster.BulkLoad batching.
+	BulkOptions = core.BulkOptions
+	// FeedOptions configures a change-feed subscription (resume cursor,
+	// refresh interval).
+	FeedOptions = core.FeedOptions
+	// Feed is a live change-feed subscription; consume Events().
+	Feed = core.Feed
+	// FeedEvent is one committed, per-partition-ordered feed record.
+	FeedEvent = core.FeedEvent
+)
+
+// Raw mutation opcodes for Cluster.Write / Cluster.BulkLoad batches.
+const (
+	OpPutVertex = gstore.OpPutVertex
+	OpDelVertex = gstore.OpDelVertex
+	OpPutEdge   = gstore.OpPutEdge
+	OpDelEdge   = gstore.OpDelEdge
+)
+
+// Name-addressed mutation opcodes for Cluster.Mutate batches.
+const (
+	NamedAddVertex = core.NamedAddVertex
+	NamedDelVertex = core.NamedDelVertex
+	NamedAddEdge   = core.NamedAddEdge
+	NamedDelEdge   = core.NamedDelEdge
 )
 
 // String makes a string property value.
@@ -416,6 +449,33 @@ func (c *Cluster) replicaStores(id VertexID) []gstore.Graph {
 // Only available on replicated clusters (ReplicationFactor >= 2).
 func (c *Cluster) Write(muts []gstore.Mutation, opts core.WriteOptions) error {
 	return c.client.Write(muts, opts)
+}
+
+// Mutate applies a batch of name-addressed add/update/delete mutations
+// through the quorum write path: add ops intern their names, deletes
+// resolve read-only (unknown names are no-ops), and the lowered mutations
+// ship grouped by partition. The returned map holds the interned id of
+// every name an add op touched. Only available on replicated clusters
+// (ReplicationFactor >= 2).
+func (c *Cluster) Mutate(muts []core.NamedMutation, opts core.WriteOptions) (map[string]VertexID, error) {
+	return c.client.Mutate(muts, opts)
+}
+
+// BulkLoad ingests a mutation set through the quorum write path at full
+// cluster width: per-partition streams run concurrently (saturating every
+// primary), oversized runs split into bounded rounds, and same-partition
+// order is preserved so later writes win. Only available on replicated
+// clusters (ReplicationFactor >= 2).
+func (c *Cluster) BulkLoad(muts []gstore.Mutation, opts core.BulkOptions) error {
+	return c.client.BulkLoad(muts, opts)
+}
+
+// SubscribeFeed opens a change-feed subscription on one partition: an
+// ordered stream of quorum-committed mutation batches with a resumable
+// cursor that survives primary failover. Only available on replicated
+// clusters (ReplicationFactor >= 2).
+func (c *Cluster) SubscribeFeed(part int, opts core.FeedOptions) (*core.Feed, error) {
+	return c.client.SubscribeFeed(part, opts)
 }
 
 // Intern maps external string vertex names to dense interned ids,

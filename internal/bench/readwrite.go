@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"graphtrek"
+	"graphtrek/internal/core"
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+	"graphtrek/internal/query"
+)
+
+// ReadWrite gates the streaming mutation pipeline under a mixed read/write
+// workload (DESIGN.md §14): the base graph is bulk-loaded through the
+// quorum write path at full cluster width, a read-only traversal baseline
+// is measured, then named mutations churn the graph while the same
+// traversals keep running. The pass/fail contract:
+//
+//   - every acknowledged write (bulk load and churn) is durable on its
+//     partition's current primary — zero lost acked writes;
+//   - traversal latency under churn stays within a bounded multiple of the
+//     read-only baseline (writes slow reads, they must not starve them);
+//   - the §VII-A accounting identity (redundant + combined + realIO ==
+//     received) holds for the traversals that ran during churn;
+//   - the change feed is complete and ordered: per partition, sequence
+//     numbers arrive contiguously from 1 (exactly-once), every acked write
+//     is eventually delivered, and a shadow store built purely from feed
+//     events answers the workload queries identically to the live cluster.
+func ReadWrite(s Scale, w io.Writer, rep *ExperimentResult) error {
+	const (
+		servers      = 3
+		rf           = 2
+		filesPerUser = 3
+		writers      = 3
+		writerDocs   = 8
+		reads        = 24
+	)
+	users := s.MetaVertices / 25
+	if users < 48 {
+		users = 48
+	}
+	if users > 512 {
+		users = 512
+	}
+	fmt.Fprintf(w, "READ/WRITE — %d servers, RF=%d: bulk load, churn %d writers against %d traversals (scale=%s)\n",
+		servers, rf, writers, reads, s.Name)
+	c, err := graphtrek.NewCluster(graphtrek.Options{
+		Servers:           servers,
+		ReplicationFactor: rf,
+		DiskService:       s.DiskService,
+		DiskParallelism:   s.DiskParallelism,
+		ReadCacheBytes:    4 << 20,
+		IndexKeys:         []string{"type"},
+		TravelTimeout:     time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	view := c.ClientRouteView()
+
+	// Subscribe the change feed on every partition before the first write,
+	// so completeness is checkable against the entire mutation history.
+	shadow := gstore.NewMemStore()
+	var smu sync.Mutex
+	perPartEvents := make([]uint64, view.Parts())
+	gapFree := true
+	var feeds []*core.Feed
+	var collectors []chan struct{}
+	for p := 0; p < view.Parts(); p++ {
+		f, err := c.SubscribeFeed(p, core.FeedOptions{Refresh: 50 * time.Millisecond})
+		if err != nil {
+			return fmt.Errorf("bench: readwrite: subscribe partition %d: %w", p, err)
+		}
+		feeds = append(feeds, f)
+		done := make(chan struct{})
+		collectors = append(collectors, done)
+		go func(p int, f *core.Feed) {
+			defer close(done)
+			for ev := range f.Events() {
+				smu.Lock()
+				if ev.Seq != perPartEvents[p]+1 {
+					gapFree = false
+				}
+				perPartEvents[p] = ev.Seq
+				for _, m := range ev.Muts {
+					m.Apply(shadow)
+				}
+				smu.Unlock()
+			}
+		}(p, f)
+	}
+
+	// Bulk load the base graph: users 1..N each running filesPerUser files,
+	// through BulkLoad's partition-parallel quorum streams.
+	var muts []gstore.Mutation
+	var ackedIDs []graphtrek.VertexID
+	nextFile := graphtrek.VertexID(1_000_000)
+	for u := 1; u <= users; u++ {
+		id := graphtrek.VertexID(u)
+		ackedIDs = append(ackedIDs, id)
+		muts = append(muts, gstore.Mutation{Op: gstore.OpPutVertex, Vertex: graphtrek.Vertex{
+			ID: id, Label: "User", Props: property.Map{"u": property.Int(int64(u))}}})
+		for f := 0; f < filesPerUser; f++ {
+			fid := nextFile
+			nextFile++
+			ackedIDs = append(ackedIDs, fid)
+			kind := "text"
+			if f%2 == 1 {
+				kind = "bin"
+			}
+			muts = append(muts, gstore.Mutation{Op: gstore.OpPutVertex, Vertex: graphtrek.Vertex{
+				ID: fid, Label: "File", Props: property.Map{"type": property.String(kind)}}})
+			muts = append(muts, gstore.Mutation{Op: gstore.OpPutEdge, Edge: graphtrek.Edge{
+				Src: id, Dst: fid, Label: "run"}})
+		}
+	}
+	loadStart := time.Now()
+	err = c.BulkLoad(muts, core.BulkOptions{MaxBatch: 128})
+	loadDur := time.Since(loadStart)
+	if err != nil {
+		rep.AddCheck("bulkload", false, "parallel quorum load of %d mutations: %v", len(muts), err)
+		return fmt.Errorf("bench: readwrite: bulk load: %w", err)
+	}
+	rep.AddCheck("bulkload", true, "parallel quorum load of %d mutations", len(muts))
+	rate := float64(len(muts)) / loadDur.Seconds()
+	fmt.Fprintf(w, "bulk-loaded %d mutations in %s (%.0f muts/s, all partitions in parallel)\n",
+		len(muts), fmtDur(loadDur), rate)
+	rep.AddRow(Row{Series: "bulkload", Servers: servers, ElapsedNs: int64(loadDur), Results: len(muts)})
+
+	plan, err := graphtrek.VLabel("User").E("run").Compile()
+	if err != nil {
+		return err
+	}
+	planText, err := graphtrek.VLabel("User").E("run").Va("type", property.EQ, "text").Compile()
+	if err != nil {
+		return err
+	}
+	runOnce := func(p *query.Plan) (time.Duration, int, error) {
+		start := time.Now()
+		res, err := c.RunPlan(p, core.SubmitOptions{
+			Mode: core.ModeGraphTrek, Coordinator: -1, Timeout: time.Minute, Retries: 2})
+		return time.Since(start), len(res), err
+	}
+
+	// Read-only baseline.
+	var baseLats []time.Duration
+	baseResults := 0
+	for i := 0; i < reads; i++ {
+		d, n, err := runOnce(plan)
+		if err != nil {
+			return fmt.Errorf("bench: readwrite: baseline traversal: %w", err)
+		}
+		baseLats = append(baseLats, d)
+		baseResults = n
+	}
+	rep.AddCheck("baseline-results", baseResults == users*filesPerUser,
+		"baseline traversal returned %d results, want %d", baseResults, users*filesPerUser)
+	baseP50, baseP95 := percentileNs(baseLats, 50), percentileNs(baseLats, 95)
+	fmt.Fprintf(w, "read-only baseline: p50 %s  p95 %s  (%d results)\n",
+		fmtDur(time.Duration(baseP50)), fmtDur(time.Duration(baseP95)), baseResults)
+	rep.AddRow(Row{Series: "read-only", Servers: servers, Runs: reads, P50Ns: baseP50, P95Ns: baseP95, Results: baseResults})
+
+	// Churn phase: writers stream named mutations (vertex adds, indexed
+	// property flips, edges) while the same traversal load repeats.
+	before := c.ServerMetrics()
+	var wg sync.WaitGroup
+	writerErrs := make(chan error, writers)
+	namedIDs := make(chan map[string]graphtrek.VertexID, 2*writers*writerDocs)
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			user := fmt.Sprintf("churn-user-%d", wr)
+			if _, err := c.Mutate([]core.NamedMutation{
+				{Op: core.NamedAddVertex, Name: user, Label: "User"},
+			}, core.WriteOptions{Timeout: 30 * time.Second}); err != nil {
+				writerErrs <- err
+				return
+			}
+			for i := 0; i < writerDocs; i++ {
+				doc := fmt.Sprintf("churn-doc-%d-%d", wr, i)
+				// Add with one type, then flip it — the flip must propagate
+				// through the write-through cache and the incremental index.
+				for _, kind := range []string{"bin", "text"} {
+					ids, err := c.Mutate([]core.NamedMutation{
+						{Op: core.NamedAddVertex, Name: doc, Label: "File",
+							Props: property.Map{"type": property.String(kind)}},
+						{Op: core.NamedAddEdge, Src: user, Label: "run", Dst: doc},
+					}, core.WriteOptions{Timeout: 30 * time.Second})
+					if err != nil {
+						writerErrs <- err
+						return
+					}
+					namedIDs <- ids
+				}
+			}
+		}(wr)
+	}
+	var churnLats []time.Duration
+	for i := 0; i < reads; i++ {
+		d, _, err := runOnce(plan)
+		if err != nil {
+			return fmt.Errorf("bench: readwrite: churn traversal: %w", err)
+		}
+		churnLats = append(churnLats, d)
+	}
+	wg.Wait()
+	close(writerErrs)
+	close(namedIDs)
+	for err := range writerErrs {
+		rep.AddCheck("writers", false, "churn writer failed: %v", err)
+		return fmt.Errorf("bench: readwrite: churn writer: %w", err)
+	}
+	rep.AddCheck("writers", true, "")
+	for ids := range namedIDs {
+		for _, id := range ids {
+			ackedIDs = append(ackedIDs, id)
+		}
+	}
+	after := c.ServerMetrics()
+
+	churnP50, churnP95 := percentileNs(churnLats, 50), percentileNs(churnLats, 95)
+	fmt.Fprintf(w, "under churn:        p50 %s  p95 %s\n",
+		fmtDur(time.Duration(churnP50)), fmtDur(time.Duration(churnP95)))
+	rep.AddRow(Row{Series: "under-churn", Servers: servers, Runs: reads, P50Ns: churnP50, P95Ns: churnP95})
+	// Concurrent quorum writes may slow reads; they must not starve them.
+	// The absolute floor absorbs tiny-scale noise where the baseline is
+	// microseconds.
+	budget := 5*baseP95 + int64(50*time.Millisecond)
+	rep.AddCheck("p95-degradation", churnP95 <= budget,
+		"churn p95 %s vs budget %s (5x baseline p95 %s + 50ms floor)",
+		fmtDur(time.Duration(churnP95)), fmtDur(time.Duration(budget)), fmtDur(time.Duration(baseP95)))
+
+	// §VII-A accounting identity over everything the churn phase executed.
+	var totals graphtrek.Metrics
+	for i := range after {
+		totals = totals.Add(after[i].Sub(before[i]))
+	}
+	rep.AddCheck("invariant-under-churn", totals.Consistent(),
+		"redundant %d + combined %d + real %d vs received %d",
+		totals.Redundant, totals.Combined, totals.RealIO, totals.Received)
+
+	// Zero lost acked writes: every acknowledged vertex — bulk-loaded or
+	// churn-written — is on its partition's current primary.
+	lost := 0
+	for _, id := range ackedIDs {
+		prim := int(view.Assignment(view.Partition(id)).Primary)
+		if _, ok, err := c.Store(prim).GetVertex(id); err != nil || !ok {
+			lost++
+		}
+	}
+	rep.AddCheck("no-lost-acked-writes", lost == 0,
+		"%d of %d acknowledged vertices missing from their current primaries", lost, len(ackedIDs))
+
+	// Feed completeness: the shadow store, built purely from feed events,
+	// must converge to answer both workload queries exactly like the live
+	// cluster — every committed mutation delivered, none invented.
+	wantPlain, err := c.RunPlan(plan, core.SubmitOptions{Mode: core.ModeGraphTrek, Coordinator: -1, Timeout: time.Minute, Retries: 2})
+	if err != nil {
+		return err
+	}
+	wantText, err := c.RunPlan(planText, core.SubmitOptions{Mode: core.ModeGraphTrek, Coordinator: -1, Timeout: time.Minute, Retries: 2})
+	if err != nil {
+		return err
+	}
+	converged := false
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		smu.Lock()
+		okPlain := shadowMatches(shadow, plan, wantPlain)
+		okText := okPlain && shadowMatches(shadow, planText, wantText)
+		smu.Unlock()
+		if okPlain && okText {
+			converged = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var delivered uint64
+	smu.Lock()
+	for _, n := range perPartEvents {
+		delivered += n
+	}
+	gaps := !gapFree
+	smu.Unlock()
+	rep.AddCheck("feed-gap-free", !gaps, "per-partition feed sequences must arrive contiguously from 1")
+	rep.AddCheck("feed-completeness", converged,
+		"shadow store replayed from %d feed records answers both queries like the live cluster", delivered)
+	rep.AddRow(Row{Series: "feed", Servers: servers, Results: int(delivered)})
+	fmt.Fprintf(w, "change feed: %d committed records delivered across %d partitions (gap-free=%v, shadow equivalent=%v)\n",
+		delivered, view.Parts(), !gaps, converged)
+	for _, f := range feeds {
+		f.Close()
+	}
+	for _, done := range collectors {
+		<-done
+	}
+	for p, f := range feeds {
+		if err := f.Err(); err != nil {
+			rep.AddCheck("feed-clean-close", false, "partition %d feed: %v", p, err)
+			return fmt.Errorf("bench: readwrite: partition %d feed: %w", p, err)
+		}
+	}
+	rep.AddCheck("feed-clean-close", true, "")
+	return nil
+}
+
+// shadowMatches compares the reference engine's answer on the feed-replayed
+// shadow store against the live cluster's result set (order-insensitive:
+// the cluster merges per-server results in arrival order).
+func shadowMatches(shadow *gstore.MemStore, plan *query.Plan, want []graphtrek.VertexID) bool {
+	ref, err := query.Reference(shadow, plan)
+	if err != nil {
+		return false
+	}
+	if len(ref.Results) != len(want) {
+		return false
+	}
+	a := append([]model.VertexID(nil), ref.Results...)
+	b := append([]model.VertexID(nil), want...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// percentileNs returns the q-th percentile of the latency sample in
+// nanoseconds (nearest-rank).
+func percentileNs(lats []time.Duration, q int) int64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (q*len(s) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return int64(s[idx-1])
+}

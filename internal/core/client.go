@@ -38,7 +38,10 @@ type Client struct {
 	mu      sync.Mutex
 	pending map[uint64]*pendingTravel
 	reqs    map[uint64]chan wire.Message
-	reqSeq  atomic.Uint64
+	// feeds holds this client's open change-feed subscriptions, one per
+	// partition (see feedclient.go).
+	feeds  map[int]*Feed
+	reqSeq atomic.Uint64
 }
 
 type pendingTravel struct {
@@ -117,6 +120,13 @@ func (c *Client) Handle(_ int, msg wire.Message) {
 		}
 	case wire.KindRouteUpdate:
 		c.mergeRoute(msg.Blob)
+	case wire.KindFeedBatch:
+		c.mu.Lock()
+		f := c.feeds[int(msg.Part)]
+		c.mu.Unlock()
+		if f != nil {
+			f.handleBatch(msg)
+		}
 	}
 }
 

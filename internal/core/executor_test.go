@@ -30,7 +30,7 @@ func sharedExecPlans(t *testing.T, c *cluster) []*query.Plan {
 // goroutine count with K — the per-traversal-pool design cost
 // O(K × servers × Workers) goroutines, the shared pool costs
 // O(servers × Workers) regardless of K.
-func TestSharedExecutorGoroutineBound(t *testing.T) {
+func TestStressSharedExecutorGoroutineBound(t *testing.T) {
 	const (
 		servers = 8
 		workers = 4
@@ -181,7 +181,7 @@ func waitForQuiescence(t *testing.T, c *cluster, maxGoroutines int) {
 // TestSharedExecutorBackpressure drives a server past its MaxQueueDepth and
 // checks the rejection surfaces as a retryable traversal error in both the
 // server-side dispatch path and the client-side VisitReq path.
-func TestSharedExecutorBackpressure(t *testing.T) {
+func TestStressSharedExecutorBackpressure(t *testing.T) {
 	c := newCluster(t, 1, func(cfg *Config) { cfg.MaxQueueDepth = 1 })
 	loadAuditGraph(t, c)
 
@@ -218,7 +218,7 @@ func TestSharedExecutorBackpressure(t *testing.T) {
 // TestSharedExecutorRetryAfterRejection: a rejected traversal retried once
 // the queue has drained succeeds — the contract that makes ErrBackpressure
 // a load-shedding signal rather than a hard failure.
-func TestSharedExecutorRetryAfterRejection(t *testing.T) {
+func TestStressSharedExecutorRetryAfterRejection(t *testing.T) {
 	c := newCluster(t, 1, func(cfg *Config) { cfg.MaxQueueDepth = 1 })
 	loadAuditGraph(t, c)
 	single := mustPlan(t, query.V(1))
@@ -240,7 +240,7 @@ func TestSharedExecutorRetryAfterRejection(t *testing.T) {
 // TestSharedExecutorCancelEviction: cancelling a traversal evicts its
 // pending groups from the shared queue — dead work never occupies a worker
 // — and the executor keeps serving subsequent traversals correctly.
-func TestSharedExecutorCancelEviction(t *testing.T) {
+func TestStressSharedExecutorCancelEviction(t *testing.T) {
 	c := newCluster(t, 4, func(cfg *Config) {
 		cfg.Workers = 1
 		cfg.TravelTimeout = -1

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/route"
+	"graphtrek/internal/wire"
+)
+
+// This file is the server side of the change feed (DESIGN.md §14): a
+// per-partition ordered stream of committed mutation batches that external
+// consumers subscribe to over the wire (KindFeedSub / KindFeedBatch),
+// served from the same ring buffer replication uses for gap repair.
+//
+// Only committed records are ever emitted. An append the primary applied
+// but no quorum holds can vanish in a failover — the new primary would
+// reassign its sequence number to a different mutation, and a consumer that
+// had already seen the first meaning of that sequence would silently skip
+// the second. The commit high-watermark (partRepl.commitSeq) makes that
+// impossible: it only covers sequences a quorum holds, so every emitted
+// (seq, batch) pair is durable under the protocol's failure model and the
+// sequence is monotone along the surviving replica lineage. A consumer's
+// cursor is therefore a plain sequence number that stays valid across
+// primary failover.
+
+// Feed subscribe sub-modes (wire.Message.Mode on KindFeedSub).
+const (
+	feedModeSub   = 0 // subscribe from cursor Seq (exclusive)
+	feedModeUnsub = 1 // drop the sender's subscription
+)
+
+// feedShip is one outbound feed message, built under replMu and sent after
+// release.
+type feedShip struct {
+	to  int
+	msg wire.Message
+}
+
+// commitFloorLocked computes the highest sequence a quorum of the replica
+// set holds: with need = Quorum()-1 follower acks required beside the
+// primary's own copy, it is the need-th highest follower ack watermark,
+// capped at the primary's applied sequence. need <= 0 means the primary
+// alone is a quorum. Caller holds replMu.
+func commitFloorLocked(st *partRepl, a route.Assignment) uint64 {
+	need := a.Quorum() - 1
+	if need > len(a.Followers) {
+		need = len(a.Followers)
+	}
+	if need <= 0 {
+		return st.appliedSeq
+	}
+	marks := make([]uint64, 0, len(a.Followers))
+	for _, f := range a.Followers {
+		marks = append(marks, st.ackedSeq[f])
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] > marks[j] })
+	c := marks[need-1]
+	if c > st.appliedSeq {
+		c = st.appliedSeq
+	}
+	return c
+}
+
+// advanceCommitLocked raises the partition's commit high-watermark to the
+// current quorum floor and builds the feed batches that newly committed
+// span unlocks. The watermark is monotone — a replica-set change can lower
+// the instantaneous floor, but committed records stay committed. Caller
+// holds replMu and sends the returned ships after release (shipFeed).
+func (s *Server) advanceCommitLocked(p int, st *partRepl, a route.Assignment) []feedShip {
+	if !st.primary {
+		return nil
+	}
+	c := commitFloorLocked(st, a)
+	if c <= st.commitSeq {
+		return nil
+	}
+	st.commitSeq = c
+	return s.feedShipLocked(p, st)
+}
+
+// feedShipLocked builds one KindFeedBatch per subscriber that is behind the
+// commit watermark, reading record payloads straight out of the repair ring
+// (they are already in EncodeBatch form — no decode/re-encode). A
+// subscriber whose backlog has aged out of the ring is dropped with a
+// terminal error; it must re-seed from a full read instead. Caller holds
+// replMu.
+func (s *Server) feedShipLocked(p int, st *partRepl) []feedShip {
+	var out []feedShip
+	var shipped int64
+	for sub, sent := range st.feedSubs {
+		if sent >= st.commitSeq {
+			continue
+		}
+		lo, hi := sent+1, st.commitSeq
+		if len(st.ring) == 0 || lo < st.ringStart || hi >= st.ringStart+uint64(len(st.ring)) {
+			delete(st.feedSubs, sub)
+			out = append(out, feedShip{to: int(sub), msg: wire.Message{
+				Kind: wire.KindFeedBatch, Part: int32(p), Epoch: st.epoch,
+				Err: fmt.Sprintf("core: feed cursor %d on partition %d predates retained history (ring starts at %d)", sent, p, st.ringStart),
+			}})
+			continue
+		}
+		blob := gstore.AppendFeedCount(nil, int(hi-lo+1))
+		for seq := lo; seq <= hi; seq++ {
+			blob = gstore.AppendFeedRecordRaw(blob, st.epoch, seq, st.ring[seq-st.ringStart])
+		}
+		st.feedSubs[sub] = hi
+		shipped += int64(hi - lo + 1)
+		out = append(out, feedShip{to: int(sub), msg: wire.Message{
+			Kind: wire.KindFeedBatch, Part: int32(p), Epoch: st.epoch, Seq: hi, Blob: blob,
+		}})
+	}
+	if shipped > 0 {
+		s.met.AddFeedRecords(shipped)
+	}
+	return out
+}
+
+// failFeedSubsLocked drops every subscription on a partition this server no
+// longer primaries, notifying each subscriber with the moved error and the
+// current route table so it resubscribes to the new primary directly.
+// Caller holds replMu.
+func (st *partRepl) failFeedSubsLocked(s *Server, p int) []feedShip {
+	if len(st.feedSubs) == 0 {
+		return nil
+	}
+	blob := s.cfg.Route.Table().Encode()
+	out := make([]feedShip, 0, len(st.feedSubs))
+	for sub := range st.feedSubs {
+		out = append(out, feedShip{to: int(sub), msg: wire.Message{
+			Kind: wire.KindFeedBatch, Part: int32(p), Err: ErrPartitionMoved.Error(), Blob: blob,
+		}})
+		delete(st.feedSubs, sub)
+	}
+	return out
+}
+
+// shipFeed delivers feed batches built under the lock. A subscriber the
+// transport cannot reach is unsubscribed — it re-presents its cursor when
+// it returns, and the watermark-based protocol makes the overlap harmless.
+func (s *Server) shipFeed(p int, ships []feedShip) {
+	for _, f := range ships {
+		if s.send(f.to, f.msg) != nil {
+			s.replMu.Lock()
+			if st, ok := s.repl[p]; ok {
+				delete(st.feedSubs, int32(f.to))
+			}
+			s.replMu.Unlock()
+		}
+	}
+}
+
+// handleFeedSub serves a subscribe (or unsubscribe) request. On subscribe
+// the reply is immediate: the committed backlog past the cursor, or an
+// empty confirmation batch when the subscriber is already caught up —
+// consumers use it to learn the subscription landed. Subsequent batches
+// stream as the commit watermark advances.
+func (s *Server) handleFeedSub(from int, msg wire.Message) {
+	reply := wire.Message{Kind: wire.KindFeedBatch, ReqID: msg.ReqID, Part: msg.Part}
+	if s.cfg.Route == nil {
+		reply.Err = "core: replication is not enabled on this cluster"
+		s.send(from, reply)
+		return
+	}
+	p := int(msg.Part)
+	if p < 0 || p >= s.cfg.Route.Parts() {
+		reply.Err = fmt.Sprintf("query: no such partition %d", p)
+		s.send(from, reply)
+		return
+	}
+	if msg.Mode == feedModeUnsub {
+		s.replMu.Lock()
+		if st, ok := s.repl[p]; ok {
+			delete(st.feedSubs, int32(from))
+		}
+		s.replMu.Unlock()
+		return
+	}
+	a := s.cfg.Route.Assignment(p)
+	if a.Primary != int32(s.cfg.ID) {
+		// Stale subscriber route: attach our table so the resubscribe goes to
+		// the right server.
+		reply.Err = fmt.Sprintf("%v: partition %d is primaried by server %d", ErrPartitionMoved, p, a.Primary)
+		reply.Blob = s.cfg.Route.Table().Encode()
+		s.send(from, reply)
+		return
+	}
+	cursor := msg.Seq
+	s.replMu.Lock()
+	st := s.replState(p)
+	s.adoptPrimaryLocked(st, a)
+	if cursor < st.commitSeq {
+		// The backlog (cursor, commitSeq] must be fully ring-resident.
+		if len(st.ring) == 0 || cursor+1 < st.ringStart {
+			floor := st.ringStart
+			s.replMu.Unlock()
+			reply.Err = fmt.Sprintf("core: feed cursor %d on partition %d predates retained history (ring starts at %d)", cursor, p, floor)
+			s.send(from, reply)
+			return
+		}
+	}
+	st.feedSubs[int32(from)] = cursor
+	ships := s.feedShipLocked(p, st)
+	caughtUp := st.feedSubs[int32(from)] >= st.commitSeq
+	epoch := st.epoch
+	commit := st.commitSeq
+	s.replMu.Unlock()
+	var acked bool
+	for _, f := range ships {
+		if f.to == from {
+			acked = true
+		}
+	}
+	s.shipFeed(p, ships)
+	if !acked && caughtUp {
+		// Nothing to back-fill: confirm the subscription with an empty batch
+		// carrying the current watermark.
+		reply.Epoch = epoch
+		reply.Seq = commit
+		reply.Blob = gstore.AppendFeedCount(nil, 0)
+		s.send(from, reply)
+	}
+}

@@ -1,0 +1,609 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/model"
+	"graphtrek/internal/partition"
+	"graphtrek/internal/property"
+	"graphtrek/internal/query"
+	"graphtrek/internal/route"
+)
+
+// TestFeedCommitFloor pins the commit high-watermark computation: the
+// need-th highest follower ack, capped at the primary's applied sequence,
+// with a 1-replica set committing at the applied sequence directly.
+func TestFeedCommitFloor(t *testing.T) {
+	st := &partRepl{appliedSeq: 10, ackedSeq: map[int32]uint64{1: 7, 2: 4}}
+	cases := []struct {
+		name      string
+		followers []int32
+		want      uint64
+	}{
+		// Quorum(3 replicas)=2: primary + 1 follower, floor = max follower ack.
+		{"two followers", []int32{1, 2}, 7},
+		// Quorum(2 replicas)=2: the single follower's ack bounds the floor.
+		{"one follower", []int32{1}, 7},
+		// Shrunk set: the primary alone is the quorum.
+		{"no followers", nil, 10},
+		// A follower that never acked holds the floor at zero.
+		{"silent follower", []int32{3}, 0},
+	}
+	for _, tc := range cases {
+		a := route.Assignment{Primary: 0, Followers: tc.followers}
+		if got := commitFloorLocked(st, a); got != tc.want {
+			t.Errorf("%s: commit floor = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// The follower ack can run ahead of the primary apply mid-handoff; the
+	// floor must never outrun what the primary itself holds.
+	ahead := &partRepl{appliedSeq: 5, ackedSeq: map[int32]uint64{1: 9}}
+	if got := commitFloorLocked(ahead, route.Assignment{Followers: []int32{1}}); got != 5 {
+		t.Errorf("floor with follower ahead = %d, want 5 (primary applied)", got)
+	}
+}
+
+// TestMutateNamedOps drives the name-addressed mutation API end to end on a
+// replicated cluster: adds intern their names and land on every replica,
+// the returned id map matches the dictionary, deletes resolve read-only,
+// and deleting a never-interned name is a no-op rather than an error.
+func TestMutateNamedOps(t *testing.T) {
+	c, _, views := newReplCluster(t, 3, 2, nil)
+	view := views[3]
+	ids, err := c.client.Mutate([]NamedMutation{
+		{Op: NamedAddVertex, Name: "alice", Label: "User", Props: property.Map{"team": property.String("infra")}},
+		{Op: NamedAddVertex, Name: "job-1", Label: "Execution"},
+		{Op: NamedAddEdge, Src: "alice", Label: "run", Dst: "job-1", Props: property.Map{"ts": property.Int(5)}},
+	}, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids["alice"] == 0 || ids["job-1"] == 0 {
+		t.Fatalf("Mutate returned ids %v, want alice and job-1", ids)
+	}
+	got, err := c.client.ResolveNames([]string{"alice", "job-1"}, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != ids["alice"] || got[1] != ids["job-1"] {
+		t.Fatalf("dictionary resolves %v, Mutate returned %v", got, ids)
+	}
+	for name, id := range ids {
+		p := view.Partition(id)
+		for _, r := range view.Assignment(p).Replicas() {
+			if _, ok, err := c.stores[r].GetVertex(id); err != nil || !ok {
+				t.Fatalf("vertex %q (%d) missing on replica %d (ok=%v err=%v)", name, id, r, ok, err)
+			}
+		}
+	}
+	edges := 0
+	prim := int(view.Assignment(view.Partition(ids["alice"])).Primary)
+	if err := c.stores[prim].ScanAllEdges(ids["alice"], func(model.Edge) bool { edges++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if edges != 1 {
+		t.Fatalf("alice has %d out-edges, want 1", edges)
+	}
+
+	// Re-adding a name updates in place under the same id.
+	ids2, err := c.client.Mutate([]NamedMutation{
+		{Op: NamedAddVertex, Name: "alice", Label: "User", Props: property.Map{"team": property.String("storage")}},
+	}, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids2["alice"] != ids["alice"] {
+		t.Fatalf("re-add moved alice from id %d to %d", ids["alice"], ids2["alice"])
+	}
+	v, ok, _ := c.stores[prim].GetVertex(ids["alice"])
+	if !ok || v.Props["team"] != property.String("storage") {
+		t.Fatalf("re-add did not update properties: %+v", v)
+	}
+
+	// Deletes: edge first, then vertex; unknown names are no-ops.
+	if _, err := c.client.Mutate([]NamedMutation{
+		{Op: NamedDelEdge, Src: "alice", Label: "run", Dst: "job-1"},
+		{Op: NamedDelVertex, Name: "job-1"},
+		{Op: NamedDelVertex, Name: "never-interned"},
+		{Op: NamedDelEdge, Src: "alice", Label: "run", Dst: "also-never-interned"},
+	}, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.stores[int(view.Assignment(view.Partition(ids["job-1"])).Primary)].GetVertex(ids["job-1"]); ok {
+		t.Error("job-1 still present after NamedDelVertex")
+	}
+	edges = 0
+	if err := c.stores[prim].ScanAllEdges(ids["alice"], func(model.Edge) bool { edges++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if edges != 0 {
+		t.Errorf("alice has %d out-edges after NamedDelEdge, want 0", edges)
+	}
+	if _, err := c.client.Mutate([]NamedMutation{{Op: NamedOp(99), Name: "x"}}, WriteOptions{}); err == nil || Retryable(err) {
+		t.Errorf("unknown op must be a terminal error, got %v", err)
+	}
+}
+
+// TestBulkLoadOrderAndOverwrite checks the bulk loader's two contracts:
+// everything lands on every replica, and same-key writes apply in input
+// order even when split across rounds (MaxBatch smaller than a partition's
+// run) — the last write wins.
+func TestBulkLoadOrderAndOverwrite(t *testing.T) {
+	c, _, views := newReplCluster(t, 3, 2, nil)
+	view := views[3]
+	const n = 90
+	var muts []gstore.Mutation
+	ids := make([]model.VertexID, 0, n)
+	for i := 0; i < n; i++ {
+		id := model.VertexID(1000 + i)
+		ids = append(ids, id)
+		// Three generations of each vertex, interleaved across the whole
+		// input, so every partition's run holds same-key rewrites spanning
+		// multiple MaxBatch rounds.
+		muts = append(muts, gstore.Mutation{Op: gstore.OpPutVertex, Vertex: model.Vertex{
+			ID: id, Label: "Doc", Props: property.Map{"gen": property.Int(1)},
+		}})
+	}
+	for gen := int64(2); gen <= 3; gen++ {
+		for _, id := range ids {
+			muts = append(muts, gstore.Mutation{Op: gstore.OpPutVertex, Vertex: model.Vertex{
+				ID: id, Label: "Doc", Props: property.Map{"gen": property.Int(gen)},
+			}})
+		}
+	}
+	if err := c.client.BulkLoad(muts, BulkOptions{MaxBatch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		p := view.Partition(id)
+		for _, r := range view.Assignment(p).Replicas() {
+			v, ok, err := c.stores[r].GetVertex(id)
+			if err != nil || !ok {
+				t.Fatalf("vertex %d missing on replica %d (ok=%v err=%v)", id, r, ok, err)
+			}
+			if view.Assignment(p).Primary == r && v.Props["gen"] != property.Int(3) {
+				t.Fatalf("vertex %d gen = %v on primary %d, want 3 (order lost across rounds)", id, v.Props["gen"], r)
+			}
+		}
+	}
+	// Empty loads are a no-op; unreplicated clients fail terminally.
+	if err := c.client.BulkLoad(nil, BulkOptions{}); err != nil {
+		t.Errorf("empty BulkLoad: %v", err)
+	}
+	plain := NewClient(partition.NewHash(3))
+	if err := plain.BulkLoad(muts[:1], BulkOptions{}); err == nil || Retryable(err) {
+		t.Errorf("BulkLoad without a route table must fail terminally, got %v", err)
+	}
+}
+
+// collectFeed appends every event a feed delivers into a shared slice until
+// the feed closes.
+func collectFeed(f *Feed, mu *sync.Mutex, out *[]FeedEvent) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range f.Events() {
+			mu.Lock()
+			*out = append(*out, ev)
+			mu.Unlock()
+		}
+	}()
+	return done
+}
+
+// TestStressFeedCursorResumeAcrossFailover is the change-feed chaos e2e: a
+// subscriber streams one partition's committed mutations while the
+// partition's primary is crash-stopped mid-stream. The subscription must
+// hop to the promoted follower on its own and keep delivering — every acked
+// write observed exactly once, sequence numbers contiguous across the
+// epoch change, no duplicates and no gaps. A second subscription then
+// resumes from a mid-stream cursor and must replay exactly the tail.
+func TestStressFeedCursorResumeAcrossFailover(t *testing.T) {
+	const (
+		n            = 3
+		hb           = 40 * time.Millisecond
+		suspectAfter = 3 * hb
+		before       = 12 // acked writes before the crash
+		after        = 12 // acked writes after the crash
+	)
+	c, chaos, views := newReplCluster(t, n, 2, func(cfg *Config) {
+		cfg.HeartbeatInterval = hb
+		cfg.SuspectAfter = suspectAfter
+	})
+	clientView := views[n]
+	p := clientView.Partition(1)
+	victim := p
+	promotee := (p + 1) % n
+
+	feed, err := c.client.SubscribeFeed(p, FeedOptions{Refresh: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []FeedEvent
+	done := collectFeed(feed, &mu, &events)
+
+	// ackedWrite upserts one vertex through the quorum path, retrying the
+	// same idempotent mutation until an ack lands (writes issued across the
+	// failover window block on the dead primary until routes converge).
+	written := make([]model.VertexID, 0, before+after)
+	next := model.VertexID(1000)
+	ackedWrite := func() {
+		t.Helper()
+		id := findFreeID(clientView, p, next)
+		next = id + 1
+		written = append(written, id)
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			err := c.client.Write([]gstore.Mutation{
+				{Op: gstore.OpPutVertex, Vertex: model.Vertex{ID: id, Label: "Event"}},
+			}, WriteOptions{Timeout: 2 * time.Second})
+			if err == nil {
+				return
+			}
+			if !Retryable(err) || time.Now().After(deadline) {
+				t.Fatalf("acked write %d never landed: %v", id, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	for i := 0; i < before; i++ {
+		ackedWrite()
+	}
+	chaos[victim].Crash()
+	pollUntil(t, 10*time.Second, "follower promotion", func() bool {
+		return c.servers[promotee].Metrics().Promotions >= 1
+	})
+	for i := 0; i < after; i++ {
+		ackedWrite()
+	}
+
+	// Every acked write must stream out. Retried acks may commit twice (a
+	// timed-out round that actually landed re-commits under a new sequence),
+	// so assert set coverage plus per-sequence contiguity, not a 1:1 count.
+	wantIDs := make(map[model.VertexID]bool, len(written))
+	for _, id := range written {
+		wantIDs[id] = true
+	}
+	seen := make(map[model.VertexID]bool)
+	pollUntil(t, 20*time.Second, "feed coverage of all acked writes", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, ev := range events {
+			for _, m := range ev.Muts {
+				seen[m.Vertex.ID] = true
+			}
+		}
+		for id := range wantIDs {
+			if !seen[id] {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has sequence %d, want %d (gap or duplicate across failover)", i, ev.Seq, i+1)
+		}
+		if len(ev.Muts) != 1 {
+			t.Fatalf("event %d carries %d mutations, want 1", i, len(ev.Muts))
+		}
+		if !wantIDs[ev.Muts[0].Vertex.ID] {
+			t.Fatalf("event %d delivered unknown vertex %d", i, ev.Muts[0].Vertex.ID)
+		}
+	}
+	total := len(events)
+	lastEpoch := events[total-1].Epoch
+	resumeAt := total / 2
+	wantTail := make([]model.VertexID, 0, total-resumeAt)
+	for _, ev := range events[resumeAt:] {
+		wantTail = append(wantTail, ev.Muts[0].Vertex.ID)
+	}
+	mu.Unlock()
+	if lastEpoch < 2 {
+		t.Errorf("post-failover events stamped epoch %d, want >= 2", lastEpoch)
+	}
+	feed.Close()
+	<-done
+
+	// Cursor resume: a fresh subscription presenting a mid-stream cursor
+	// replays exactly the tail, in order, against the promoted primary.
+	resumed, err := c.client.SubscribeFeed(p, FeedOptions{Cursor: uint64(resumeAt), Refresh: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	var rmu sync.Mutex
+	var replay []FeedEvent
+	collectFeed(resumed, &rmu, &replay)
+	pollUntil(t, 10*time.Second, "cursor-resume replay", func() bool {
+		rmu.Lock()
+		defer rmu.Unlock()
+		return len(replay) >= total-resumeAt
+	})
+	rmu.Lock()
+	defer rmu.Unlock()
+	if len(replay) != total-resumeAt {
+		t.Fatalf("resume from cursor %d replayed %d events, want %d", resumeAt, len(replay), total-resumeAt)
+	}
+	for i, ev := range replay {
+		if ev.Seq != uint64(resumeAt+i+1) {
+			t.Fatalf("replayed event %d has sequence %d, want %d", i, ev.Seq, resumeAt+i+1)
+		}
+		if ev.Muts[0].Vertex.ID != wantTail[i] {
+			t.Fatalf("replayed event %d is vertex %d, want %d", i, ev.Muts[0].Vertex.ID, wantTail[i])
+		}
+	}
+}
+
+// TestStressFeedTraversalDifferentialOracle runs traversals, named writes
+// and full-cluster feed consumption concurrently, then checks the streams
+// against each other: a shadow store built purely from feed events must
+// answer the audit query identically to the live cluster — the feed is a
+// complete, ordered, committed view of the write stream, interleaved safely
+// with traversal reads.
+func TestStressFeedTraversalDifferentialOracle(t *testing.T) {
+	const parts = 3
+	c, _, _ := newReplCluster(t, parts, 2, nil)
+
+	shadow := gstore.NewMemStore()
+	var smu sync.Mutex
+	feeds := make([]*Feed, parts)
+	var collectors []chan struct{}
+	for p := 0; p < parts; p++ {
+		f, err := c.client.SubscribeFeed(p, FeedOptions{Refresh: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeds[p] = f
+		done := make(chan struct{})
+		collectors = append(collectors, done)
+		go func(f *Feed) {
+			defer close(done)
+			last := uint64(0)
+			for ev := range f.Events() {
+				if ev.Seq != last+1 {
+					t.Errorf("partition %d feed jumped %d -> %d", ev.Part, last, ev.Seq)
+				}
+				last = ev.Seq
+				smu.Lock()
+				for _, m := range ev.Muts {
+					if err := m.Apply(shadow); err != nil {
+						t.Errorf("feed replay: %v", err)
+					}
+				}
+				smu.Unlock()
+			}
+		}(f)
+	}
+
+	writeAuditGraph(t, c)
+	plan := mustPlan(t, query.VLabel("User").E("run").E("read"))
+
+	// Churn: four writers extend the graph with User->Execution->File chains
+	// through the named-mutation path while two readers traverse through it.
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 6; i++ {
+				u := fmt.Sprintf("u-%d-%d", w, i)
+				x := fmt.Sprintf("x-%d-%d", w, i)
+				y := fmt.Sprintf("y-%d-%d", w, i)
+				if _, err := c.client.Mutate([]NamedMutation{
+					{Op: NamedAddVertex, Name: u, Label: "User"},
+					{Op: NamedAddVertex, Name: x, Label: "Execution"},
+					{Op: NamedAddVertex, Name: y, Label: "File", Props: property.Map{"type": property.String("text")}},
+					{Op: NamedAddEdge, Src: u, Label: "run", Dst: x},
+					{Op: NamedAddEdge, Src: x, Label: "read", Dst: y},
+				}, WriteOptions{Timeout: 10 * time.Second}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	readErrs := make(chan error, 2)
+	stopReads := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				_, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: -1, Timeout: 10 * time.Second, Retries: 2})
+				if err != nil && !Retryable(err) {
+					readErrs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Wait for the writers, then stop the readers.
+	writersDone := make(chan struct{})
+	go func() { writers.Wait(); close(writersDone) }()
+	select {
+	case err := <-readErrs:
+		t.Fatalf("concurrent traversal failed terminally: %v", err)
+	case <-writersDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("writers stuck")
+	}
+	close(stopReads)
+	readers.Wait()
+
+	// Differential oracle: once the feeds drain, the shadow store answers
+	// the query exactly like the live cluster.
+	want, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: -1, Timeout: 10 * time.Second, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	pollUntil(t, 15*time.Second, "shadow store convergence", func() bool {
+		smu.Lock()
+		defer smu.Unlock()
+		ref, err := query.Reference(shadow, plan)
+		if err != nil {
+			return false
+		}
+		got := append([]model.VertexID(nil), ref.Results...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		return sameIDs(got, want)
+	})
+	for _, f := range feeds {
+		f.Close()
+	}
+	for _, done := range collectors {
+		<-done
+	}
+	for _, f := range feeds {
+		if err := f.Err(); err != nil {
+			t.Errorf("feed closed with terminal error: %v", err)
+		}
+	}
+}
+
+// TestStressMutateCacheIndexCoherence hammers one indexed, read-cached
+// cluster with concurrent named mutations (property flips on indexed keys)
+// and traversals whose final step filters on that index. After the churn,
+// the traversal must see exactly the final committed state — a stale read
+// cache or unmaintained index surfaces as phantom or missing results.
+func TestStressMutateCacheIndexCoherence(t *testing.T) {
+	c, _, _ := newReplCluster(t, 3, 2, func(cfg *Config) {
+		cfg.Store = gstore.NewCachedGraph(cfg.Store, 1<<20)
+		cfg.IndexKeys = []string{"type"}
+	})
+	const docs = 12
+	if _, err := c.client.Mutate([]NamedMutation{
+		{Op: NamedAddVertex, Name: "root", Label: "Job"},
+	}, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	plan := mustPlan(t, query.VLabel("Job").E("emit").Va("type", property.EQ, "text"))
+
+	var wg sync.WaitGroup
+	finalType := make([]string, docs)
+	for d := 0; d < docs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			name := fmt.Sprintf("doc-%d", d)
+			// Flip the indexed property several times; the last value is
+			// deterministic per doc.
+			vals := []string{"text", "bin", "text", "bin"}
+			if d%2 == 0 {
+				vals = append(vals, "text")
+			} else {
+				vals = append(vals, "bin")
+			}
+			finalType[d] = vals[len(vals)-1]
+			for i, v := range vals {
+				muts := []NamedMutation{
+					{Op: NamedAddVertex, Name: name, Label: "Doc", Props: property.Map{"type": property.String(v)}},
+				}
+				if i == 0 {
+					muts = append(muts, NamedMutation{Op: NamedAddEdge, Src: "root", Label: "emit", Dst: name})
+				}
+				if _, err := c.client.Mutate(muts, WriteOptions{Timeout: 10 * time.Second}); err != nil {
+					t.Errorf("doc %d: %v", d, err)
+					return
+				}
+			}
+		}(d)
+	}
+	stopReads := make(chan struct{})
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+			}
+			if _, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: -1, Timeout: 10 * time.Second, Retries: 2}); err != nil && !Retryable(err) {
+				t.Errorf("concurrent traversal: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopReads)
+	<-readsDone
+
+	// Expected final state: the text docs' interned ids.
+	var wantNames []string
+	for d := 0; d < docs; d++ {
+		if finalType[d] == "text" {
+			wantNames = append(wantNames, fmt.Sprintf("doc-%d", d))
+		}
+	}
+	ids, err := c.client.ResolveNames(wantNames, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]model.VertexID(nil), ids...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	pollUntil(t, 10*time.Second, "coherent post-churn traversal", func() bool {
+		got, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeGraphTrek, Coordinator: -1, Timeout: 10 * time.Second, Retries: 2})
+		if err != nil {
+			return false
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		return sameIDs(got, want)
+	})
+	// The sync engine (separate read path) agrees.
+	got, err := c.client.SubmitPlan(plan, SubmitOptions{Mode: ModeSync, Coordinator: -1, Timeout: 10 * time.Second, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !sameIDs(got, want) {
+		t.Errorf("sync engine sees %v through cache+index, want %v", got, want)
+	}
+}
+
+// TestFeedSubscribeErrors pins the subscription failure modes: bad
+// partitions and ahead-of-history cursors are terminal; subscribing against
+// a non-primary is redirected, not an error.
+func TestFeedSubscribeErrors(t *testing.T) {
+	c, _, _ := newReplCluster(t, 3, 2, nil)
+	if _, err := c.client.SubscribeFeed(99, FeedOptions{}); err == nil || !strings.Contains(err.Error(), "no such partition") {
+		t.Errorf("bad partition: %v", err)
+	}
+	f, err := c.client.SubscribeFeed(0, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.client.SubscribeFeed(0, FeedOptions{}); err == nil {
+		t.Error("duplicate subscription accepted")
+	}
+	f.Close()
+	if err := f.Err(); err != nil {
+		t.Errorf("clean close left terminal error: %v", err)
+	}
+	// After Close the slot frees.
+	f2, err := c.client.SubscribeFeed(0, FeedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+
+	plain := NewClient(partition.NewHash(3))
+	if _, err := plain.SubscribeFeed(0, FeedOptions{}); err == nil || Retryable(err) {
+		t.Errorf("unreplicated client must fail terminally, got %v", err)
+	}
+}

@@ -305,7 +305,7 @@ func namesForPartition(view *route.View, p, n int, prefix string) []string {
 // snapshot + live-tail handoff onto a joining server, and epoch-fenced
 // failover — after which the promoted replica must hold the identical
 // mapping and continue allocating without collisions.
-func TestReplInternQuorumHandoffAndFailover(t *testing.T) {
+func TestStressReplInternQuorumHandoffAndFailover(t *testing.T) {
 	const (
 		n            = 3
 		hb           = 100 * time.Millisecond

@@ -74,16 +74,29 @@ type partRepl struct {
 	// counter against the new primary's base before trusting comparisons.
 	epoch uint64
 
-	// Primary-side state.
+	// Primary-side state. The ring is dual-role: primaries push every
+	// sequenced append for gap repair, and followers push every applied
+	// append so that, when promoted, they can serve change-feed backlog
+	// (and repair gaps) from the history they actually hold.
 	nextSeq   uint64           // sequence the next append will carry
 	baseSeq   uint64           // appliedSeq when the current epoch began
 	ringStart uint64           // sequence of ring[0]
-	ring      [][]byte         // recent append payloads for gap repair
+	ring      [][]byte         // recent append payloads for gap repair + feed backlog
 	ackedSeq  map[int32]uint64 // follower -> highest acked sequence
 	pending   map[uint64]*pendingWrite
 	shipped   int64          // bytes shipped to followers (lag numerator)
 	acked     int64          // bytes acknowledged by followers
 	joiners   map[int32]bool // servers mid-handoff: forward live appends
+
+	// Change-feed state (primary side). commitSeq is the partition's commit
+	// high-watermark: the highest sequence a quorum of the replica set
+	// (primary included) is known to hold. Feed subscribers only ever see
+	// records at or below it — an uncommitted append can vanish in a
+	// failover and its sequence be reassigned to a different mutation, which
+	// a committed-only feed makes unobservable. feedSubs maps a subscriber
+	// node to the highest sequence already delivered to it.
+	commitSeq uint64
+	feedSubs  map[int32]uint64
 
 	// Follower-side state.
 	appliedSeq uint64
@@ -113,6 +126,7 @@ func (s *Server) replState(p int) *partRepl {
 			pending:  make(map[uint64]*pendingWrite),
 			joiners:  make(map[int32]bool),
 			tail:     make(map[uint64][]byte),
+			feedSubs: make(map[int32]uint64),
 		}
 		s.repl[p] = st
 	}
@@ -148,9 +162,19 @@ func (s *Server) adoptPrimaryLocked(st *partRepl, a route.Assignment) {
 	if !st.primary {
 		st.primary = true
 		st.nextSeq = st.appliedSeq + 1
-		st.ring, st.ringStart = nil, 0
 		st.ackedSeq = make(map[int32]uint64)
 		st.shipped, st.acked = 0, 0
+		// The ring survives the transition: as a follower this node pushed
+		// every applied append, so the ring holds exactly the lineage history
+		// feed subscribers resume from (and gap repair can re-ship).
+		//
+		// Everything the promoted node holds is adopted as committed — the
+		// mirror of Raft's rule that a new leader commits its log by
+		// replicating under its own term. An append the old primary never
+		// got quorum for can thereby become committed here; what cannot
+		// happen is a committed-then-lost sequence, because promotion prefers
+		// the most caught-up live follower.
+		st.commitSeq = st.appliedSeq
 		s.met.AddPromotions(1)
 	}
 	if st.epoch < a.Epoch {
@@ -314,6 +338,12 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 		Epoch: st.epoch, Seq: seq, Base: st.baseSeq, Blob: blob,
 	}
 	st.shipped += int64(len(blob) * len(targets))
+	var feed []feedShip
+	if need <= 0 {
+		// The primary alone is a quorum: the write commits at apply time and
+		// feeds out immediately.
+		feed = s.advanceCommitLocked(p, st, a)
+	}
 	s.updateLagLocked()
 	s.replMu.Unlock()
 
@@ -323,6 +353,7 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 	if need <= 0 {
 		s.send(from, resp)
 	}
+	s.shipFeed(p, feed)
 }
 
 // resolveNames serves a WriteModeResolve request: each name in the encoded
@@ -468,6 +499,9 @@ func (s *Server) handleReplAppend(from int, msg wire.Message) {
 		if st.appliedSeq > msg.Base && !st.joining {
 			st.epoch = msg.Epoch
 			st.appliedSeq = 0
+			// The retained ring described the divergent history; drop it so
+			// post-resync pushes restart a contiguous run.
+			st.ring, st.ringStart = nil, 0
 			st.joining = true
 			st.tail = map[uint64][]byte{msg.Seq: msg.Blob}
 			s.replMu.Unlock()
@@ -506,6 +540,10 @@ func (s *Server) handleReplAppend(from int, msg wire.Message) {
 			return
 		}
 		st.appliedSeq = msg.Seq
+		// Retain the applied record: if this follower is later promoted, the
+		// ring is what lets resuming feed subscribers (and lagging peers)
+		// read back the history it holds.
+		st.pushRingLocked(msg.Seq, msg.Blob)
 		// A buffered out-of-order successor may now be applicable.
 		for {
 			blob, ok := st.tail[st.appliedSeq+1]
@@ -523,6 +561,7 @@ func (s *Server) handleReplAppend(from int, msg wire.Message) {
 				return
 			}
 			st.appliedSeq++
+			st.pushRingLocked(st.appliedSeq, blob)
 		}
 		ack.Seq = st.appliedSeq
 		s.replMu.Unlock()
@@ -633,11 +672,13 @@ func (s *Server) handleReplAck(from int, msg wire.Message) {
 			done = append(done, pw)
 		}
 	}
+	feed := s.advanceCommitLocked(p, st, a)
 	s.updateLagLocked()
 	s.replMu.Unlock()
 	for _, pw := range done {
 		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: msg.Part, Blob: pw.blob})
 	}
+	s.shipFeed(p, feed)
 }
 
 // ringBytesLocked sums the payload bytes of ring records in [lo, hi].
@@ -868,10 +909,12 @@ func (s *Server) reapQuorums(p int) {
 			done = append(done, pw)
 		}
 	}
+	feed := s.advanceCommitLocked(p, st, a)
 	s.replMu.Unlock()
 	for _, pw := range done {
 		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: int32(p), Blob: pw.blob})
 	}
+	s.shipFeed(p, feed)
 }
 
 // --- Route gossip ---------------------------------------------------------
@@ -935,6 +978,7 @@ func (s *Server) applyRouteTable(tbl *route.Table) {
 func (s *Server) reconcileRoles() {
 	self := int32(s.cfg.ID)
 	var fails []wire.Message
+	var feedFails []feedShip
 	s.replMu.Lock()
 	for p := 0; p < s.cfg.Route.Parts(); p++ {
 		a := s.cfg.Route.Assignment(p)
@@ -945,21 +989,25 @@ func (s *Server) reconcileRoles() {
 			s.adoptPrimaryLocked(st, a)
 		case a.HasReplica(self):
 			if have && st.primary {
-				// Demotion: drop all primary-side state — the ring, follower
-				// watermarks and counters describe our deposed primaryship
-				// and must not leak into a later re-promotion. st.epoch stays:
-				// our applied history was counted under it, and the new
+				// Demotion: drop primary-side state — follower watermarks and
+				// counters describe our deposed primaryship and must not leak
+				// into a later re-promotion. The ring stays: it holds the
+				// appends this node actually applied, which is exactly the
+				// retained history a follower keeps (and a divergence resync
+				// clears it if the new primary disowns any of it). st.epoch
+				// stays: our applied history was counted under it, and the new
 				// primary's first append adjudicates divergence against it.
 				st.primary = false
 				st.nextSeq = 0
-				st.ring, st.ringStart = nil, 0
 				st.ackedSeq = make(map[int32]uint64)
 				st.shipped, st.acked = 0, 0
 				fails = append(fails, st.failPendingLocked(ErrWrongEpoch.Error(), p)...)
+				feedFails = append(feedFails, st.failFeedSubsLocked(s, p)...)
 			}
 		default:
 			if have {
 				fails = append(fails, st.failPendingLocked(ErrPartitionMoved.Error(), p)...)
+				feedFails = append(feedFails, st.failFeedSubsLocked(s, p)...)
 				delete(s.repl, p)
 			}
 		}
@@ -968,6 +1016,9 @@ func (s *Server) reconcileRoles() {
 	s.replMu.Unlock()
 	for _, f := range fails {
 		s.send(int(f.Peer), wire.Message{Kind: f.Kind, ReqID: f.ReqID, Part: f.Part, Err: f.Err})
+	}
+	for _, f := range feedFails {
+		s.send(f.to, f.msg)
 	}
 }
 
@@ -1037,6 +1088,9 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 		}
 		if msg.Seq > st.appliedSeq {
 			st.appliedSeq = msg.Seq
+			// The snapshot jumped the applied counter past the ring's run;
+			// whatever was retained is no longer contiguous with it.
+			st.ring, st.ringStart = nil, 0
 		}
 		st.joining = false
 		epoch := st.epoch
@@ -1059,6 +1113,7 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 				return
 			}
 			st.appliedSeq++
+			st.pushRingLocked(st.appliedSeq, blob)
 		}
 		for seq := range st.tail { // anything at or below the snapshot is covered
 			if seq <= st.appliedSeq {
@@ -1111,6 +1166,9 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 			s.replMu.Unlock()
 			s.reconcileRoles()
 			s.gossipRoute(tbl)
+			// The replica set (and quorum size) changed; re-evaluate pending
+			// writes and the feed commit floor against it.
+			s.reapQuorums(p)
 		}
 	}
 }

@@ -21,7 +21,7 @@ import (
 // (malformed plans, explicit cancellation, local misconfiguration) never
 // retry; transient cluster state (backpressure, suspected peers, watchdog
 // timeouts, epoch fences, moved partitions, transport failures) always does.
-func TestRetryableClassification(t *testing.T) {
+func TestStressRetryableClassification(t *testing.T) {
 	cases := []struct {
 		name string
 		err  error
@@ -175,7 +175,7 @@ func findFreeID(view *route.View, p int, from model.VertexID) model.VertexID {
 // partition, and (b) all six traversal engines return the exact reference
 // results on the replicated cluster — the ownership filter must keep
 // follower copies from double-seeding.
-func TestReplQuorumWriteAllModes(t *testing.T) {
+func TestStressReplQuorumWriteAllModes(t *testing.T) {
 	c, _, views := newReplCluster(t, 3, 2, nil)
 	writeAuditGraph(t, c)
 	view := views[len(views)-1]
@@ -198,7 +198,7 @@ func TestReplQuorumWriteAllModes(t *testing.T) {
 // byte-identical to the pre-crash oracle, quorum writes resume against the
 // new primary — and when the deposed primary comes back, its stale-epoch
 // replication is fenced and it adopts the new route table.
-func TestReplFailoverPromotionAndEpochFencing(t *testing.T) {
+func TestStressReplFailoverPromotionAndEpochFencing(t *testing.T) {
 	const (
 		n            = 3
 		hb           = 100 * time.Millisecond
@@ -343,7 +343,7 @@ func TestReplFailoverPromotionAndEpochFencing(t *testing.T) {
 // joins a partition it never held, receives the snapshot plus the live
 // tail, is published as a follower under a fresh epoch, and from then on
 // participates in the partition's quorum.
-func TestReplShardHandoff(t *testing.T) {
+func TestStressReplShardHandoff(t *testing.T) {
 	const n = 3
 	c, _, views := newReplCluster(t, n, 2, nil)
 	writeAuditGraph(t, c)
@@ -420,7 +420,7 @@ func replAppliedSeq(s *Server, p int) uint64 {
 // same order it assigns their sequence numbers, or followers (which replay
 // strictly in sequence order) end up with a different final value for the
 // contended vertex than the primary.
-func TestReplConcurrentWriteOrdering(t *testing.T) {
+func TestStressReplConcurrentWriteOrdering(t *testing.T) {
 	const (
 		n       = 2
 		writers = 32
@@ -472,7 +472,7 @@ func TestReplConcurrentWriteOrdering(t *testing.T) {
 // epoch-2 table promotes server 1; a client write then reuses seq 2 under
 // epoch 2. Without epoch scoping server 2 treats it as a duplicate, acks
 // without storing, and the quorum-acked vertex silently never lands on it.
-func TestReplEpochScopedSequences(t *testing.T) {
+func TestStressReplEpochScopedSequences(t *testing.T) {
 	const n = 3
 	c, _, views := newReplCluster(t, n, 3, nil)
 	clientView := views[n]
@@ -541,7 +541,7 @@ func TestReplEpochScopedSequences(t *testing.T) {
 // replica set during a transient outage is automatically invited back once
 // its suspicion clears: the replica set returns to the configured factor
 // under a fresh epoch and new quorum writes land on the rejoined follower.
-func TestReplRejoinAfterFalseSuspicion(t *testing.T) {
+func TestStressReplRejoinAfterFalseSuspicion(t *testing.T) {
 	const (
 		n            = 3
 		hb           = 40 * time.Millisecond

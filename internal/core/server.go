@@ -426,6 +426,8 @@ func (s *Server) Handle(from int, msg wire.Message) {
 		s.handleSnapshot(from, msg)
 	case wire.KindRouteUpdate:
 		s.handleRouteUpdate(from, msg)
+	case wire.KindFeedSub:
+		s.handleFeedSub(from, msg)
 	}
 }
 

@@ -1,0 +1,78 @@
+package gstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FeedRecord is one committed change-feed entry: the mutation batch a
+// single quorum-acknowledged write applied, stamped with the primary epoch
+// that sequenced it and its per-partition sequence number. Consumers resume
+// by presenting the last Seq they processed as a cursor; Seq is monotone
+// along the surviving replica lineage, including across failover, because a
+// promoted follower continues numbering from its applied sequence.
+type FeedRecord struct {
+	Epoch uint64
+	Seq   uint64
+	Muts  []Mutation
+}
+
+// AppendFeedRecords serializes a feed batch, appending to b: a record
+// count, then per record epoch, seq, and a length-prefixed EncodeBatch
+// payload. Reusing the replication batch codec means a feed consumer
+// replays exactly the bytes followers applied.
+func AppendFeedRecords(b []byte, recs []FeedRecord) []byte {
+	b = AppendFeedCount(b, len(recs))
+	for _, r := range recs {
+		b = AppendFeedRecordRaw(b, r.Epoch, r.Seq, EncodeBatch(r.Muts))
+	}
+	return b
+}
+
+// AppendFeedCount appends a feed batch's record-count prefix.
+func AppendFeedCount(b []byte, n int) []byte {
+	return binary.AppendUvarint(b, uint64(n))
+}
+
+// AppendFeedRecordRaw appends one record whose mutation batch is already in
+// EncodeBatch form — the replication ring's native representation — so the
+// feed hot path never decodes and re-encodes payloads it is only relaying.
+func AppendFeedRecordRaw(b []byte, epoch, seq uint64, batch []byte) []byte {
+	b = binary.AppendUvarint(b, epoch)
+	b = binary.AppendUvarint(b, seq)
+	return appendLenPrefixed(b, batch)
+}
+
+// DecodeFeedRecords parses an AppendFeedRecords payload. The entire input
+// must be consumed. Like DecodeBatch it bounds allocation by the bytes
+// actually present before trusting any declared count — the decoder sits on
+// a network trust boundary.
+func DecodeFeedRecords(b []byte) ([]FeedRecord, error) {
+	d := mutDecoder{b: b}
+	n := d.uvarint()
+	// Every record takes >= 3 bytes (epoch, seq, empty batch length).
+	if n > uint64(len(b))/3+1 {
+		return nil, fmt.Errorf("gstore: declared %d feed records in %d bytes", n, len(b))
+	}
+	recs := make([]FeedRecord, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r := FeedRecord{Epoch: d.uvarint(), Seq: d.uvarint()}
+		payload := d.lenPrefixed()
+		if d.err != nil {
+			break
+		}
+		ms, err := DecodeBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		r.Muts = ms
+		recs = append(recs, r)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("gstore: %d trailing bytes in feed batch", len(d.b))
+	}
+	return recs, nil
+}

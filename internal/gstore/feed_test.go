@@ -1,0 +1,131 @@
+package gstore
+
+import (
+	"reflect"
+	"testing"
+
+	"graphtrek/internal/model"
+	"graphtrek/internal/property"
+)
+
+func sampleMutations() []Mutation {
+	return []Mutation{
+		{Op: OpPutVertex, Vertex: model.Vertex{ID: 7, Label: "file", Props: property.Map{"size": property.Int(42)}}},
+		{Op: OpPutEdge, Edge: model.Edge{Src: 7, Dst: 9, Label: "run", Props: property.Map{"ts": property.Int(100)}}},
+		{Op: OpDelEdge, Src: 7, Label: "run", Dst: 9},
+		{Op: OpDelVertex, ID: 9},
+		{Op: OpIntern, ID: model.InternedID(2, 5), Name: "job-1"},
+	}
+}
+
+// TestFeedRecordsRoundTrip pins the feed batch codec: records survive
+// encode/decode structurally, and the raw-append path (relaying a ring blob
+// without decoding it) produces byte-identical output to the struct path.
+func TestFeedRecordsRoundTrip(t *testing.T) {
+	muts := sampleMutations()
+	recs := []FeedRecord{
+		{Epoch: 3, Seq: 11, Muts: muts[:2]},
+		{Epoch: 3, Seq: 12, Muts: muts[2:]},
+		{Epoch: 4, Seq: 13, Muts: nil},
+	}
+	b := AppendFeedRecords(nil, recs)
+	got, err := DecodeFeedRecords(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Epoch != recs[i].Epoch || got[i].Seq != recs[i].Seq {
+			t.Fatalf("record %d header (%d,%d), want (%d,%d)", i, got[i].Epoch, got[i].Seq, recs[i].Epoch, recs[i].Seq)
+		}
+		if len(got[i].Muts) != len(recs[i].Muts) {
+			t.Fatalf("record %d has %d mutations, want %d", i, len(got[i].Muts), len(recs[i].Muts))
+		}
+	}
+	// Raw relay path: appending pre-encoded batches must be byte-identical.
+	raw := AppendFeedCount(nil, len(recs))
+	for _, r := range recs {
+		raw = AppendFeedRecordRaw(raw, r.Epoch, r.Seq, EncodeBatch(r.Muts))
+	}
+	if !reflect.DeepEqual(raw, b) {
+		t.Fatal("raw-append path diverged from AppendFeedRecords")
+	}
+}
+
+// TestDecodeFeedRecordsRejects pins the trust-boundary guards: truncation,
+// trailing garbage and absurd declared counts all error instead of
+// over-allocating or panicking.
+func TestDecodeFeedRecordsRejects(t *testing.T) {
+	good := AppendFeedRecords(nil, []FeedRecord{{Epoch: 1, Seq: 2, Muts: sampleMutations()}})
+	for i := 1; i < len(good); i++ {
+		if _, err := DecodeFeedRecords(good[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+	if _, err := DecodeFeedRecords(append(good[:len(good):len(good)], 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Count prefix claims ~2^35 records in a 6-byte payload.
+	if _, err := DecodeFeedRecords([]byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0x00}); err == nil {
+		t.Fatal("absurd declared count accepted")
+	}
+	if recs, err := DecodeFeedRecords(AppendFeedCount(nil, 0)); err != nil || len(recs) != 0 {
+		t.Fatalf("empty batch: %v, %d records", err, len(recs))
+	}
+}
+
+// FuzzDecodeBatch asserts the replication mutation-batch decoder never
+// panics on arbitrary input, and that anything it accepts is a fixed point:
+// re-encoding the decoded batch and decoding again yields the same
+// mutations. (Byte-level stability is not required — Uvarint tolerates
+// non-minimal length encodings, which re-encode shorter.)
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch(sampleMutations()))
+	f.Add([]byte{0x05})                         // declares 5 mutations, provides none
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // absurd count
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ms, err := DecodeBatch(b)
+		if err != nil {
+			return
+		}
+		ms2, err := DecodeBatch(EncodeBatch(ms))
+		if err != nil {
+			t.Fatalf("re-encoded batch rejected: %v", err)
+		}
+		if !reflect.DeepEqual(ms2, ms) {
+			t.Fatalf("round trip changed batch: %#v -> %#v", ms, ms2)
+		}
+	})
+}
+
+// FuzzDecodeFeedRecords asserts the feed batch decoder never panics on
+// arbitrary input and accepted payloads are a round-trip fixed point.
+func FuzzDecodeFeedRecords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFeedCount(nil, 0))
+	f.Add(AppendFeedRecords(nil, []FeedRecord{{Epoch: 9, Seq: 1, Muts: sampleMutations()}}))
+	f.Add(AppendFeedRecordRaw(AppendFeedCount(nil, 1), 1, 2, EncodeBatch(nil)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, err := DecodeFeedRecords(b)
+		if err != nil {
+			return
+		}
+		recs2, err := DecodeFeedRecords(AppendFeedRecords(nil, recs))
+		if err != nil {
+			t.Fatalf("re-encoded feed batch rejected: %v", err)
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(recs2))
+		}
+		for i := range recs {
+			if recs2[i].Epoch != recs[i].Epoch || recs2[i].Seq != recs[i].Seq || !reflect.DeepEqual(recs2[i].Muts, recs[i].Muts) {
+				t.Fatalf("round trip changed record %d", i)
+			}
+		}
+	})
+}

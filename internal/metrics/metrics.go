@@ -45,6 +45,7 @@ type Server struct {
 	replLag      atomic.Int64
 	handoffBytes atomic.Int64
 	rejoinNudges atomic.Int64
+	feedRecords  atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -127,6 +128,10 @@ type Snapshot struct {
 	// value without matching epoch bumps flags partitions stuck below the
 	// configured replication factor.
 	RejoinNudges int64
+	// FeedRecords counts committed change-feed records shipped to
+	// subscribers (each record is one quorum-acknowledged mutation batch;
+	// a record delivered to two subscribers counts twice).
+	FeedRecords int64
 
 	// Go runtime GC overlay (from runtime.ReadMemStats at snapshot time;
 	// the runtime owns them like the storage layer owns the cache
@@ -207,6 +212,9 @@ func (s *Server) AddHandoffBytes(n int64) { s.handoffBytes.Add(n) }
 // AddRejoinNudges records n rejoin invitations sent to a recovered peer.
 func (s *Server) AddRejoinNudges(n int64) { s.rejoinNudges.Add(n) }
 
+// AddFeedRecords records n change-feed records shipped to subscribers.
+func (s *Server) AddFeedRecords(n int64) { s.feedRecords.Add(n) }
+
 // AddQueueWait records one popped scheduler group's enqueue→pop wait.
 func (s *Server) AddQueueWait(d time.Duration) {
 	s.queueWaitNs.Add(int64(d))
@@ -236,6 +244,7 @@ func (s *Server) Snapshot() Snapshot {
 		ReplLagBytes:   s.replLag.Load(),
 		HandoffBytes:   s.handoffBytes.Load(),
 		RejoinNudges:   s.rejoinNudges.Load(),
+		FeedRecords:    s.feedRecords.Load(),
 	}
 }
 
@@ -269,6 +278,7 @@ func (a Snapshot) Sub(b Snapshot) Snapshot {
 		ReplLagBytes:   a.ReplLagBytes,
 		HandoffBytes:   a.HandoffBytes - b.HandoffBytes,
 		RejoinNudges:   a.RejoinNudges - b.RejoinNudges,
+		FeedRecords:    a.FeedRecords - b.FeedRecords,
 		// Runtime overlay: gauges keep the later value, cycle/pause counters
 		// difference to the interval's GC activity.
 		HeapAllocBytes: a.HeapAllocBytes,
@@ -309,6 +319,7 @@ func (a Snapshot) Add(b Snapshot) Snapshot {
 		ReplLagBytes: a.ReplLagBytes + b.ReplLagBytes,
 		HandoffBytes: a.HandoffBytes + b.HandoffBytes,
 		RejoinNudges: a.RejoinNudges + b.RejoinNudges,
+		FeedRecords:  a.FeedRecords + b.FeedRecords,
 		// Process-level runtime stats: in-process clusters share one runtime,
 		// so max (not sum) keeps the aggregate honest.
 		HeapAllocBytes: max(a.HeapAllocBytes, b.HeapAllocBytes),
@@ -369,6 +380,7 @@ func Fields() []Field {
 		{"repl_lag_bytes", "Shipped-minus-acked replication byte lag across partitions.", true, func(s Snapshot) int64 { return s.ReplLagBytes }},
 		{"handoff_bytes_total", "Snapshot bytes streamed for shard handoff and catch-up.", false, func(s Snapshot) int64 { return s.HandoffBytes }},
 		{"rejoin_nudges_total", "Rejoin invitations sent to recovered peers for under-replicated partitions.", false, func(s Snapshot) int64 { return s.RejoinNudges }},
+		{"feed_records_total", "Committed change-feed records shipped to subscribers.", false, func(s Snapshot) int64 { return s.FeedRecords }},
 		{"heap_alloc_bytes", "Live heap bytes at snapshot time (runtime.MemStats.HeapAlloc).", true, func(s Snapshot) int64 { return s.HeapAllocBytes }},
 		{"gc_cycles_total", "Completed GC cycles since process start.", false, func(s Snapshot) int64 { return s.NumGC }},
 		{"gc_pause_ns_total", "Cumulative stop-the-world GC pause time.", false, func(s Snapshot) int64 { return s.GCPauseTotalNs }},

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validate graphtrek-bench report JSON files (schema v1).
+
+Usage: validate_bench.py REPORT.json [REPORT.json ...]
+
+A report is valid when it carries schema version 1 and every experiment in
+it ran to completion (no "err"), produced at least one data row, and passed
+every recorded check. The bench binary already exits nonzero on failed
+checks; this script is the belt-and-braces gate CI applies to the artifact
+it is about to upload, so a report that *looks* fine but is structurally
+empty (no rows, no checks) also fails the build.
+"""
+
+import json
+import sys
+
+SCHEMA = 1
+
+
+def validate(path):
+    errors = []
+    with open(path) as f:
+        doc = json.load(f)
+
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        errors.append(f"schema {schema!r}, want {SCHEMA}")
+
+    experiments = doc.get("experiments") or []
+    if not experiments:
+        errors.append("no experiments in report")
+
+    for exp in experiments:
+        name = exp.get("name", "<unnamed>")
+        if exp.get("err"):
+            errors.append(f"{name}: experiment error: {exp['err']}")
+        if not exp.get("rows"):
+            errors.append(f"{name}: no data rows")
+        checks = exp.get("checks") or []
+        if not checks:
+            errors.append(f"{name}: no checks recorded")
+        for chk in checks:
+            if not chk.get("pass"):
+                detail = chk.get("detail", "")
+                errors.append(f"{name}: check {chk.get('name')!r} failed: {detail}")
+
+    n_checks = sum(len(e.get("checks") or []) for e in experiments)
+    return errors, len(experiments), n_checks
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            errors, n_exp, n_checks = validate(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable report: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            print(f"{path}: ok ({n_exp} experiment(s), {n_checks} check(s) passed)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
