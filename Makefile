@@ -84,11 +84,13 @@ benchfull:
 	$(GO) test -bench=. -run=^$$ ./internal/...
 
 # bench-smoke is the CI benchmark gate: every engine on one tiny workload,
-# with engine-equivalence, §VII-A invariant and trace-completeness checks
-# recorded in the machine-readable report, plus a sample Chrome timeline of
-# the traced traversal. Exits nonzero if any check fails.
+# with engine-equivalence, §VII-A invariant, trace-completeness and
+# histogram-exposition checks recorded in the machine-readable report, plus
+# a sample Chrome timeline of the traced traversal and dumps of the scraped
+# /metrics exposition and /status document for out-of-process validation.
+# Exits nonzero if any check fails.
 bench-smoke:
-	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp smoke -json BENCH_smoke.json -chrome travel.chrome.json
+	GRAPHTREK_SCALE=tiny $(GO) run ./cmd/graphtrek-bench -exp smoke -json BENCH_smoke.json -chrome travel.chrome.json -exposition metrics.prom -status status.json
 
 # bench-readpath gates the storage read path: scan-vs-index seed selection
 # (SeedScanned == matches when indexed) and cold/warm read-cache hit rate.

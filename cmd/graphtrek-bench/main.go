@@ -37,8 +37,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
 	jsonPath := flag.String("json", "", "write a machine-readable report here (schema v1); exit nonzero if any check failed")
 	chromePath := flag.String("chrome", "", "write the smoke experiment's traced traversal as Chrome trace_event JSON here")
+	expoPath := flag.String("exposition", "", "write the smoke experiment's scraped /metrics Prometheus exposition here")
+	statusPath := flag.String("status", "", "write the smoke experiment's scraped /status JSON document here")
 	flag.Parse()
 	bench.ChromeOut = *chromePath
+	bench.ExpositionOut = *expoPath
+	bench.StatusOut = *statusPath
 
 	scale := bench.GetScale()
 	fmt.Printf("graphtrek-bench: scale=%s (set GRAPHTREK_SCALE=tiny|small|medium|paper)\n\n", scale.Name)

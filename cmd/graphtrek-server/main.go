@@ -44,7 +44,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "backend heartbeat interval (0 disables the failure detector)")
 	suspectAfter := flag.Duration("suspect-after", 0, "silence before a peer is suspected dead (0 = 3x heartbeat)")
 	sendTimeout := flag.Duration("send-timeout", 2*time.Second, "bounded wait on a full peer outbox before failing the send")
-	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /debug/pprof and /traces (empty disables)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address serving /metrics, /debug/pprof, /traces, /events, /status and /readyz (empty disables)")
 	traceCap := flag.Int("trace-cap", 0, "execution-trace ring capacity (0 = default 8192, negative disables tracing)")
 	slowTravel := flag.Duration("slow-travel", 0, "capture the full causal trace DAG of traversals at least this slow (served at /traces/slow; 0 disables)")
 	indexKeys := flag.String("index", "", "comma-separated property keys to secondary-index at boot (step-0 filters on them seed via the index)")
@@ -163,7 +163,7 @@ func main() {
 		obsSrv = obs.ListenAndServe(*obsAddr, func(err error) {
 			fmt.Fprintln(os.Stderr, "graphtrek-server: obs endpoint:", err)
 		}, srv)
-		fmt.Printf("graphtrek-server: observability endpoint on %s (/metrics, /debug/pprof, /traces, /traces/dag, /traces/chrome, /traces/slow, /healthz)\n", *obsAddr)
+		fmt.Printf("graphtrek-server: observability endpoint on %s (/metrics, /debug/pprof, /traces, /traces/dag, /traces/chrome, /traces/slow, /events, /status, /healthz, /readyz)\n", *obsAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

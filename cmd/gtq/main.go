@@ -14,6 +14,12 @@
 // -replicas flag; that enables the quorum write path, which -load uses to
 // stream a name-addressed mutation script (one op per line, see loadFile)
 // into the cluster in batches.
+//
+// Two introspection modes skip the traversal entirely: -events pulls every
+// backend's control-plane journal and prints the merged, time-sorted
+// timeline; -status pulls every backend's live status document and prints
+// a per-partition replication table (epoch, role, applied/acked/commit
+// watermarks, lag, handoffs, feed cursors).
 package main
 
 import (
@@ -26,12 +32,14 @@ import (
 	"time"
 
 	"graphtrek/internal/core"
+	"graphtrek/internal/events"
 	"graphtrek/internal/model"
 	"graphtrek/internal/partition"
 	"graphtrek/internal/property"
 	"graphtrek/internal/query"
 	"graphtrek/internal/route"
 	"graphtrek/internal/rpc"
+	"graphtrek/internal/status"
 	"graphtrek/internal/trace"
 )
 
@@ -62,15 +70,17 @@ func main() {
 	replicas := flag.Int("replicas", 0, "replicas per partition; must match graphtrek-server -replicas (0: unreplicated cluster, writes disabled)")
 	load := flag.String("load", "", "bulk-load a mutation script file through the quorum write path instead of running a traversal (requires -replicas)")
 	batch := flag.Int("batch", 256, "with -load, mutations per write round")
+	showEvents := flag.Bool("events", false, "pull every backend's control-plane event journal and print the merged timeline instead of running a traversal")
+	showStatus := flag.Bool("status", false, "pull every backend's status document and print the replication status table instead of running a traversal")
 	flag.Parse()
 
-	if err := run(*self, *servers, *replicas, *addrs, *vIDs, *vNames, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile, *critPath, *topK, *resolve, *load, *batch); err != nil {
+	if err := run(*self, *servers, *replicas, *addrs, *vIDs, *vNames, *vLabel, *eSpec, *vaSpec, *rtnStep, *modeName, *timeout, *retries, *profile, *critPath, *topK, *resolve, *load, *batch, *showEvents, *showStatus); err != nil {
 		fmt.Fprintln(os.Stderr, "gtq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, servers, replicas int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile, critPath bool, topK int, resolve bool, load string, batch int) error {
+func run(self, servers, replicas int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec string, rtnStep int, modeName string, timeout time.Duration, retries int, profile, critPath bool, topK int, resolve bool, load string, batch int, showEvents, showStatus bool) error {
 	mode, ok := modes[modeName]
 	if !ok {
 		return fmt.Errorf("unknown -mode %q", modeName)
@@ -97,6 +107,23 @@ func run(self, servers, replicas int, addrs, vIDs, vNames, vLabel, eSpec, vaSpec
 
 	if load != "" {
 		return loadFile(client, load, batch, timeout)
+	}
+	if showEvents || showStatus {
+		if showEvents {
+			evs, err := client.ClusterEvents(timeout)
+			if err != nil {
+				return err
+			}
+			printEvents(evs)
+		}
+		if showStatus {
+			sts, err := client.ClusterStatus(timeout)
+			if err != nil {
+				return err
+			}
+			printStatus(sts)
+		}
+		return nil
 	}
 	if vNames != "" {
 		// Resolve the source names to interned ids at the client boundary;
@@ -194,6 +221,82 @@ func printResults(res []model.VertexID, start time.Time, namer func([]model.Vert
 			continue
 		}
 		fmt.Println(v)
+	}
+}
+
+// printEvents renders the merged cluster timeline, one line per event,
+// oldest first. Part/peer/epoch columns print "-" when the event type has
+// no such subject.
+func printEvents(evs []events.Event) {
+	if len(evs) == 0 {
+		fmt.Println("gtq: no control-plane events recorded (quiet cluster, or journals disabled)")
+		return
+	}
+	fmt.Printf("gtq: %d control-plane events, oldest first\n", len(evs))
+	fmt.Println("time             srv   seq  type            part  peer  epoch  detail")
+	opt := func(v int) string {
+		if v < 0 {
+			return "-"
+		}
+		return strconv.Itoa(v)
+	}
+	for _, e := range evs {
+		epoch := "-"
+		if e.Epoch > 0 {
+			epoch = strconv.FormatUint(e.Epoch, 10)
+		}
+		detail := e.Detail
+		if e.Count > 1 {
+			detail = fmt.Sprintf("x%d %s", e.Count, detail)
+		}
+		fmt.Printf("%s  %3d  %4d  %-14s  %4s  %4s  %5s  %s\n",
+			time.Unix(0, e.TimeUnixNano).Format("15:04:05.000000"),
+			e.Server, e.Seq, e.Type, opt(e.Part), opt(e.Peer), epoch, detail)
+	}
+}
+
+// printStatus renders each backend's status document: a one-line server
+// summary (readiness, executor queue, cache), then a per-partition
+// replication table for servers that hold partition roles.
+func printStatus(sts []status.Server) {
+	for _, st := range sts {
+		ready := "ready"
+		if !st.Ready {
+			ready = "NOT READY: " + strings.Join(st.NotReadyReasons, "; ")
+		}
+		fmt.Printf("gtq: server %d: %s  queue %d (high-water %d)  cache v %d/%d a %d/%d hit/miss\n",
+			st.Server, ready, st.QueueLen, st.QueueHighWater,
+			st.Cache.VtxHits, st.Cache.VtxMisses, st.Cache.AdjHits, st.Cache.AdjMisses)
+		if len(st.Partitions) == 0 {
+			continue
+		}
+		fmt.Println("  part  epoch  role      primary  followers     applied    acked   commit  lag(n)  lag(B)   lag-age  handoffs  feed-subs")
+		for _, p := range st.Partitions {
+			var fol []string
+			for _, f := range p.Followers {
+				fol = append(fol, strconv.Itoa(f))
+			}
+			followers := strings.Join(fol, ",")
+			if followers == "" {
+				followers = "-"
+			}
+			role := p.Role
+			if p.Joining {
+				role += "+join"
+			}
+			var subs []string
+			for _, fs := range p.FeedSubscribers {
+				subs = append(subs, fmt.Sprintf("%d@%d", fs.Peer, fs.Cursor))
+			}
+			feed := strings.Join(subs, ",")
+			if feed == "" {
+				feed = "-"
+			}
+			fmt.Printf("  %4d  %5d  %-8s  %7d  %-9s  %8d  %7d  %7d  %6d  %6d  %8v  %8d  %s\n",
+				p.Part, p.Epoch, role, p.Primary, followers,
+				p.AppliedSeq, p.AckedSeq, p.CommitSeq, p.LagEntries, p.LagBytes,
+				time.Duration(p.LagAgeNs).Round(time.Microsecond), p.HandoffsInFlight, feed)
+		}
 	}
 }
 

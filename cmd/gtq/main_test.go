@@ -106,16 +106,16 @@ func TestBuildTravelErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(0, 1, 0, "", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256); err == nil {
+	if err := run(0, 1, 0, "", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256, false, false); err == nil {
 		t.Error("missing addrs should error")
 	}
-	if err := run(3, 1, 0, ":1", "", "", "", "", "", -1, "nope", 0, 0, false, false, 3, false, "", 256); err == nil {
+	if err := run(3, 1, 0, ":1", "", "", "", "", "", -1, "nope", 0, 0, false, false, 3, false, "", 256, false, false); err == nil {
 		t.Error("unknown mode should error")
 	}
-	if err := run(0, 2, 0, ":1,:2,:3", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256); err == nil {
+	if err := run(0, 2, 0, ":1,:2,:3", "", "", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256, false, false); err == nil {
 		t.Error("self inside backend range should error")
 	}
-	if err := run(3, 1, 0, ":1,:2", "1", "a", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+	if err := run(3, 1, 0, ":1,:2", "1", "a", "", "", "", -1, "graphtrek", 0, 0, false, false, 3, false, "", 256, false, false); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Errorf("-v with -names should error, got %v", err)
 	}
 }

@@ -470,7 +470,10 @@ func Smoke(s Scale, w io.Writer, rep *ExperimentResult) error {
 			Received: delta.Received, Redundant: delta.Redundant, Combined: delta.Combined, RealIO: delta.RealIO})
 		fmt.Fprintf(w, "%-16s%12s%12s%12d%12d\n", mode, fmtDur(p50), fmtDur(p95), len(res), delta.RealIO)
 	}
-	return smokeTraceDAG(c, plan, w, rep)
+	if err := smokeTraceDAG(c, plan, w, rep); err != nil {
+		return err
+	}
+	return smokeIntrospection(c, w, rep)
 }
 
 // ChromeOut, when non-empty, makes the smoke experiment write its traced

@@ -7,6 +7,7 @@ import (
 
 	"graphtrek"
 	"graphtrek/internal/core"
+	"graphtrek/internal/events"
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/property"
 )
@@ -191,6 +192,52 @@ func Failover(s Scale, w io.Writer, rep *ExperimentResult) error {
 	_, onNew, err := c.Store(newPrim).GetVertex(marker)
 	rep.AddCheck("post-failover-write", err == nil && onNew,
 		"marker vertex %d on promoted primary %d: %v", marker, newPrim, onNew)
+
+	// The merged cluster event journal — pulled over the wire from every
+	// surviving server, exactly as gtq -events does — must show the
+	// promotion of partition p0 by the new primary, fenced at the epoch the
+	// route view now publishes.
+	epoch := view.Assignment(p0).Epoch
+	evs, err := c.Client().ClusterEvents(10 * time.Second)
+	if err != nil {
+		return fmt.Errorf("bench: failover: cluster events: %w", err)
+	}
+	promoSeen := false
+	for _, e := range evs {
+		if e.Type == events.Promotion && e.Part == p0 && e.Server == newPrim && e.Epoch == epoch {
+			promoSeen = true
+		}
+	}
+	rep.AddCheck("promotion-event", promoSeen,
+		"no promotion event for partition %d by server %d at epoch %d in the merged journal (%d events)",
+		p0, newPrim, epoch, len(evs))
+	fmt.Fprintf(w, "merged event journal: %d events; promotion of partition %d at epoch %d recorded: %v\n",
+		len(evs), p0, epoch, promoSeen)
+
+	// The new primary's status document — the gtq -status view — must agree:
+	// it primaries p0 at that epoch with a committed, lag-free log covering
+	// the post-failover write.
+	sts, err := c.Client().ClusterStatus(10 * time.Second)
+	if err != nil {
+		return fmt.Errorf("bench: failover: cluster status: %w", err)
+	}
+	statusOK, statusDetail := false, fmt.Sprintf("no status document from server %d", newPrim)
+	for _, st := range sts {
+		if st.Server != newPrim {
+			continue
+		}
+		statusDetail = fmt.Sprintf("server %d reports no row for partition %d", newPrim, p0)
+		for _, p := range st.Partitions {
+			if p.Part != p0 {
+				continue
+			}
+			statusOK = p.Role == "primary" && p.Epoch == epoch && p.CommitSeq >= 1 && p.AppliedSeq >= p.CommitSeq
+			statusDetail = fmt.Sprintf("partition %d on server %d: role %s epoch %d applied %d commit %d lag %d",
+				p0, newPrim, p.Role, p.Epoch, p.AppliedSeq, p.CommitSeq, p.LagEntries)
+		}
+	}
+	rep.AddCheck("status-new-primary", statusOK, "%s", statusDetail)
+	fmt.Fprintf(w, "status: %s\n", statusDetail)
 
 	// Online shard handoff: stream a partition onto a live server that
 	// does not replicate it, restoring the replica count the kill cost us.

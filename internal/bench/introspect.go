@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+
+	"graphtrek"
+	"graphtrek/internal/metrics"
+	"graphtrek/internal/obs"
+	"graphtrek/internal/status"
+)
+
+// ExpositionOut, when non-empty, makes the smoke experiment write the raw
+// /metrics Prometheus exposition it scraped to this path
+// (graphtrek-bench -exposition). CI validates the dump with
+// scripts/validate_bench.py --exposition.
+var ExpositionOut string
+
+// StatusOut, when non-empty, makes the smoke experiment write the raw
+// /status JSON document it scraped to this path (graphtrek-bench -status).
+var StatusOut string
+
+// histNames are the native latency histograms the smoke gate requires on
+// /metrics, matching metrics.Histograms().
+var histNames = []string{
+	"graphtrek_travel_latency_seconds",
+	"graphtrek_queue_wait_seconds",
+	"graphtrek_step_compute_seconds",
+	"graphtrek_quorum_write_seconds",
+	"graphtrek_feed_lag_seconds",
+}
+
+// parseExposition reads the Prometheus text format into values keyed by
+// metric name, then series key: "" for an unlabeled series, the server id
+// for {server="N"}, and "N|<le>" for {server="N",le="<le>"}.
+func parseExposition(body string) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name, key, valStr string
+		if labeled, rest, ok := strings.Cut(line, "} "); ok {
+			valStr = rest
+			var labels string
+			name, labels, ok = strings.Cut(labeled, "{")
+			if !ok {
+				return nil, fmt.Errorf("bad exposition line %q", line)
+			}
+			srv, le := "", ""
+			for _, kv := range strings.Split(labels, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("bad label %q in %q", kv, line)
+				}
+				switch v = strings.Trim(v, `"`); k {
+				case "server":
+					srv = v
+				case "le":
+					le = v
+				default:
+					return nil, fmt.Errorf("unexpected label %q in %q", k, line)
+				}
+			}
+			key = srv
+			if le != "" {
+				key = srv + "|" + le
+			}
+		} else {
+			var ok bool
+			name, valStr, ok = strings.Cut(line, " ")
+			if !ok {
+				return nil, fmt.Errorf("bad exposition line %q", line)
+			}
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		if out[name] == nil {
+			out[name] = make(map[string]float64)
+		}
+		out[name][key] = val
+	}
+	return out, nil
+}
+
+// smokeIntrospection is the smoke experiment's observability leg: it
+// scrapes /metrics, /status and /readyz from an obs mux over the live
+// cluster and gates on the exposition invariants — every native histogram
+// present with monotone cumulative buckets, the histogram _count series
+// cross-checked against the plain counters that pin them, and a parseable,
+// ready status document. The raw scrapes are optionally dumped for the
+// out-of-process validator.
+func smokeIntrospection(c *graphtrek.Cluster, w io.Writer, rep *ExperimentResult) error {
+	targets := make([]obs.Target, c.Servers())
+	for i := range targets {
+		targets[i] = c.Server(i)
+	}
+	mux := obs.NewMux(targets...)
+	scrape := func(path string) (string, int) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Body.String(), rec.Code
+	}
+
+	body, code := scrape("/metrics")
+	if code != 200 {
+		return fmt.Errorf("bench: smoke introspection: /metrics returned %d", code)
+	}
+	vals, err := parseExposition(body)
+	if err != nil {
+		return fmt.Errorf("bench: smoke introspection: %w", err)
+	}
+	les := make([]string, 0, len(metrics.DefaultLadderNs)+1)
+	for _, ns := range metrics.DefaultLadderNs {
+		les = append(les, strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64))
+	}
+	les = append(les, "+Inf")
+	monotone, complete := true, true
+	var badDetail string
+	for _, name := range histNames {
+		buckets, counts := vals[name+"_bucket"], vals[name+"_count"]
+		for i := 0; i < c.Servers(); i++ {
+			srv := strconv.Itoa(i)
+			prev := -1.0
+			for _, le := range les {
+				v, ok := buckets[srv+"|"+le]
+				if !ok {
+					complete = false
+					badDetail = fmt.Sprintf("%s missing bucket le=%q for server %s", name, le, srv)
+					continue
+				}
+				if v < prev {
+					monotone = false
+					badDetail = fmt.Sprintf("%s server %s: bucket le=%q = %v < %v", name, srv, le, v, prev)
+				}
+				prev = v
+			}
+			if inf, cnt := buckets[srv+"|+Inf"], counts[srv]; inf != cnt {
+				complete = false
+				badDetail = fmt.Sprintf("%s server %s: +Inf bucket %v != _count %v", name, srv, inf, cnt)
+			}
+		}
+	}
+	rep.AddCheck("histogram-buckets-complete", complete, "%s", badDetail)
+	rep.AddCheck("histogram-le-monotone", monotone, "%s", badDetail)
+
+	// Count pins: one end-to-end sample per coordinator-ledgered traversal
+	// (5 server-side engines x 3 runs + the traced run; the client-side
+	// engine keeps no coordinator ledger), and one queue-wait plus one
+	// step-compute sample per popped executor group on every server.
+	var travels float64
+	crossOK := true
+	var crossDetail string
+	for i := 0; i < c.Servers(); i++ {
+		srv := strconv.Itoa(i)
+		travels += vals["graphtrek_travel_latency_seconds_count"][srv]
+		groups := vals["graphtrek_queue_groups_total"][srv]
+		if got := vals["graphtrek_queue_wait_seconds_count"][srv]; got != groups {
+			crossOK = false
+			crossDetail = fmt.Sprintf("server %s: queue_wait count %v != queue_groups_total %v", srv, got, groups)
+		}
+		if got := vals["graphtrek_step_compute_seconds_count"][srv]; got != groups {
+			crossOK = false
+			crossDetail = fmt.Sprintf("server %s: step_compute count %v != queue_groups_total %v", srv, got, groups)
+		}
+	}
+	const wantTravels = 16
+	rep.AddCheck("histogram-travel-count", travels == wantTravels,
+		"travel_latency count %v across the cluster, want %d", travels, wantTravels)
+	rep.AddCheck("histogram-count-crosscheck", crossOK, "%s", crossDetail)
+
+	stBody, code := scrape("/status")
+	if code != 200 {
+		return fmt.Errorf("bench: smoke introspection: /status returned %d", code)
+	}
+	var docs []status.Server
+	if err := json.Unmarshal([]byte(stBody), &docs); err != nil {
+		return fmt.Errorf("bench: smoke introspection: /status is not JSON: %w", err)
+	}
+	allReady := len(docs) == c.Servers()
+	for _, d := range docs {
+		allReady = allReady && d.Ready
+	}
+	rep.AddCheck("status-ready", allReady, "%d status documents (want %d), readiness %v",
+		len(docs), c.Servers(), func() []bool {
+			r := make([]bool, len(docs))
+			for i, d := range docs {
+				r[i] = d.Ready
+			}
+			return r
+		}())
+	_, code = scrape("/readyz")
+	rep.AddCheck("readyz-200", code == 200, "/readyz returned %d on a healthy cluster", code)
+
+	fmt.Fprintf(w, "introspection: %d histograms scraped, travel_latency count %v, %d status documents, /readyz %d\n",
+		len(histNames), travels, len(docs), code)
+	if ExpositionOut != "" {
+		if err := os.WriteFile(ExpositionOut, []byte(body), 0o644); err != nil {
+			return fmt.Errorf("bench: exposition dump: %w", err)
+		}
+		fmt.Fprintf(w, "metrics exposition written to %s\n", ExpositionOut)
+	}
+	if StatusOut != "" {
+		if err := os.WriteFile(StatusOut, []byte(stBody), 0o644); err != nil {
+			return fmt.Errorf("bench: status dump: %w", err)
+		}
+		fmt.Fprintf(w, "status document written to %s\n", StatusOut)
+	}
+	return nil
+}

@@ -101,7 +101,8 @@ func (c *Client) Handle(_ int, msg wire.Message) {
 			}
 			close(p.done)
 		}
-	case wire.KindVisitResp, wire.KindProgressResp, wire.KindTraceResp, wire.KindWriteResp:
+	case wire.KindVisitResp, wire.KindProgressResp, wire.KindTraceResp, wire.KindWriteResp,
+		wire.KindEventsResp, wire.KindStatusResp:
 		// A rejected write piggybacks the server's route table so the retry
 		// is already re-routed when the caller sees the error. (A successful
 		// write response's Blob is payload — an intern request's id list —

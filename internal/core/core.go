@@ -192,6 +192,12 @@ type Config struct {
 	// invited back into a replica set that shrank during its outage; zero
 	// means unknown, and every recovered ex-replica is invited back.
 	ReplicationFactor int
+	// EventCap sizes the cluster event journal: the bounded ring of
+	// typed control-plane transitions (suspicions, promotions, epoch
+	// bumps, handoffs, backpressure bursts, slow-travel captures) served
+	// at /events and by gtq -events. Zero selects 256; negative disables
+	// the journal.
+	EventCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +224,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 5 * time.Second
+	}
+	if c.EventCap == 0 {
+		c.EventCap = 256
 	}
 	return c
 }

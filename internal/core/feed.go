@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/route"
@@ -89,6 +90,7 @@ func (s *Server) advanceCommitLocked(p int, st *partRepl, a route.Assignment) []
 func (s *Server) feedShipLocked(p int, st *partRepl) []feedShip {
 	var out []feedShip
 	var shipped int64
+	now := time.Now().UnixNano()
 	for sub, sent := range st.feedSubs {
 		if sent >= st.commitSeq {
 			continue
@@ -105,6 +107,9 @@ func (s *Server) feedShipLocked(p int, st *partRepl) []feedShip {
 		blob := gstore.AppendFeedCount(nil, int(hi-lo+1))
 		for seq := lo; seq <= hi; seq++ {
 			blob = gstore.AppendFeedRecordRaw(blob, st.epoch, seq, st.ring[seq-st.ringStart])
+			// Delivery lag: apply-stamp age at ship time, one sample per
+			// record, pinning the histogram count to feed_records_total.
+			s.met.ObserveFeedLag(time.Duration(now - st.ringTimes[seq-st.ringStart]))
 		}
 		st.feedSubs[sub] = hi
 		shipped += int64(hi - lo + 1)
@@ -190,7 +195,7 @@ func (s *Server) handleFeedSub(from int, msg wire.Message) {
 	cursor := msg.Seq
 	s.replMu.Lock()
 	st := s.replState(p)
-	s.adoptPrimaryLocked(st, a)
+	s.adoptPrimaryLocked(p, st, a)
 	if cursor < st.commitSeq {
 		// The backlog (cursor, commitSeq] must be fully ring-resident.
 		if len(st.ring) == 0 || cursor+1 < st.ringStart {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"graphtrek/internal/events"
 	"graphtrek/internal/wire"
 )
 
@@ -91,6 +92,8 @@ func (s *Server) detectLoop() {
 		}
 		for _, p := range fresh {
 			s.met.AddPeerDownEvents(1)
+			s.journal.Record(events.Event{Type: events.SuspicionUp, Part: -1, Peer: p,
+				Detail: "missed heartbeats (local detection)"})
 			s.onPeerDown(p, true)
 		}
 	}
@@ -108,6 +111,8 @@ func (s *Server) noteAlive(from int) {
 		// Suspicion cleared: a false positive, or a recovered peer. Invite
 		// it back into any replica set it was evicted from (repl.go); a
 		// transient blip must not permanently erode the replication factor.
+		s.journal.Record(events.Event{Type: events.SuspicionDown, Part: -1, Peer: from,
+			Detail: "peer spoke again"})
 		s.replOnPeerUp(from)
 	}
 }
@@ -146,6 +151,8 @@ func (s *Server) handlePeerDown(from int, msg wire.Message) {
 		return
 	}
 	s.met.AddPeerDownEvents(1)
+	s.journal.Record(events.Event{Type: events.SuspicionUp, Part: -1, Peer: peer,
+		Detail: fmt.Sprintf("adopted from server %d's PeerDown broadcast", from)})
 	s.onPeerDown(peer, false)
 }
 

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"graphtrek/internal/events"
+	"graphtrek/internal/gstore"
+	"graphtrek/internal/metrics"
+	"graphtrek/internal/status"
+	"graphtrek/internal/wire"
+)
+
+// This file is the cluster-health introspection surface: the event journal
+// and the replication status document, readable three ways — in process
+// (Server.Events / Server.Status / Server.Ready, which internal/obs serves
+// over HTTP), and over the wire (KindEventsReq / KindStatusReq), which
+// Client.ClusterEvents / Client.ClusterStatus merge across every backend
+// for gtq -events / gtq -status.
+
+// Events returns the server's buffered control-plane journal, oldest
+// first. Empty when the journal is disabled (Config.EventCap < 0).
+func (s *Server) Events() []events.Event { return s.journal.Events() }
+
+// EventsDropped counts journal entries evicted by the ring bound.
+func (s *Server) EventsDropped() uint64 { return s.journal.Dropped() }
+
+// Histograms returns snapshots of the server's native latency histograms
+// for metric exposition.
+func (s *Server) Histograms() []metrics.HistogramSnapshot { return s.met.Histograms() }
+
+// Status assembles the server's live status document: executor and cache
+// gauges plus, with replication enabled, one entry per partition this
+// server holds a role in.
+func (s *Server) Status() status.Server {
+	out := status.Server{
+		Server:         s.cfg.ID,
+		QueueLen:       s.exec.Len(),
+		QueueHighWater: s.exec.HighWater(),
+	}
+	if cs, ok := s.cfg.Store.(gstore.CacheStatter); ok {
+		st := cs.CacheStats()
+		out.Cache = status.CacheStats{
+			VtxHits: st.VtxHits, VtxMisses: st.VtxMisses,
+			AdjHits: st.AdjHits, AdjMisses: st.AdjMisses,
+		}
+	}
+	if s.cfg.Route != nil {
+		now := time.Now().UnixNano()
+		s.replMu.Lock()
+		parts := make([]int, 0, len(s.repl))
+		for p := range s.repl {
+			parts = append(parts, p)
+		}
+		sort.Ints(parts)
+		for _, p := range parts {
+			out.Partitions = append(out.Partitions, s.partitionStatusLocked(p, now))
+		}
+		s.replMu.Unlock()
+	}
+	r := s.Ready()
+	out.Ready = r.Ready
+	out.NotReadyReasons = r.Reasons
+	return out
+}
+
+// partitionStatusLocked builds one partition's status row. Caller holds
+// replMu.
+func (s *Server) partitionStatusLocked(p int, now int64) status.Partition {
+	st := s.repl[p]
+	a := s.cfg.Route.Assignment(p)
+	ps := status.Partition{
+		Part:       p,
+		Epoch:      st.epoch,
+		Primary:    int(a.Primary),
+		Role:       "follower",
+		AppliedSeq: st.appliedSeq,
+		Joining:    st.joining,
+	}
+	for _, f := range a.Followers {
+		ps.Followers = append(ps.Followers, int(f))
+	}
+	if !st.primary {
+		return ps
+	}
+	ps.Role = "primary"
+	ps.CommitSeq = st.commitSeq
+	// AckedSeq is the quorum floor: the lowest follower watermark, i.e. what
+	// every follower is known to hold. No followers means the primary alone
+	// is the replica set and its applied watermark is fully acknowledged.
+	ps.AckedSeq = st.appliedSeq
+	for _, f := range a.Followers {
+		if ack := st.ackedSeq[f]; ack < ps.AckedSeq {
+			ps.AckedSeq = ack
+		}
+	}
+	if st.appliedSeq > ps.AckedSeq {
+		ps.LagEntries = st.appliedSeq - ps.AckedSeq
+	}
+	ps.LagBytes = st.shipped - st.acked
+	// Age of the oldest uncommitted entry, when its timestamp is still
+	// ring-resident (it always is: the ring retains at least everything past
+	// the commit watermark or feed subscribers would already have been
+	// dropped).
+	if oldest := st.commitSeq + 1; oldest <= st.appliedSeq &&
+		oldest >= st.ringStart && oldest < st.ringStart+uint64(len(st.ringTimes)) {
+		ps.LagAgeNs = now - st.ringTimes[oldest-st.ringStart]
+	}
+	ps.HandoffsInFlight = len(st.joiners)
+	for sub, cursor := range st.feedSubs {
+		ps.FeedSubscribers = append(ps.FeedSubscribers, status.FeedSubscriber{Peer: int(sub), Cursor: cursor})
+	}
+	sort.Slice(ps.FeedSubscribers, func(i, j int) bool {
+		return ps.FeedSubscribers[i].Peer < ps.FeedSubscribers[j].Peer
+	})
+	return ps
+}
+
+// Ready reports whether this server can currently meet its durability
+// contract: every partition it primaries must reach write quorum with
+// unsuspected replicas, no snapshot replay may be in flight locally, and
+// no handoff stream may be mid-flight to a joiner. Unreplicated clusters
+// are always ready.
+func (s *Server) Ready() status.Readiness {
+	var reasons []string
+	if s.cfg.Route != nil {
+		s.replMu.Lock()
+		parts := make([]int, 0, len(s.repl))
+		for p := range s.repl {
+			parts = append(parts, p)
+		}
+		sort.Ints(parts)
+		for _, p := range parts {
+			st := s.repl[p]
+			if st.joining {
+				reasons = append(reasons, fmt.Sprintf("partition %d: snapshot replay in flight", p))
+				continue
+			}
+			if !st.primary {
+				continue
+			}
+			a := s.cfg.Route.Assignment(p)
+			if a.Primary != int32(s.cfg.ID) {
+				continue // stale local flag; reconcileRoles will demote
+			}
+			live := 1 // self
+			for _, f := range a.Followers {
+				if !s.isSuspect(int(f)) {
+					live++
+				}
+			}
+			if q := a.Quorum(); live < q {
+				reasons = append(reasons, fmt.Sprintf("partition %d: %d live replicas below quorum %d", p, live, q))
+			}
+			if n := len(st.joiners); n > 0 {
+				reasons = append(reasons, fmt.Sprintf("partition %d: %d handoff stream(s) in flight", p, n))
+			}
+		}
+		s.replMu.Unlock()
+	}
+	return status.Readiness{Ready: len(reasons) == 0, Reasons: reasons}
+}
+
+// handleEventsReq serves a wire pull of the event journal, JSON-encoded in
+// Blob (the PR 5 blob-pull shape: ReqID routes the reply).
+func (s *Server) handleEventsReq(from int, msg wire.Message) {
+	resp := wire.Message{Kind: wire.KindEventsResp, ReqID: msg.ReqID}
+	blob, err := json.Marshal(s.Events())
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Blob = blob
+	}
+	s.send(from, resp)
+}
+
+// handleStatusReq serves a wire pull of the status document, JSON-encoded
+// in Blob.
+func (s *Server) handleStatusReq(from int, msg wire.Message) {
+	resp := wire.Message{Kind: wire.KindStatusResp, ReqID: msg.ReqID}
+	blob, err := json.Marshal(s.Status())
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.Blob = blob
+	}
+	s.send(from, resp)
+}
+
+// introspectPull runs one request/response round of an introspection kind
+// against one backend and returns the JSON payload.
+func (c *Client) introspectPull(srv int, kind wire.Kind, deadline time.Time) ([]byte, error) {
+	if c.tr == nil {
+		return nil, errors.New("core: client not bound to a transport")
+	}
+	reqID := c.reqSeq.Add(1)
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	c.reqs[reqID] = ch
+	c.mu.Unlock()
+	if err := c.tr.Send(srv, wire.Message{Kind: kind, ReqID: reqID}); err != nil {
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		return resp.Blob, nil
+	case <-time.After(time.Until(deadline)):
+		c.mu.Lock()
+		delete(c.reqs, reqID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: introspection pull from server %d timed out", srv)
+	}
+}
+
+// ServerEvents pulls one backend's event journal.
+func (c *Client) ServerEvents(srv int, timeout time.Duration) ([]events.Event, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	blob, err := c.introspectPull(srv, wire.KindEventsReq, time.Now().Add(timeout))
+	if err != nil {
+		return nil, err
+	}
+	var evs []events.Event
+	if err := json.Unmarshal(blob, &evs); err != nil {
+		return nil, fmt.Errorf("core: bad events payload from server %d: %v", srv, err)
+	}
+	return evs, nil
+}
+
+// ClusterEvents pulls every backend's journal and merges the entries into
+// one timeline, ordered by wall-clock stamp (ties: server, then per-server
+// sequence). Best-effort across a degraded cluster: the pulls run
+// concurrently so a dead server consumes only its own timeout instead of
+// starving the rest of the fleet, unreachable servers are skipped, and the
+// call errors only when no server answered.
+func (c *Client) ClusterEvents(timeout time.Duration) ([]events.Event, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	n := c.part.N()
+	perSrv := make([][]events.Event, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for srv := 0; srv < n; srv++ {
+		wg.Add(1)
+		go func(srv int) {
+			defer wg.Done()
+			blob, err := c.introspectPull(srv, wire.KindEventsReq, deadline)
+			if err != nil {
+				errs[srv] = err
+				return
+			}
+			var evs []events.Event
+			if err := json.Unmarshal(blob, &evs); err != nil {
+				errs[srv] = fmt.Errorf("core: bad events payload from server %d: %v", srv, err)
+				return
+			}
+			perSrv[srv] = evs
+		}(srv)
+	}
+	wg.Wait()
+	var all []events.Event
+	var lastErr error
+	answered := 0
+	for srv := 0; srv < n; srv++ {
+		if errs[srv] != nil {
+			lastErr = errs[srv]
+			continue
+		}
+		all = append(all, perSrv[srv]...)
+		answered++
+	}
+	if answered == 0 && lastErr != nil {
+		return nil, lastErr
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].TimeUnixNano != all[j].TimeUnixNano {
+			return all[i].TimeUnixNano < all[j].TimeUnixNano
+		}
+		if all[i].Server != all[j].Server {
+			return all[i].Server < all[j].Server
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return all, nil
+}
+
+// ServerStatus pulls one backend's status document.
+func (c *Client) ServerStatus(srv int, timeout time.Duration) (status.Server, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	blob, err := c.introspectPull(srv, wire.KindStatusReq, time.Now().Add(timeout))
+	if err != nil {
+		return status.Server{}, err
+	}
+	var st status.Server
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return status.Server{}, fmt.Errorf("core: bad status payload from server %d: %v", srv, err)
+	}
+	return st, nil
+}
+
+// ClusterStatus pulls every backend's status document, ordered by server
+// id. Best-effort like ClusterEvents: the pulls run concurrently so a dead
+// server consumes only its own timeout, unreachable servers are skipped,
+// and the call errors only when no server answered.
+func (c *Client) ClusterStatus(timeout time.Duration) ([]status.Server, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	n := c.part.N()
+	perSrv := make([]*status.Server, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for srv := 0; srv < n; srv++ {
+		wg.Add(1)
+		go func(srv int) {
+			defer wg.Done()
+			blob, err := c.introspectPull(srv, wire.KindStatusReq, deadline)
+			if err != nil {
+				errs[srv] = err
+				return
+			}
+			var st status.Server
+			if err := json.Unmarshal(blob, &st); err != nil {
+				errs[srv] = fmt.Errorf("core: bad status payload from server %d: %v", srv, err)
+				return
+			}
+			perSrv[srv] = &st
+		}(srv)
+	}
+	wg.Wait()
+	var all []status.Server
+	var lastErr error
+	for srv := 0; srv < n; srv++ {
+		if errs[srv] != nil {
+			lastErr = errs[srv]
+			continue
+		}
+		all = append(all, *perSrv[srv])
+	}
+	if len(all) == 0 && lastErr != nil {
+		return nil, lastErr
+	}
+	return all, nil
+}

@@ -356,6 +356,9 @@ func (s *Server) finishTravelLocked(led *ledger) {
 	if s.trc != nil {
 		s.trc.RecordSummary(sum)
 	}
+	// End-to-end latency histogram at the coordinator: one sample per
+	// coordinated traversal, tracing enabled or not.
+	s.met.ObserveTravelLatency(time.Duration(sum.ElapsedNs))
 	close(led.stopWake)
 	led.mu.Unlock()
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"graphtrek/internal/events"
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/model"
 	"graphtrek/internal/route"
@@ -82,6 +83,7 @@ type partRepl struct {
 	baseSeq   uint64           // appliedSeq when the current epoch began
 	ringStart uint64           // sequence of ring[0]
 	ring      [][]byte         // recent append payloads for gap repair + feed backlog
+	ringTimes []int64          // per-ring-record apply stamps (unix nanos): feed lag + status age
 	ackedSeq  map[int32]uint64 // follower -> highest acked sequence
 	pending   map[uint64]*pendingWrite
 	shipped   int64          // bytes shipped to followers (lag numerator)
@@ -109,7 +111,8 @@ type pendingWrite struct {
 	from  int
 	reqID uint64
 	seq   uint64
-	need  int // follower acks still required
+	need  int       // follower acks still required
+	start time.Time // when the quorum round began (latency histogram)
 	timer *time.Timer
 	// blob rides on the success response — the allocated id list of an
 	// intern request. Failure responses never carry it: the allocation is
@@ -158,8 +161,10 @@ func (s *Server) initRepl() {
 // comparable across epochs. Whenever the epoch advances, the epoch base is
 // pinned to the current applied sequence so appends can advertise it and
 // followers can adjudicate divergence. Caller holds replMu.
-func (s *Server) adoptPrimaryLocked(st *partRepl, a route.Assignment) {
+func (s *Server) adoptPrimaryLocked(p int, st *partRepl, a route.Assignment) {
+	promoted := false
 	if !st.primary {
+		promoted = true
 		st.primary = true
 		st.nextSeq = st.appliedSeq + 1
 		st.ackedSeq = make(map[int32]uint64)
@@ -176,8 +181,16 @@ func (s *Server) adoptPrimaryLocked(st *partRepl, a route.Assignment) {
 		// the most caught-up live follower.
 		st.commitSeq = st.appliedSeq
 		s.met.AddPromotions(1)
+		s.journal.Record(events.Event{Type: events.Promotion, Part: p, Peer: -1, Epoch: a.Epoch,
+			Detail: fmt.Sprintf("follower -> primary at applied seq %d", st.appliedSeq)})
 	}
 	if st.epoch < a.Epoch {
+		if !promoted {
+			// A promotion entry already carries the new epoch; only
+			// role-preserving advances get their own entry.
+			s.journal.Record(events.Event{Type: events.EpochBump, Part: p, Peer: -1, Epoch: a.Epoch,
+				Detail: fmt.Sprintf("epoch %d -> %d", st.epoch, a.Epoch)})
+		}
 		st.epoch = a.Epoch
 		st.baseSeq = st.appliedSeq
 	}
@@ -272,9 +285,10 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 	// permanently diverge from the primary on that key. Intern allocation
 	// sits under the same lock for the same reason: the id a name gets must
 	// be sequenced before any later allocation observes the counter.
+	start := time.Now()
 	s.replMu.Lock()
 	st := s.replState(p)
-	s.adoptPrimaryLocked(st, a)
+	s.adoptPrimaryLocked(p, st, a)
 	blob := msg.Blob
 	if msg.Mode == wire.WriteModeIntern {
 		// Allocate (or find) the interned ids, then replicate the result as
@@ -326,7 +340,7 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 		need = len(targets) // replica set shrank below quorum; best effort
 	}
 	if need > 0 {
-		pw := &pendingWrite{from: from, reqID: msg.ReqID, seq: seq, need: need, blob: resp.Blob}
+		pw := &pendingWrite{from: from, reqID: msg.ReqID, seq: seq, need: need, start: start, blob: resp.Blob}
 		st.pending[seq] = pw
 		timeout := s.cfg.WriteTimeout
 		pw.timer = time.AfterFunc(timeout, func() { s.expireWrite(p, seq) })
@@ -351,6 +365,8 @@ func (s *Server) handleWriteReq(from int, msg wire.Message) {
 		s.send(int(f), app)
 	}
 	if need <= 0 {
+		// The primary alone was the quorum: the round completed at apply time.
+		s.met.ObserveQuorumWrite(time.Since(start))
 		s.send(from, resp)
 	}
 	s.shipFeed(p, feed)
@@ -419,9 +435,13 @@ func (st *partRepl) pushRingLocked(seq uint64, blob []byte) {
 		st.ringStart = seq
 	}
 	st.ring = append(st.ring, blob)
+	// The parallel apply stamp feeds the change-feed delivery-lag histogram
+	// and the status document's commit-age gauge.
+	st.ringTimes = append(st.ringTimes, time.Now().UnixNano())
 	if len(st.ring) > replRingCap {
 		drop := len(st.ring) - replRingCap
 		st.ring = append([][]byte(nil), st.ring[drop:]...)
+		st.ringTimes = append([]int64(nil), st.ringTimes[drop:]...)
 		st.ringStart += uint64(drop)
 	}
 }
@@ -501,7 +521,7 @@ func (s *Server) handleReplAppend(from int, msg wire.Message) {
 			st.appliedSeq = 0
 			// The retained ring described the divergent history; drop it so
 			// post-resync pushes restart a contiguous run.
-			st.ring, st.ringStart = nil, 0
+			st.ring, st.ringTimes, st.ringStart = nil, nil, 0
 			st.joining = true
 			st.tail = map[uint64][]byte{msg.Seq: msg.Blob}
 			s.replMu.Unlock()
@@ -676,6 +696,7 @@ func (s *Server) handleReplAck(from int, msg wire.Message) {
 	s.updateLagLocked()
 	s.replMu.Unlock()
 	for _, pw := range done {
+		s.met.ObserveQuorumWrite(time.Since(pw.start))
 		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: msg.Part, Blob: pw.blob})
 	}
 	s.shipFeed(p, feed)
@@ -912,6 +933,7 @@ func (s *Server) reapQuorums(p int) {
 	feed := s.advanceCommitLocked(p, st, a)
 	s.replMu.Unlock()
 	for _, pw := range done {
+		s.met.ObserveQuorumWrite(time.Since(pw.start))
 		s.send(pw.from, wire.Message{Kind: wire.KindWriteResp, ReqID: pw.reqID, Part: int32(p), Blob: pw.blob})
 	}
 	s.shipFeed(p, feed)
@@ -986,7 +1008,7 @@ func (s *Server) reconcileRoles() {
 		switch {
 		case a.Primary == self:
 			st = s.replState(p)
-			s.adoptPrimaryLocked(st, a)
+			s.adoptPrimaryLocked(p, st, a)
 		case a.HasReplica(self):
 			if have && st.primary {
 				// Demotion: drop primary-side state — follower watermarks and
@@ -1066,6 +1088,8 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 		st.primary = true
 		st.joiners[int32(from)] = true
 		s.replMu.Unlock()
+		s.journal.Record(events.Event{Type: events.HandoffStart, Part: p, Peer: from,
+			Detail: "streaming snapshot to joiner"})
 		// Stream off the dispatch goroutine: a snapshot scan of a large
 		// partition must not stall heartbeat and traversal handling.
 		s.wg.Add(1)
@@ -1090,7 +1114,7 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 			st.appliedSeq = msg.Seq
 			// The snapshot jumped the applied counter past the ring's run;
 			// whatever was retained is no longer contiguous with it.
-			st.ring, st.ringStart = nil, 0
+			st.ring, st.ringTimes, st.ringStart = nil, nil, 0
 		}
 		st.joining = false
 		epoch := st.epoch
@@ -1144,13 +1168,19 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 		a := s.cfg.Route.Assignment(p)
 		if a.Primary != int32(s.cfg.ID) || a.HasReplica(int32(from)) {
 			s.replMu.Lock()
+			wasJoiner := false
 			if st, ok := s.repl[p]; ok {
+				wasJoiner = st.joiners[int32(from)]
 				delete(st.joiners, int32(from))
 				if st.primary && msg.Seq > st.ackedSeq[int32(from)] {
 					st.ackedSeq[int32(from)] = msg.Seq
 				}
 			}
 			s.replMu.Unlock()
+			if wasJoiner {
+				s.journal.Record(events.Event{Type: events.HandoffDone, Part: p, Peer: from, Epoch: a.Epoch,
+					Detail: fmt.Sprintf("joiner caught up at seq %d (already in replica set)", msg.Seq)})
+			}
 			s.reapQuorums(p)
 			return
 		}
@@ -1164,6 +1194,8 @@ func (s *Server) handleSnapshot(from int, msg wire.Message) {
 			delete(st.joiners, int32(from))
 			st.ackedSeq[int32(from)] = msg.Seq
 			s.replMu.Unlock()
+			s.journal.Record(events.Event{Type: events.HandoffDone, Part: p, Peer: from, Epoch: next.Epoch,
+				Detail: fmt.Sprintf("joiner caught up at seq %d, published as follower", msg.Seq)})
 			s.reconcileRoles()
 			s.gossipRoute(tbl)
 			// The replica set (and quorum size) changed; re-evaluate pending
@@ -1229,6 +1261,8 @@ func (s *Server) replOnPeerUp(peer int) {
 	s.met.AddRejoinNudges(int64(len(nudge)))
 	blob := s.cfg.Route.Table().Encode()
 	for _, p := range nudge {
+		s.journal.Record(events.Event{Type: events.RejoinNudge, Part: p, Peer: peer,
+			Detail: "inviting recovered peer back into the replica set"})
 		s.send(peer, wire.Message{Kind: wire.KindSnapshot, Mode: snapNudge, Part: int32(p), Blob: blob})
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphtrek/internal/cache"
+	"graphtrek/internal/events"
 	"graphtrek/internal/gstore"
 	"graphtrek/internal/metrics"
 	"graphtrek/internal/model"
@@ -33,6 +34,10 @@ type Server struct {
 	// trc ring-buffers a span per terminated traversal execution, plus
 	// coordinator travel summaries. Nil when Config.TraceCap is negative.
 	trc *trace.Recorder
+	// journal ring-buffers typed control-plane events (suspicions,
+	// promotions, handoffs — see internal/events). Nil (a valid no-op
+	// recorder) when Config.EventCap is negative.
+	journal *events.Journal
 
 	mu      sync.Mutex
 	travels map[uint64]*travelState
@@ -104,10 +109,15 @@ func NewServer(cfg Config) *Server {
 			}
 		}
 	}
+	var journal *events.Journal
+	if cfg.EventCap > 0 {
+		journal = events.NewJournal(cfg.ID, cfg.EventCap)
+	}
 	return &Server{
 		cfg:         cfg,
 		disk:        disk,
 		cache:       cache.New(cfg.CacheCap),
+		journal:     journal,
 		exec:        sched.NewMulti(cfg.MaxQueueDepth),
 		trc:         trc,
 		travels:     make(map[uint64]*travelState),
@@ -169,6 +179,9 @@ func (s *Server) worker() {
 		// span-level wait attribution downstream share one clock read.
 		s.met.AddQueueWait(g.Popped.Sub(g.Enqueued))
 		s.processGroup(ts, g)
+		// One compute sample per popped group, so the step-compute
+		// histogram's _count stays pinned to queue_groups_total.
+		s.met.ObserveStepCompute(time.Since(g.Popped))
 		s.maybeFlush(ts)
 	}
 }
@@ -213,6 +226,9 @@ func (s *Server) enqueue(items []sched.Item) error {
 	depth, err := s.exec.Push(items)
 	if err != nil {
 		s.met.AddRejected(1)
+		// Bursts coalesce into one journal entry with a growing count.
+		s.journal.Record(events.Event{Type: events.Backpressure, Part: -1, Peer: -1,
+			Detail: fmt.Sprintf("executor queue full, batch of %d refused", len(items))})
 		return err
 	}
 	s.met.AddReceived(len(items))
@@ -428,6 +444,10 @@ func (s *Server) Handle(from int, msg wire.Message) {
 		s.handleRouteUpdate(from, msg)
 	case wire.KindFeedSub:
 		s.handleFeedSub(from, msg)
+	case wire.KindEventsReq:
+		s.handleEventsReq(from, msg)
+	case wire.KindStatusReq:
+		s.handleStatusReq(from, msg)
 	}
 }
 

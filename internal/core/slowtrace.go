@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"graphtrek/internal/events"
 	"graphtrek/internal/trace"
 	"graphtrek/internal/wire"
 )
@@ -34,6 +35,9 @@ func (s *Server) maybeCaptureSlow(sum trace.TravelSummary) {
 	if s.cfg.SlowTravelNs <= 0 || s.trc == nil || sum.ElapsedNs < s.cfg.SlowTravelNs {
 		return
 	}
+	s.journal.Record(events.Event{Type: events.SlowTravel, Part: -1, Peer: -1,
+		Detail: fmt.Sprintf("travel %d took %v (threshold %v), capturing DAG",
+			sum.Travel, time.Duration(sum.ElapsedNs), time.Duration(s.cfg.SlowTravelNs))})
 	s.wg.Add(1)
 	go s.captureSlowTravel(sum)
 }

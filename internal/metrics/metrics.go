@@ -46,6 +46,16 @@ type Server struct {
 	handoffBytes atomic.Int64
 	rejoinNudges atomic.Int64
 	feedRecords  atomic.Int64
+
+	// Native latency histograms (log-linear buckets, see histogram.go).
+	// These live outside Snapshot — Snapshot stays the flat counter copy
+	// the Fields() reflection contract enumerates — and are exported
+	// through Histograms() as real Prometheus histogram series.
+	travelLatency Histogram
+	queueWaitHist Histogram
+	stepCompute   Histogram
+	quorumWrite   Histogram
+	feedLag       Histogram
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -215,10 +225,56 @@ func (s *Server) AddRejoinNudges(n int64) { s.rejoinNudges.Add(n) }
 // AddFeedRecords records n change-feed records shipped to subscribers.
 func (s *Server) AddFeedRecords(n int64) { s.feedRecords.Add(n) }
 
-// AddQueueWait records one popped scheduler group's enqueue→pop wait.
+// AddQueueWait records one popped scheduler group's enqueue→pop wait,
+// both in the legacy cumulative counters and the queue-wait histogram —
+// so the histogram's _count stays pinned to queue_groups_total.
 func (s *Server) AddQueueWait(d time.Duration) {
 	s.queueWaitNs.Add(int64(d))
 	s.queueGroups.Add(1)
+	s.queueWaitHist.Record(int64(d))
+}
+
+// ObserveTravelLatency records one coordinated traversal's end-to-end
+// latency (ledger creation to quiescence) at the coordinator.
+func (s *Server) ObserveTravelLatency(d time.Duration) { s.travelLatency.Record(int64(d)) }
+
+// ObserveStepCompute records the executor compute time of one popped
+// scheduler group (pop to completion, disk included).
+func (s *Server) ObserveStepCompute(d time.Duration) { s.stepCompute.Record(int64(d)) }
+
+// ObserveQuorumWrite records one quorum write's accept-to-acknowledge
+// latency at the partition primary.
+func (s *Server) ObserveQuorumWrite(d time.Duration) { s.quorumWrite.Record(int64(d)) }
+
+// ObserveFeedLag records one shipped change-feed record's delivery lag:
+// the age of the committed record (commit-watermark age) when it left the
+// primary for a subscriber.
+func (s *Server) ObserveFeedLag(d time.Duration) { s.feedLag.Record(int64(d)) }
+
+// HistogramSnapshot pairs one histogram's exposition identity with its
+// snapshot. Base names carry no unit suffix conversion: samples are
+// nanoseconds, and the exposition layer renders seconds.
+type HistogramSnapshot struct {
+	// Name is the Prometheus base name (the exposition appends
+	// _bucket/_sum/_count).
+	Name string
+	// Help is the one-line exposition comment.
+	Help string
+	// Hist is the folded snapshot.
+	Hist HistSnapshot
+}
+
+// Histograms snapshots every native histogram in stable order. The
+// observability endpoint renders these as Prometheus histogram series,
+// parallel to how Fields() drives the counter exposition.
+func (s *Server) Histograms() []HistogramSnapshot {
+	return []HistogramSnapshot{
+		{"travel_latency_seconds", "End-to-end coordinated traversal latency (ledger creation to quiescence).", s.travelLatency.Snapshot()},
+		{"queue_wait_seconds", "Enqueue-to-pop wait of scheduler groups served by executor workers.", s.queueWaitHist.Snapshot()},
+		{"step_compute_seconds", "Executor compute time per popped scheduler group (disk included).", s.stepCompute.Snapshot()},
+		{"quorum_write_seconds", "Quorum write accept-to-acknowledge latency at the partition primary.", s.quorumWrite.Snapshot()},
+		{"feed_lag_seconds", "Committed change-feed record age at delivery to a subscriber.", s.feedLag.Snapshot()},
+	}
 }
 
 // Snapshot returns a copy of the current counters.
@@ -344,6 +400,11 @@ type Field struct {
 	// Gauge marks point-in-time values; everything else is a monotonic
 	// counter.
 	Gauge bool
+	// Process marks process-wide facts (the Go runtime's GC statistics):
+	// every server in one process reports the same value, so the
+	// exposition emits them once, unlabeled, instead of per-server series
+	// that a PromQL sum() would multiply by the server count.
+	Process bool
 	// Get reads the field from a snapshot.
 	Get func(Snapshot) int64
 }
@@ -355,36 +416,36 @@ type Field struct {
 // future counters from silently missing the exposition.
 func Fields() []Field {
 	return []Field{
-		{"received_total", "Vertex requests (frontier entries) accepted.", false, func(s Snapshot) int64 { return s.Received }},
-		{"redundant_total", "Requests dropped by the traversal-affiliate cache.", false, func(s Snapshot) int64 { return s.Redundant }},
-		{"combined_total", "Requests served by an execution-merged disk access.", false, func(s Snapshot) int64 { return s.Combined }},
-		{"real_io_total", "Actual vertex accesses against the storage system.", false, func(s Snapshot) int64 { return s.RealIO }},
-		{"msgs_sent_total", "Engine messages sent to peers.", false, func(s Snapshot) int64 { return s.MsgsSent }},
-		{"execs_total", "Traversal executions processed.", false, func(s Snapshot) int64 { return s.Execs }},
-		{"msgs_failed_total", "Engine messages the transport failed to deliver.", false, func(s Snapshot) int64 { return s.MsgsFailed }},
-		{"reconnects_total", "Transport-level re-dials after a lost peer connection.", false, func(s Snapshot) int64 { return s.Reconnects }},
-		{"peer_down_events_total", "Failure-detector suspicion events.", false, func(s Snapshot) int64 { return s.PeerDownEvents }},
-		{"rejected_total", "Request batches refused by executor admission control.", false, func(s Snapshot) int64 { return s.Rejected }},
-		{"queue_depth_peak", "High-water mark of the shared executor queue depth.", true, func(s Snapshot) int64 { return s.QueueDepthPeak }},
-		{"queue_wait_ns_total", "Cumulative enqueue-to-pop wait of served scheduler groups.", false, func(s Snapshot) int64 { return s.QueueWaitNs }},
-		{"queue_groups_total", "Scheduler groups popped by executor workers.", false, func(s Snapshot) int64 { return s.QueueGroups }},
-		{"seed_scanned_total", "Step-0 source candidates enumerated by seed selection.", false, func(s Snapshot) int64 { return s.SeedScanned }},
-		{"seed_index_hits_total", "Seed candidates resolved via a property index lookup.", false, func(s Snapshot) int64 { return s.SeedIndexHits }},
-		{"vtx_cache_hits_total", "Decoded-vertex read-cache hits in the storage layer.", false, func(s Snapshot) int64 { return s.VtxCacheHits }},
-		{"vtx_cache_misses_total", "Decoded-vertex read-cache misses in the storage layer.", false, func(s Snapshot) int64 { return s.VtxCacheMisses }},
-		{"adj_cache_hits_total", "Materialized-adjacency read-cache hits in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheHits }},
-		{"adj_cache_misses_total", "Materialized-adjacency read-cache misses in the storage layer.", false, func(s Snapshot) int64 { return s.AdjCacheMisses }},
-		{"trace_spans_dropped_total", "Execution spans evicted from the trace ring to admit newer ones.", false, func(s Snapshot) int64 { return s.SpansDropped }},
-		{"promotions_total", "Follower-to-primary promotions performed by this server.", false, func(s Snapshot) int64 { return s.Promotions }},
-		{"epoch_rejects_total", "Replication or write messages rejected for a stale epoch.", false, func(s Snapshot) int64 { return s.EpochRejects }},
-		{"repl_lag_bytes", "Shipped-minus-acked replication byte lag across partitions.", true, func(s Snapshot) int64 { return s.ReplLagBytes }},
-		{"handoff_bytes_total", "Snapshot bytes streamed for shard handoff and catch-up.", false, func(s Snapshot) int64 { return s.HandoffBytes }},
-		{"rejoin_nudges_total", "Rejoin invitations sent to recovered peers for under-replicated partitions.", false, func(s Snapshot) int64 { return s.RejoinNudges }},
-		{"feed_records_total", "Committed change-feed records shipped to subscribers.", false, func(s Snapshot) int64 { return s.FeedRecords }},
-		{"heap_alloc_bytes", "Live heap bytes at snapshot time (runtime.MemStats.HeapAlloc).", true, func(s Snapshot) int64 { return s.HeapAllocBytes }},
-		{"gc_cycles_total", "Completed GC cycles since process start.", false, func(s Snapshot) int64 { return s.NumGC }},
-		{"gc_pause_ns_total", "Cumulative stop-the-world GC pause time.", false, func(s Snapshot) int64 { return s.GCPauseTotalNs }},
-		{"gc_pause_p95_ns", "95th-percentile GC pause over the runtime's recent pause ring.", true, func(s Snapshot) int64 { return s.GCPauseP95Ns }},
+		{"received_total", "Vertex requests (frontier entries) accepted.", false, false, func(s Snapshot) int64 { return s.Received }},
+		{"redundant_total", "Requests dropped by the traversal-affiliate cache.", false, false, func(s Snapshot) int64 { return s.Redundant }},
+		{"combined_total", "Requests served by an execution-merged disk access.", false, false, func(s Snapshot) int64 { return s.Combined }},
+		{"real_io_total", "Actual vertex accesses against the storage system.", false, false, func(s Snapshot) int64 { return s.RealIO }},
+		{"msgs_sent_total", "Engine messages sent to peers.", false, false, func(s Snapshot) int64 { return s.MsgsSent }},
+		{"execs_total", "Traversal executions processed.", false, false, func(s Snapshot) int64 { return s.Execs }},
+		{"msgs_failed_total", "Engine messages the transport failed to deliver.", false, false, func(s Snapshot) int64 { return s.MsgsFailed }},
+		{"reconnects_total", "Transport-level re-dials after a lost peer connection.", false, false, func(s Snapshot) int64 { return s.Reconnects }},
+		{"peer_down_events_total", "Failure-detector suspicion events.", false, false, func(s Snapshot) int64 { return s.PeerDownEvents }},
+		{"rejected_total", "Request batches refused by executor admission control.", false, false, func(s Snapshot) int64 { return s.Rejected }},
+		{"queue_depth_peak", "High-water mark of the shared executor queue depth.", true, false, func(s Snapshot) int64 { return s.QueueDepthPeak }},
+		{"queue_wait_ns_total", "Cumulative enqueue-to-pop wait of served scheduler groups.", false, false, func(s Snapshot) int64 { return s.QueueWaitNs }},
+		{"queue_groups_total", "Scheduler groups popped by executor workers.", false, false, func(s Snapshot) int64 { return s.QueueGroups }},
+		{"seed_scanned_total", "Step-0 source candidates enumerated by seed selection.", false, false, func(s Snapshot) int64 { return s.SeedScanned }},
+		{"seed_index_hits_total", "Seed candidates resolved via a property index lookup.", false, false, func(s Snapshot) int64 { return s.SeedIndexHits }},
+		{"vtx_cache_hits_total", "Decoded-vertex read-cache hits in the storage layer.", false, false, func(s Snapshot) int64 { return s.VtxCacheHits }},
+		{"vtx_cache_misses_total", "Decoded-vertex read-cache misses in the storage layer.", false, false, func(s Snapshot) int64 { return s.VtxCacheMisses }},
+		{"adj_cache_hits_total", "Materialized-adjacency read-cache hits in the storage layer.", false, false, func(s Snapshot) int64 { return s.AdjCacheHits }},
+		{"adj_cache_misses_total", "Materialized-adjacency read-cache misses in the storage layer.", false, false, func(s Snapshot) int64 { return s.AdjCacheMisses }},
+		{"trace_spans_dropped_total", "Execution spans evicted from the trace ring to admit newer ones.", false, false, func(s Snapshot) int64 { return s.SpansDropped }},
+		{"promotions_total", "Follower-to-primary promotions performed by this server.", false, false, func(s Snapshot) int64 { return s.Promotions }},
+		{"epoch_rejects_total", "Replication or write messages rejected for a stale epoch.", false, false, func(s Snapshot) int64 { return s.EpochRejects }},
+		{"repl_lag_bytes", "Shipped-minus-acked replication byte lag across partitions.", true, false, func(s Snapshot) int64 { return s.ReplLagBytes }},
+		{"handoff_bytes_total", "Snapshot bytes streamed for shard handoff and catch-up.", false, false, func(s Snapshot) int64 { return s.HandoffBytes }},
+		{"rejoin_nudges_total", "Rejoin invitations sent to recovered peers for under-replicated partitions.", false, false, func(s Snapshot) int64 { return s.RejoinNudges }},
+		{"feed_records_total", "Committed change-feed records shipped to subscribers.", false, false, func(s Snapshot) int64 { return s.FeedRecords }},
+		{"heap_alloc_bytes", "Live heap bytes at snapshot time (runtime.MemStats.HeapAlloc).", true, true, func(s Snapshot) int64 { return s.HeapAllocBytes }},
+		{"gc_cycles_total", "Completed GC cycles since process start.", false, true, func(s Snapshot) int64 { return s.NumGC }},
+		{"gc_pause_ns_total", "Cumulative stop-the-world GC pause time.", false, true, func(s Snapshot) int64 { return s.GCPauseTotalNs }},
+		{"gc_pause_p95_ns", "95th-percentile GC pause over the runtime's recent pause ring.", true, true, func(s Snapshot) int64 { return s.GCPauseP95Ns }},
 	}
 }
 

@@ -1,14 +1,17 @@
 // Package obs serves a GraphTrek backend's operational state over HTTP:
-// Prometheus-style counter exposition (/metrics), Go runtime profiling
-// (/debug/pprof/*), per-execution trace inspection (/traces), and a
-// liveness probe (/healthz). The endpoint is opt-in — a server without an
-// obs listener runs exactly as before — and read-only: nothing served here
-// can mutate engine state.
+// Prometheus-style counter and histogram exposition (/metrics), Go runtime
+// profiling (/debug/pprof/*), per-execution trace inspection (/traces),
+// the cluster event journal (/events), the replication status document
+// (/status), a liveness probe (/healthz) and a replication-aware readiness
+// probe (/readyz). The endpoint is opt-in — a server without an obs
+// listener runs exactly as before — and read-only: nothing served here can
+// mutate engine state.
 //
-// The /metrics exposition is generated from metrics.Fields(), the
-// canonical enumeration of the engine's §VII-A counters, so every counter
-// the engine records is scrapeable without obs needing a per-counter
-// update. Queue gauges and trace-ring statistics ride along.
+// The /metrics exposition is generated from metrics.Fields() — the
+// canonical enumeration of the engine's §VII-A counters — plus
+// Target.Histograms() for the native latency histograms, so every counter
+// and histogram the engine records is scrapeable without obs needing a
+// per-metric update. Queue gauges and trace-ring statistics ride along.
 package obs
 
 import (
@@ -19,7 +22,9 @@ import (
 	"sort"
 	"strconv"
 
+	"graphtrek/internal/events"
 	"graphtrek/internal/metrics"
+	"graphtrek/internal/status"
 	"graphtrek/internal/trace"
 )
 
@@ -29,6 +34,8 @@ type Target interface {
 	ID() int
 	// Metrics snapshots the engine counters.
 	Metrics() metrics.Snapshot
+	// Histograms snapshots the native latency histograms.
+	Histograms() []metrics.HistogramSnapshot
 	// QueueLen is the shared executor's current buffered item count.
 	QueueLen() int
 	// QueueHighWater is the executor queue's depth high-water mark.
@@ -41,6 +48,12 @@ type Target interface {
 	TraceStats() trace.RingStats
 	// SlowTravels returns captured slow-traversal DAGs, oldest first.
 	SlowTravels() []*trace.DAG
+	// Events returns the buffered control-plane event journal.
+	Events() []events.Event
+	// Status assembles the live replication status document.
+	Status() status.Server
+	// Ready reports the replication-aware readiness verdict.
+	Ready() status.Readiness
 }
 
 // NewMux builds the observability handler for one or more local backends
@@ -63,9 +76,18 @@ func NewMux(targets ...Target) *http.ServeMux {
 	mux.HandleFunc("/traces/slow", func(w http.ResponseWriter, r *http.Request) {
 		serveSlow(w, targets)
 	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(w, targets)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		serveStatus(w, targets)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		serveReady(w, targets)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,7 +98,9 @@ func NewMux(targets ...Target) *http.ServeMux {
 }
 
 // serveMetrics renders the Prometheus text exposition format (version
-// 0.0.4): every metrics.Fields() counter per target, then the scheduler
+// 0.0.4): every metrics.Fields() counter per target (process-wide fields
+// once, unlabeled), the native latency histograms in real histogram form
+// (_bucket/_sum/_count with seconds-valued le bounds), then the scheduler
 // and trace-ring gauges.
 func serveMetrics(w http.ResponseWriter, targets []Target) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -84,6 +108,11 @@ func serveMetrics(w http.ResponseWriter, targets []Target) {
 	for i, t := range targets {
 		snaps[i] = t.Metrics()
 	}
+	// Process-wide fields read the runtime once: in-process clusters share
+	// one Go runtime, and per-server copies of the same value would multiply
+	// under a PromQL sum().
+	var rt metrics.Snapshot
+	metrics.ReadRuntime(&rt)
 	for _, f := range metrics.Fields() {
 		typ := "counter"
 		if f.Gauge {
@@ -91,10 +120,15 @@ func serveMetrics(w http.ResponseWriter, targets []Target) {
 		}
 		fmt.Fprintf(w, "# HELP graphtrek_%s %s\n", f.Name, f.Help)
 		fmt.Fprintf(w, "# TYPE graphtrek_%s %s\n", f.Name, typ)
+		if f.Process {
+			fmt.Fprintf(w, "graphtrek_%s %d\n", f.Name, f.Get(rt))
+			continue
+		}
 		for i, t := range targets {
 			fmt.Fprintf(w, "graphtrek_%s{server=%q} %d\n", f.Name, strconv.Itoa(t.ID()), f.Get(snaps[i]))
 		}
 	}
+	serveHistograms(w, targets)
 	extra := []struct {
 		name, help, typ string
 		get             func(Target) int64
@@ -119,6 +153,113 @@ func serveMetrics(w http.ResponseWriter, targets []Target) {
 			fmt.Fprintf(w, "graphtrek_%s{server=%q} %d\n", e.name, strconv.Itoa(t.ID()), e.get(t))
 		}
 	}
+}
+
+// formatLE renders a nanosecond bucket bound as a seconds-valued le label,
+// the base unit Prometheus histograms use for durations.
+func formatLE(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// serveHistograms renders every Target.Histograms() entry as a native
+// Prometheus histogram: cumulative _bucket series over the shared
+// metrics.DefaultLadderNs bound ladder plus +Inf, then _sum (seconds) and
+// _count. Every ladder bound coincides with a native bucket upper edge
+// (histogram.go pins the alignment), so the cumulative counts are exact,
+// not interpolated.
+func serveHistograms(w http.ResponseWriter, targets []Target) {
+	if len(targets) == 0 {
+		return
+	}
+	hists := make([][]metrics.HistogramSnapshot, len(targets))
+	for i, t := range targets {
+		hists[i] = t.Histograms()
+	}
+	for hi, h := range hists[0] {
+		name := "graphtrek_" + h.Name
+		fmt.Fprintf(w, "# HELP %s %s\n", name, h.Help)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for i, t := range targets {
+			hs := hists[i][hi].Hist
+			srv := strconv.Itoa(t.ID())
+			for _, bound := range metrics.DefaultLadderNs {
+				fmt.Fprintf(w, "%s_bucket{server=%q,le=%q} %d\n", name, srv, formatLE(bound), hs.CumulativeLE(bound))
+			}
+			fmt.Fprintf(w, "%s_bucket{server=%q,le=\"+Inf\"} %d\n", name, srv, hs.Count)
+			fmt.Fprintf(w, "%s_sum{server=%q} %s\n", name, srv, strconv.FormatFloat(float64(hs.Sum)/1e9, 'g', -1, 64))
+			fmt.Fprintf(w, "%s_count{server=%q} %d\n", name, srv, hs.Count)
+		}
+	}
+}
+
+// serveEvents answers /events with every target's journal merged into one
+// wall-clock-ordered timeline (ties: server, then per-server sequence).
+func serveEvents(w http.ResponseWriter, targets []Target) {
+	all := make([]events.Event, 0, 64)
+	for _, t := range targets {
+		all = append(all, t.Events()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].TimeUnixNano != all[j].TimeUnixNano {
+			return all[i].TimeUnixNano < all[j].TimeUnixNano
+		}
+		if all[i].Server != all[j].Server {
+			return all[i].Server < all[j].Server
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(all)
+}
+
+// serveStatus answers /status with one status document per target,
+// ordered as the targets were registered.
+func serveStatus(w http.ResponseWriter, targets []Target) {
+	all := make([]status.Server, 0, len(targets))
+	for _, t := range targets {
+		all = append(all, t.Status())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(all)
+}
+
+// readyReport is the /readyz JSON body: the aggregate verdict plus each
+// target's readiness detail.
+type readyReport struct {
+	Ready   bool          `json:"ready"`
+	Servers []serverReady `json:"servers"`
+}
+
+type serverReady struct {
+	Server  int      `json:"server"`
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// serveReady answers /readyz: 200 when every target can meet its
+// durability contract, 503 with per-server reasons otherwise. Distinct
+// from /healthz (pure liveness): a server mid-handoff or below write
+// quorum is alive but should be rotated out of write traffic.
+func serveReady(w http.ResponseWriter, targets []Target) {
+	rep := readyReport{Ready: true}
+	for _, t := range targets {
+		r := t.Ready()
+		rep.Servers = append(rep.Servers, serverReady{Server: t.ID(), Ready: r.Ready, Reasons: r.Reasons})
+		if !r.Ready {
+			rep.Ready = false
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !rep.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
 }
 
 // TraceReport is the /traces JSON document.

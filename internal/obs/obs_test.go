@@ -80,32 +80,61 @@ func get(t *testing.T, url string) (string, *http.Response) {
 	return string(body), resp
 }
 
-// parseExposition extracts metric values keyed by name and server label
-// from the Prometheus text format.
-func parseExposition(t *testing.T, body string) map[string]map[string]int64 {
+// parseExposition extracts metric values from the Prometheus text format,
+// keyed by name, then series key: "" for an unlabeled (process-wide)
+// series, the server id for a {server="N"} series, and "N|<le>" for a
+// histogram bucket {server="N",le="<le>"}.
+func parseExposition(t *testing.T, body string) map[string]map[string]float64 {
 	t.Helper()
-	out := make(map[string]map[string]int64)
+	out := make(map[string]map[string]float64)
 	for _, line := range strings.Split(body, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		rest, valStr, ok := strings.Cut(line, "} ")
-		if !ok {
-			t.Fatalf("bad exposition line %q", line)
+		var name, key, valStr string
+		if labeled, rest, ok := strings.Cut(line, "} "); ok {
+			valStr = rest
+			var labels string
+			name, labels, ok = strings.Cut(labeled, "{")
+			if !ok {
+				t.Fatalf("bad exposition line %q", line)
+			}
+			srv, le := "", ""
+			for _, kv := range strings.Split(labels, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					t.Fatalf("bad label %q in %q", kv, line)
+				}
+				v = strings.Trim(v, `"`)
+				switch k {
+				case "server":
+					srv = v
+				case "le":
+					le = v
+				default:
+					t.Fatalf("unexpected label %q in %q", k, line)
+				}
+			}
+			key = srv
+			if le != "" {
+				key = srv + "|" + le
+			}
+		} else {
+			var ok bool
+			name, valStr, ok = strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("bad exposition line %q", line)
+			}
+			key = ""
 		}
-		name, label, ok := strings.Cut(rest, `{server="`)
-		if !ok {
-			t.Fatalf("bad exposition line %q", line)
-		}
-		label = strings.TrimSuffix(label, `"`)
-		val, err := strconv.ParseInt(valStr, 10, 64)
+		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			t.Fatalf("bad value in %q: %v", line, err)
 		}
 		if out[name] == nil {
-			out[name] = make(map[string]int64)
+			out[name] = make(map[string]float64)
 		}
-		out[name][label] = val
+		out[name][key] = val
 	}
 	return out
 }
@@ -128,23 +157,34 @@ func TestMetricsEndpointExposesEveryCounter(t *testing.T) {
 			t.Errorf("counter %s missing from /metrics", name)
 			continue
 		}
-		for i := 0; i < c.Servers(); i++ {
-			if _, ok := series[strconv.Itoa(i)]; !ok {
-				t.Errorf("counter %s missing series for server %d", name, i)
+		if f.Process {
+			// Process-wide fields are emitted once, unlabeled: per-server
+			// copies of one Go runtime would multiply under a PromQL sum().
+			if _, ok := series[""]; !ok {
+				t.Errorf("process field %s missing its unlabeled series", name)
+			}
+			if len(series) != 1 {
+				t.Errorf("process field %s has %d series, want 1 unlabeled", name, len(series))
+			}
+		} else {
+			for i := 0; i < c.Servers(); i++ {
+				if _, ok := series[strconv.Itoa(i)]; !ok {
+					t.Errorf("counter %s missing series for server %d", name, i)
+				}
 			}
 		}
 		if !strings.Contains(body, "# HELP "+name+" ") || !strings.Contains(body, "# TYPE "+name+" ") {
 			t.Errorf("counter %s missing HELP/TYPE comments", name)
 		}
 	}
-	var received int64
+	var received float64
 	for i := 0; i < c.Servers(); i++ {
 		srv := strconv.Itoa(i)
 		got := vals["graphtrek_redundant_total"][srv] +
 			vals["graphtrek_combined_total"][srv] +
 			vals["graphtrek_real_io_total"][srv]
 		if got != vals["graphtrek_received_total"][srv] {
-			t.Errorf("server %s: redundant+combined+real = %d, received = %d", srv, got, vals["graphtrek_received_total"][srv])
+			t.Errorf("server %s: redundant+combined+real = %v, received = %v", srv, got, vals["graphtrek_received_total"][srv])
 		}
 		received += vals["graphtrek_received_total"][srv]
 	}
@@ -164,6 +204,189 @@ func TestMetricsEndpointExposesEveryCounter(t *testing.T) {
 		vals["graphtrek_trace_spans_recorded_total"]["1"]+
 		vals["graphtrek_trace_spans_recorded_total"]["2"] == 0 {
 		t.Error("no spans recorded across the cluster")
+	}
+}
+
+// TestMetricsHistogramExposition is the e2e gate for the native latency
+// histograms: every histogram is exposed in real Prometheus histogram form
+// (cumulative _bucket series over the shared le ladder, _sum, _count), the
+// cumulative counts are monotone, the +Inf bucket equals _count, and the
+// _count series cross-check against the plain counters that pin them —
+// the §VII-A-style identity for the latency pipeline.
+func TestMetricsHistogramExposition(t *testing.T) {
+	c, ts := startCluster(t)
+	body, _ := get(t, ts.URL+"/metrics")
+	vals := parseExposition(t, body)
+	hists := []string{
+		"graphtrek_travel_latency_seconds",
+		"graphtrek_queue_wait_seconds",
+		"graphtrek_step_compute_seconds",
+		"graphtrek_quorum_write_seconds",
+		"graphtrek_feed_lag_seconds",
+	}
+	les := make([]string, 0, len(metrics.DefaultLadderNs)+1)
+	for _, ns := range metrics.DefaultLadderNs {
+		les = append(les, strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64))
+	}
+	les = append(les, "+Inf")
+	for _, name := range hists {
+		if !strings.Contains(body, "# TYPE "+name+" histogram") {
+			t.Errorf("%s not declared as TYPE histogram", name)
+		}
+		buckets, sums, counts := vals[name+"_bucket"], vals[name+"_sum"], vals[name+"_count"]
+		for i := 0; i < c.Servers(); i++ {
+			srv := strconv.Itoa(i)
+			prev := -1.0
+			for _, le := range les {
+				v, ok := buckets[srv+"|"+le]
+				if !ok {
+					t.Fatalf("%s missing bucket le=%q for server %s", name, le, srv)
+				}
+				if v < prev {
+					t.Errorf("%s server %s: bucket le=%q = %v < previous %v (non-monotone)", name, srv, le, v, prev)
+				}
+				prev = v
+			}
+			count, ok := counts[srv]
+			if !ok {
+				t.Fatalf("%s missing _count for server %s", name, srv)
+			}
+			if inf := buckets[srv+"|+Inf"]; inf != count {
+				t.Errorf("%s server %s: +Inf bucket %v != _count %v", name, srv, inf, count)
+			}
+			if _, ok := sums[srv]; !ok {
+				t.Errorf("%s missing _sum for server %s", name, srv)
+			}
+			if count == 0 && sums[srv] != 0 {
+				t.Errorf("%s server %s: zero count but sum %v", name, srv, sums[srv])
+			}
+		}
+	}
+	// Count pins: one end-to-end latency sample per coordinator-ledgered
+	// traversal (startCluster runs 3), one queue-wait and one step-compute
+	// sample per popped executor group.
+	var travels float64
+	for i := 0; i < c.Servers(); i++ {
+		srv := strconv.Itoa(i)
+		travels += vals["graphtrek_travel_latency_seconds_count"][srv]
+		groups := vals["graphtrek_queue_groups_total"][srv]
+		if got := vals["graphtrek_queue_wait_seconds_count"][srv]; got != groups {
+			t.Errorf("server %s: queue_wait count %v != queue_groups_total %v", srv, got, groups)
+		}
+		if got := vals["graphtrek_step_compute_seconds_count"][srv]; got != groups {
+			t.Errorf("server %s: step_compute count %v != queue_groups_total %v", srv, got, groups)
+		}
+		if feed := vals["graphtrek_feed_records_total"][srv]; vals["graphtrek_feed_lag_seconds_count"][srv] != feed {
+			t.Errorf("server %s: feed_lag count %v != feed_records_total %v", srv, vals["graphtrek_feed_lag_seconds_count"][srv], feed)
+		}
+	}
+	if travels != 3 {
+		t.Errorf("travel_latency count across cluster = %v, want 3 (one per traversal)", travels)
+	}
+}
+
+// TestEventsEndpoint pins /events to a valid JSON event array. An
+// unreplicated, fault-free cluster records no control-plane events, so the
+// timeline is empty — but it must still be a well-formed array.
+func TestEventsEndpoint(t *testing.T) {
+	_, ts := startCluster(t)
+	body, resp := get(t, ts.URL+"/events")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var evs []struct {
+		Type         string `json:"type"`
+		TimeUnixNano int64  `json:"time_unix_nano"`
+		Server       int    `json:"server"`
+	}
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/events is not a JSON array: %v\n%s", err, body)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeUnixNano < evs[i-1].TimeUnixNano {
+			t.Errorf("merged timeline out of order at %d: %d after %d", i, evs[i].TimeUnixNano, evs[i-1].TimeUnixNano)
+		}
+	}
+}
+
+// TestStatusEndpoint checks /status end to end on an unreplicated cluster:
+// one document per server, executor gauges populated, cache statistics
+// present, no partition rows, and every server ready.
+func TestStatusEndpoint(t *testing.T) {
+	c, ts := startCluster(t)
+	body, resp := get(t, ts.URL+"/status")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var docs []struct {
+		Server     int  `json:"server"`
+		Ready      bool `json:"ready"`
+		QueueLen   int  `json:"queue_len"`
+		HighWater  int  `json:"queue_high_water"`
+		Partitions []struct {
+			Part int `json:"part"`
+		} `json:"partitions"`
+		Cache struct {
+			VtxHits   int64 `json:"vtx_hits"`
+			VtxMisses int64 `json:"vtx_misses"`
+			AdjHits   int64 `json:"adj_hits"`
+			AdjMisses int64 `json:"adj_misses"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(body), &docs); err != nil {
+		t.Fatalf("/status is not a JSON array: %v\n%s", err, body)
+	}
+	if len(docs) != c.Servers() {
+		t.Fatalf("%d status documents, want %d", len(docs), c.Servers())
+	}
+	var touched int64
+	for i, d := range docs {
+		if d.Server != i {
+			t.Errorf("document %d is for server %d", i, d.Server)
+		}
+		if !d.Ready {
+			t.Errorf("server %d not ready on an unreplicated cluster", d.Server)
+		}
+		if len(d.Partitions) != 0 {
+			t.Errorf("server %d reports %d partitions without replication", d.Server, len(d.Partitions))
+		}
+		if d.HighWater < 0 || d.QueueLen < 0 {
+			t.Errorf("server %d: negative queue gauges %d/%d", d.Server, d.QueueLen, d.HighWater)
+		}
+		touched += d.Cache.VtxHits + d.Cache.VtxMisses + d.Cache.AdjHits + d.Cache.AdjMisses
+	}
+	_ = touched // in-memory stores may not expose cache statistics at all
+}
+
+// TestReadyzEndpoint pins /readyz on a healthy cluster: 200 with an
+// aggregate ready verdict and one per-server entry.
+func TestReadyzEndpoint(t *testing.T) {
+	c, ts := startCluster(t)
+	body, resp := get(t, ts.URL+"/readyz")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var rep struct {
+		Ready   bool `json:"ready"`
+		Servers []struct {
+			Server  int      `json:"server"`
+			Ready   bool     `json:"ready"`
+			Reasons []string `json:"reasons"`
+		} `json:"servers"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ready {
+		t.Errorf("healthy cluster not ready: %s", body)
+	}
+	if len(rep.Servers) != c.Servers() {
+		t.Errorf("%d server entries, want %d", len(rep.Servers), c.Servers())
+	}
+	for _, s := range rep.Servers {
+		if !s.Ready || len(s.Reasons) != 0 {
+			t.Errorf("server %d unready on a healthy cluster: %v", s.Server, s.Reasons)
+		}
 	}
 }
 

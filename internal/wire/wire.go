@@ -97,6 +97,21 @@ const (
 	// subscription failed (wrong primary, cursor too old) and carries a
 	// piggybacked route table in Blob when the sender knows a newer one.
 	KindFeedBatch
+	// KindEventsReq asks a backend for its cluster event journal
+	// (suspicions, promotions, epoch bumps, handoffs — see
+	// internal/events). ReqID ties the response back, PR 5 blob-pull
+	// style.
+	KindEventsReq
+	// KindEventsResp answers a KindEventsReq; Blob carries JSON-encoded
+	// events.Event entries, oldest first.
+	KindEventsResp
+	// KindStatusReq asks a backend for its replication/engine status
+	// document (per-partition epoch, role, watermarks, lag — see
+	// internal/status).
+	KindStatusReq
+	// KindStatusResp answers a KindStatusReq; Blob carries one
+	// JSON-encoded status.Server document.
+	KindStatusResp
 )
 
 // String names the kind for logs.
@@ -150,6 +165,14 @@ func (k Kind) String() string {
 		return "FeedSub"
 	case KindFeedBatch:
 		return "FeedBatch"
+	case KindEventsReq:
+		return "EventsReq"
+	case KindEventsResp:
+		return "EventsResp"
+	case KindStatusReq:
+		return "StatusReq"
+	case KindStatusResp:
+		return "StatusResp"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -1,20 +1,49 @@
 #!/usr/bin/env python3
-"""Validate graphtrek-bench report JSON files (schema v1).
+"""Validate graphtrek-bench artifacts.
 
-Usage: validate_bench.py REPORT.json [REPORT.json ...]
+Usage:
+  validate_bench.py REPORT.json [REPORT.json ...]
+  validate_bench.py --exposition METRICS.prom [REPORT.json ...]
+  validate_bench.py --status STATUS.json [REPORT.json ...]
 
-A report is valid when it carries schema version 1 and every experiment in
-it ran to completion (no "err"), produced at least one data row, and passed
-every recorded check. The bench binary already exits nonzero on failed
-checks; this script is the belt-and-braces gate CI applies to the artifact
-it is about to upload, so a report that *looks* fine but is structurally
-empty (no rows, no checks) also fails the build.
+Default mode validates report JSON files (schema v1): a report is valid
+when it carries schema version 1 and every experiment in it ran to
+completion (no "err"), produced at least one data row, and passed every
+recorded check. The bench binary already exits nonzero on failed checks;
+this script is the belt-and-braces gate CI applies to the artifact it is
+about to upload, so a report that *looks* fine but is structurally empty
+(no rows, no checks) also fails the build.
+
+--exposition validates a dumped /metrics Prometheus text scrape
+(graphtrek-bench -exposition): parseable 0.0.4 text format, every native
+latency histogram present with monotone cumulative buckets whose +Inf
+bucket equals _count, and the histogram _count series cross-checked
+against the plain counters that pin them (queue_wait and step_compute
+against queue_groups_total, feed_lag against feed_records_total).
+
+--status validates a dumped /status scrape (graphtrek-bench -status): a
+JSON array of per-server documents, each ready with sane gauges.
 """
 
 import json
 import sys
 
 SCHEMA = 1
+
+HISTOGRAMS = [
+    "graphtrek_travel_latency_seconds",
+    "graphtrek_queue_wait_seconds",
+    "graphtrek_step_compute_seconds",
+    "graphtrek_quorum_write_seconds",
+    "graphtrek_feed_lag_seconds",
+]
+
+# histogram _count -> the plain counter that must equal it, per server.
+COUNT_PINS = {
+    "graphtrek_queue_wait_seconds": "graphtrek_queue_groups_total",
+    "graphtrek_step_compute_seconds": "graphtrek_queue_groups_total",
+    "graphtrek_feed_lag_seconds": "graphtrek_feed_records_total",
+}
 
 
 def validate(path):
@@ -48,12 +77,176 @@ def validate(path):
     return errors, len(experiments), n_checks
 
 
+def parse_exposition(path):
+    """Parse Prometheus 0.0.4 text into {name: {series_key: value}} where
+    the series key is "" (unlabeled), the server id, or "server|le"."""
+    series = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            if "} " in line:
+                labeled, _, val = line.partition("} ")
+                name, _, labels = labeled.partition("{")
+                if not labels:
+                    raise ValueError(f"line {lineno}: bad labeled sample {line!r}")
+                srv = le = ""
+                for kv in labels.split(","):
+                    k, _, v = kv.partition("=")
+                    v = v.strip('"')
+                    if k == "server":
+                        srv = v
+                    elif k == "le":
+                        le = v
+                    else:
+                        raise ValueError(f"line {lineno}: unexpected label {k!r}")
+                key = f"{srv}|{le}" if le else srv
+            else:
+                name, _, val = line.partition(" ")
+                key = ""
+                if not val:
+                    raise ValueError(f"line {lineno}: bad sample {line!r}")
+            series.setdefault(name, {})[key] = float(val)
+    return series
+
+
+def validate_exposition(path):
+    errors = []
+    series = parse_exposition(path)
+    if not series:
+        errors.append("empty exposition")
+        return errors
+
+    servers = sorted(
+        {k for k in series.get("graphtrek_received_total", {})} - {""}
+    )
+    if not servers:
+        errors.append("no per-server graphtrek_received_total series")
+
+    for hist in HISTOGRAMS:
+        buckets = series.get(hist + "_bucket", {})
+        counts = series.get(hist + "_count", {})
+        sums = series.get(hist + "_sum", {})
+        if not buckets or not counts or not sums:
+            errors.append(f"{hist}: missing _bucket/_count/_sum series")
+            continue
+        for srv in servers:
+            # le bounds in emission order: group this server's buckets and
+            # check cumulative monotonicity by ascending numeric bound.
+            srv_buckets = {
+                k.split("|", 1)[1]: v
+                for k, v in buckets.items()
+                if k.startswith(srv + "|")
+            }
+            if "+Inf" not in srv_buckets:
+                errors.append(f"{hist}: server {srv} has no +Inf bucket")
+                continue
+            finite = sorted(
+                ((float(le), v) for le, v in srv_buckets.items() if le != "+Inf")
+            )
+            prev = -1.0
+            for le, v in finite + [(float("inf"), srv_buckets["+Inf"])]:
+                if v < prev:
+                    errors.append(
+                        f"{hist}: server {srv} bucket le={le} = {v} < previous {prev}"
+                    )
+                prev = v
+            if srv_buckets["+Inf"] != counts.get(srv):
+                errors.append(
+                    f"{hist}: server {srv} +Inf bucket {srv_buckets['+Inf']} != _count {counts.get(srv)}"
+                )
+            if counts.get(srv) == 0 and sums.get(srv, 0) != 0:
+                errors.append(f"{hist}: server {srv} zero count but sum {sums.get(srv)}")
+
+    for hist, counter in COUNT_PINS.items():
+        counts = series.get(hist + "_count", {})
+        pins = series.get(counter, {})
+        for srv in servers:
+            if counts.get(srv) != pins.get(srv):
+                errors.append(
+                    f"{hist}_count server {srv} = {counts.get(srv)}, "
+                    f"want {counter} = {pins.get(srv)}"
+                )
+
+    total_travels = sum(
+        series.get("graphtrek_travel_latency_seconds_count", {}).get(s, 0)
+        for s in servers
+    )
+    if total_travels <= 0:
+        errors.append("no travel_latency samples recorded across the cluster")
+    return errors
+
+
+def validate_status(path):
+    errors = []
+    with open(path) as f:
+        docs = json.load(f)
+    if not isinstance(docs, list) or not docs:
+        errors.append("status dump is not a non-empty JSON array")
+        return errors
+    for i, doc in enumerate(docs):
+        srv = doc.get("server")
+        if srv != i:
+            errors.append(f"document {i} is for server {srv!r}")
+        if not doc.get("ready"):
+            errors.append(
+                f"server {srv} not ready: {doc.get('not_ready_reasons')}"
+            )
+        if doc.get("queue_high_water", 0) < 0 or doc.get("queue_len", 0) < 0:
+            errors.append(f"server {srv}: negative queue gauges")
+        for p in doc.get("partitions") or []:
+            if p.get("applied_seq", 0) < p.get("commit_seq", 0):
+                errors.append(
+                    f"server {srv} partition {p.get('part')}: applied_seq "
+                    f"{p.get('applied_seq')} < commit_seq {p.get('commit_seq')}"
+                )
+    return errors
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    expo_paths, status_paths = [], []
+    report_paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--exposition":
+            if i + 1 >= len(args):
+                print("--exposition needs a path", file=sys.stderr)
+                return 2
+            expo_paths.append(args[i + 1])
+            i += 2
+        elif args[i] == "--status":
+            if i + 1 >= len(args):
+                print("--status needs a path", file=sys.stderr)
+                return 2
+            status_paths.append(args[i + 1])
+            i += 2
+        else:
+            report_paths.append(args[i])
+            i += 1
+    if not (expo_paths or status_paths or report_paths):
         print(__doc__.strip(), file=sys.stderr)
         return 2
+
     failed = False
-    for path in argv[1:]:
+
+    def run(path, fn, label):
+        nonlocal failed
+        try:
+            errors = fn(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable {label}: {exc}", file=sys.stderr)
+            failed = True
+            return
+        if errors:
+            failed = True
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            print(f"{path}: ok ({label})")
+
+    for path in report_paths:
         try:
             errors, n_exp, n_checks = validate(path)
         except (OSError, ValueError) as exc:
@@ -66,6 +259,10 @@ def main(argv):
                 print(f"{path}: {err}", file=sys.stderr)
         else:
             print(f"{path}: ok ({n_exp} experiment(s), {n_checks} check(s) passed)")
+    for path in expo_paths:
+        run(path, validate_exposition, "metrics exposition")
+    for path in status_paths:
+        run(path, validate_status, "status document")
     return 1 if failed else 0
 
 
